@@ -1,0 +1,195 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (printed as rows; figures written as SVG under
+   out/figures/), then runs Bechamel timing benches - one Test.make per
+   experiment family.
+
+   Flags:
+     --fast          skip the transient binary searches (tables print the
+                     prediction side plus the paper's reference numbers)
+     --skip-bench    skip the Bechamel micro-benchmarks
+     --only-bench    run only the Bechamel micro-benchmarks *)
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+let skip_bench = Array.exists (( = ) "--skip-bench") Sys.argv
+let only_bench = Array.exists (( = ) "--only-bench") Sys.argv
+
+let figures_dir = "out/figures"
+
+let show out =
+  Format.printf "%a@." Experiments.Output.print out;
+  let paths = Experiments.Output.write_figures ~dir:figures_dir out in
+  List.iter (Format.printf "  figure: %s@.") paths;
+  Format.printf "@."
+
+let run_experiments () =
+  Format.printf
+    "oshil experiment harness - reproducing the tables and figures of@.\
+     'A Rigorous Graphical Technique for Predicting Sub-harmonic Injection@.\
+     Locking in LC Oscillators' (DAC 2014)%s@.@."
+    (if fast then " [--fast: simulation searches skipped]" else "");
+  (* ---- section II-III illustrations (tanh oscillator) ---- *)
+  let ts = Experiments.Tanh_experiments.default_setup in
+  show (Experiments.Tanh_experiments.fig3_natural ts);
+  show (Experiments.Tanh_experiments.fig6_tank ts);
+  show (Experiments.Tanh_experiments.fig7_solutions ts);
+  show (Experiments.Tanh_experiments.fig9_states ts);
+  show (Experiments.Tanh_experiments.fig10_lock_range ~validate:(not fast) ts);
+  (* ---- ablation: rigorous vs PPV baseline (paper SI comparison) ---- *)
+  let tanh_osc = Circuits.Tanh_osc.oscillator ts.params in
+  show
+    (Experiments.Baseline_cmp.output
+       (Experiments.Baseline_cmp.sweep ~simulate:(not fast) tanh_osc.nl
+          ~tank:tanh_osc.tank ~n:3));
+  (* ---- section IV-A: cross-coupled BJT differential pair ---- *)
+  let dp = Experiments.Osc_experiments.diff_pair () in
+  show (Experiments.Osc_experiments.fig_fv dp);
+  show (Experiments.Osc_experiments.fig_natural_prediction dp);
+  show (Experiments.Osc_experiments.fig_transient dp);
+  let t1, _ = Experiments.Osc_experiments.table_lock_range ~predict_only:fast dp in
+  show t1;
+  show (Experiments.Osc_experiments.fig_lock_range_curves dp);
+  if not fast then show (Experiments.Osc_experiments.fig_states dp);
+  (* ---- section IV-B: tunnel diode ---- *)
+  let td = Experiments.Osc_experiments.tunnel () in
+  show (Experiments.Osc_experiments.fig_fv td);
+  show (Experiments.Osc_experiments.fig_natural_prediction td);
+  show (Experiments.Osc_experiments.fig_transient td);
+  let t2, _ = Experiments.Osc_experiments.table_lock_range ~predict_only:fast td in
+  show t2;
+  show (Experiments.Osc_experiments.fig_lock_range_curves td);
+  if not fast then show (Experiments.Osc_experiments.fig_states td);
+  (* ---- ablation A2: asymmetric cell, filtering assumption ---- *)
+  show
+    (Experiments.Asym_ablation.run ~simulate:(not fast)
+       ~self_consistent:(not fast) ());
+  (* ---- ablation A3: FHIL vs Adler ---- *)
+  show (Experiments.Fhil_experiment.run ());
+  (* ---- extension X3: Arnold tongue ---- *)
+  show (Experiments.Tongue_experiment.run ());
+  (* ---- extension X2: injection pulling outside the band ---- *)
+  show (Experiments.Pulling_experiment.run ~simulate:(not fast) ());
+  (* ---- extension X1: CMOS cross-coupled VCO ---- *)
+  show (Experiments.Cmos_experiment.run ~validate:(not fast) ());
+  (* ---- speedup (section IV: 25x and 50x) ---- *)
+  if not fast then begin
+    let s_dp = Experiments.Speedup.run dp in
+    show (Experiments.Speedup.output s_dp ~paper_speedup:25.0);
+    let s_td = Experiments.Speedup.run td in
+    show (Experiments.Speedup.output s_td ~paper_speedup:50.0)
+  end
+
+(* Bechamel's full analysis pipeline is heavyweight; we use its sampler
+   and report the OLS time-per-run estimate per test. *)
+let run_benchmarks () =
+  let open Bechamel in
+  print_endline "=== Bechamel micro-benchmarks (one per experiment family)";
+  let tanh_nl = Shil.Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3 in
+  let tanh_tank =
+    let wc = 2.0 *. Float.pi *. 1e6 in
+    Shil.Tank.make ~r:1e3 ~l:(100.0 /. wc) ~c:(1.0 /. (100.0 *. wc))
+  in
+  ignore tanh_tank;
+  let grid =
+    Shil.Grid.sample ~points:256 ~n_phi:61 ~n_amp:51 tanh_nl ~n:3 ~r:1e3
+      ~vi:0.2 ~a_range:(0.3, 1.45) ()
+  in
+  let dp_params = Circuits.Diff_pair.default in
+  let dp_circuit = Circuits.Diff_pair.circuit dp_params in
+  let dp_fc = Shil.Tank.f_c (Circuits.Diff_pair.tank dp_params) in
+  let td_params = Circuits.Tunnel_osc.default in
+  let td_circuit = Circuits.Tunnel_osc.circuit td_params in
+  let td_fc = Shil.Tank.f_c (Circuits.Tunnel_osc.tank td_params) in
+  let synth_signal =
+    let times = Array.init 20000 (fun k -> float_of_int k /. 2e6) in
+    let values = Array.map (fun t -> cos (2.0 *. Float.pi *. 5.033e5 *. t)) times in
+    Waveform.Signal.make ~times ~values
+  in
+  let tests =
+    Test.make_grouped ~name:"oshil"
+      [
+        Test.make ~name:"fig3_natural_solve"
+          (Staged.stage (fun () ->
+               ignore (Shil.Natural.solve ~points:512 tanh_nl ~r:1e3)));
+        Test.make ~name:"fig6_tank_sweep_500pts"
+          (Staged.stage (fun () ->
+               let acc = ref 0.0 in
+               for k = 0 to 499 do
+                 let f = 0.5e6 +. (2e3 *. float_of_int k) in
+                 acc := !acc +. Shil.Tank.mag tanh_tank ~omega:(2.0 *. Float.pi *. f)
+               done;
+               ignore !acc));
+        Test.make ~name:"fig7_two_tone_i1"
+          (Staged.stage (fun () ->
+               ignore
+                 (Shil.Describing_function.i1_two_tone ~points:512 tanh_nl ~n:3
+                    ~a:1.0 ~vi:0.2 ~phi:1.0)));
+        Test.make ~name:"fig7_lock_solutions"
+          (Staged.stage (fun () -> ignore (Shil.Solutions.find grid ~phi_d:0.05)));
+        Test.make ~name:"fig9_n_states"
+          (Staged.stage (fun () ->
+               let p =
+                 { Shil.Solutions.phi = 1.0; a = 1.0; stable = true;
+                   trace = -1.0; det = 1.0 }
+               in
+               ignore (Shil.Solutions.n_states p ~n:3)));
+        Test.make ~name:"fig10_contours"
+          (Staged.stage (fun () -> ignore (Shil.Grid.t_f_curve grid)));
+        Test.make ~name:"fig10_phi_d_boundary"
+          (Staged.stage (fun () ->
+               ignore (Shil.Lock_range.phi_d_boundary ~tol:1e-3 grid)));
+        Test.make ~name:"fig12a_diffpair_op"
+          (Staged.stage (fun () -> ignore (Spice.Op.run dp_circuit)));
+        Test.make ~name:"fig13_diffpair_tran_10cyc"
+          (Staged.stage (fun () ->
+               let dt = 1.0 /. (dp_fc *. 120.0) in
+               ignore
+                 (Spice.Transient.run dp_circuit
+                    ~probes:[ Circuits.Diff_pair.osc_probe ]
+                    (Spice.Transient.default_options ~dt ~t_stop:(10.0 /. dp_fc)))));
+        Test.make ~name:"fig13_diffpair_tran_adaptive"
+          (Staged.stage (fun () ->
+               let dt = 1.0 /. (dp_fc *. 120.0) in
+               ignore
+                 (Spice.Transient.run dp_circuit
+                    ~probes:[ Circuits.Diff_pair.osc_probe ]
+                    (Spice.Transient.adaptive ~lte_tol:1e-4
+                       (Spice.Transient.default_options ~dt
+                          ~t_stop:(10.0 /. dp_fc))))));
+        Test.make ~name:"fig16b_tunnel_op"
+          (Staged.stage (fun () -> ignore (Spice.Op.run td_circuit)));
+        Test.make ~name:"fig17_tunnel_tran_10cyc"
+          (Staged.stage (fun () ->
+               let dt = 1.0 /. (td_fc *. 120.0) in
+               ignore
+                 (Spice.Transient.run td_circuit
+                    ~probes:[ Circuits.Tunnel_osc.osc_probe ]
+                    (Spice.Transient.default_options ~dt ~t_stop:(10.0 /. td_fc)))));
+        Test.make ~name:"fig15_lock_detection"
+          (Staged.stage (fun () ->
+               ignore (Waveform.Lock.analyze synth_signal ~f_target:5.033e5)));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw_results in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt results name with
+      | Some r -> begin
+        match Bechamel.Analyze.OLS.estimates r with
+        | Some [ est ] ->
+          Printf.printf "  %-32s %14.1f ns/run\n" name est
+        | _ -> Printf.printf "  %-32s (no estimate)\n" name
+      end
+      | None -> ())
+    (List.sort compare names)
+
+let () =
+  if not only_bench then run_experiments ();
+  if not skip_bench then run_benchmarks ();
+  print_endline "done."

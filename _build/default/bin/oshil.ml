@@ -1,0 +1,504 @@
+(* oshil: command-line front end for the SHIL analysis library.
+
+   Subcommands: natural, shil, lockrange, dcsweep, transient, figures,
+   experiments. Oscillators are selected with --osc
+   (tanh | diffpair | tunnel) or described inline with --g0/--isat/--r/
+   --fc/--q for a custom tanh cell. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Oscillator selection *)
+
+type osc_choice = Tanh | Diffpair | Tunnel
+
+let osc_conv =
+  let parse = function
+    | "tanh" -> Ok Tanh
+    | "diffpair" | "diff-pair" | "dp" -> Ok Diffpair
+    | "tunnel" | "td" -> Ok Tunnel
+    | s -> Error (`Msg (Printf.sprintf "unknown oscillator %S" s))
+  in
+  let print ppf = function
+    | Tanh -> Format.pp_print_string ppf "tanh"
+    | Diffpair -> Format.pp_print_string ppf "diffpair"
+    | Tunnel -> Format.pp_print_string ppf "tunnel"
+  in
+  Arg.conv (parse, print)
+
+let osc_arg =
+  let doc = "Oscillator: tanh (behavioural), diffpair (BJT, §IV-A) or tunnel (§IV-B)." in
+  Arg.(value & opt osc_conv Tanh & info [ "osc" ] ~docv:"NAME" ~doc)
+
+let custom_args =
+  let g0 =
+    Arg.(value & opt (some float) None
+         & info [ "g0" ] ~docv:"S" ~doc:"Custom tanh: small-signal conductance magnitude.")
+  in
+  let isat =
+    Arg.(value & opt (some float) None
+         & info [ "isat" ] ~docv:"A" ~doc:"Custom tanh: saturation current.")
+  in
+  let r =
+    Arg.(value & opt (some float) None
+         & info [ "r" ] ~docv:"OHM" ~doc:"Custom tanh: tank resistance.")
+  in
+  let fc =
+    Arg.(value & opt (some float) None
+         & info [ "fc" ] ~docv:"HZ" ~doc:"Custom tanh: tank centre frequency.")
+  in
+  let q =
+    Arg.(value & opt (some float) None
+         & info [ "q" ] ~docv:"Q" ~doc:"Custom tanh: tank quality factor.")
+  in
+  Term.(const (fun a b c d e -> (a, b, c, d, e)) $ g0 $ isat $ r $ fc $ q)
+
+let resolve_oscillator choice (g0, isat, r, fc, q) : Shil.Analysis.oscillator =
+  match (choice, g0, isat, r, fc, q) with
+  | _, Some g0, isat, r, fc, q ->
+    let isat = Option.value isat ~default:1e-3 in
+    let r = Option.value r ~default:1e3 in
+    let fc = Option.value fc ~default:1e6 in
+    let q = Option.value q ~default:10.0 in
+    let wc = 2.0 *. Float.pi *. fc in
+    let z0 = r /. q in
+    {
+      nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
+      tank = Shil.Tank.make ~r ~l:(z0 /. wc) ~c:(1.0 /. (z0 *. wc));
+    }
+  | Tanh, _, _, _, _, _ -> Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default
+  | Diffpair, _, _, _, _, _ -> Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
+  | Tunnel, _, _, _, _, _ -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
+
+let vi_arg =
+  Arg.(value & opt float 0.03
+       & info [ "vi" ] ~docv:"V" ~doc:"Injection phasor magnitude $(docv).")
+
+let n_arg =
+  Arg.(value & opt int 3
+       & info [ "n" ] ~docv:"N" ~doc:"Sub-harmonic order (1 = FHIL).")
+
+let ascii_arg =
+  Arg.(value & flag & info [ "ascii" ] ~doc:"Draw terminal plots.")
+
+(* ------------------------------------------------------------------ *)
+(* natural *)
+
+let natural_cmd =
+  let run choice custom ascii =
+    let osc = resolve_oscillator choice custom in
+    let r = (osc.tank : Shil.Tank.t).r in
+    Format.printf "%a@." Shil.Tank.pp osc.tank;
+    Format.printf "small-signal loop gain: %.4g (oscillates: %b)@."
+      (Shil.Natural.small_signal_gain osc.nl ~r)
+      (Shil.Natural.oscillates osc.nl ~r);
+    let sols = Shil.Natural.solve osc.nl ~r in
+    if sols = [] then Format.printf "no T_f(A) = 1 solutions@."
+    else
+      List.iter
+        (fun (s : Shil.Natural.solution) ->
+          Format.printf "A = %.6g V  (%s, dT_f/dA = %.4g)@." s.a
+            (if s.stable then "stable" else "unstable")
+            s.slope)
+        sols;
+    if ascii then begin
+      let a_max =
+        match Shil.Natural.predicted_amplitude osc.nl ~r with
+        | Some a -> 1.6 *. a
+        | None -> 1.0
+      in
+      let fig =
+        Plotkit.Fig.add_hline
+          (Plotkit.Fig.add_fun
+             (Plotkit.Fig.create ~title:"T_f(A)" ~xlabel:"A (V)" ())
+             ~f:(fun a -> Shil.Describing_function.t_f_free osc.nl ~r ~a)
+             ~a:(1e-3 *. a_max) ~b:a_max)
+          ~y:1.0
+      in
+      Plotkit.Ascii_render.print fig
+    end
+  in
+  let term = Term.(const run $ osc_arg $ custom_args $ ascii_arg) in
+  Cmd.v (Cmd.info "natural" ~doc:"Predict natural oscillation amplitude (§II).") term
+
+(* ------------------------------------------------------------------ *)
+(* shil *)
+
+let shil_cmd =
+  let finj_arg =
+    Arg.(value & opt (some float) None
+         & info [ "finj" ] ~docv:"HZ"
+             ~doc:"Injection frequency; default n x f_c.")
+  in
+  let run choice custom n vi finj ascii =
+    let osc = resolve_oscillator choice custom in
+    let report = Shil.Analysis.run osc ~n ~vi in
+    Format.printf "%a@." Shil.Analysis.pp report;
+    (match finj with
+    | None -> ()
+    | Some f_inj ->
+      Format.printf "@.locks at f_inj = %.8g Hz:@." f_inj;
+      let sols = Shil.Analysis.locks_at report ~f_inj in
+      if sols = [] then Format.printf "  (none)@."
+      else
+        List.iter
+          (fun (p : Shil.Solutions.point) ->
+            Format.printf "  phi = %.5f rad, A = %.6g V (%s)@." p.phi p.a
+              (if p.stable then "stable" else "unstable");
+            if p.stable then
+              List.iter
+                (fun (psi, _) -> Format.printf "    state at psi = %.5f rad@." psi)
+                (Shil.Solutions.n_states p ~n))
+          sols);
+    if ascii then begin
+      let fig =
+        Plotkit.Fig.add_polylines
+          (Plotkit.Fig.add_polylines
+             (Plotkit.Fig.create ~title:"C_{T_f,1} (o) and phase curve (+)"
+                ~xlabel:"phi (rad)" ())
+             ~curves:(Shil.Grid.t_f_curve report.grid))
+          ~curves:(Shil.Grid.phase_curve report.grid ~phi_d:0.0)
+      in
+      Plotkit.Ascii_render.print fig
+    end
+  in
+  let term =
+    Term.(const run $ osc_arg $ custom_args $ n_arg $ vi_arg $ finj_arg $ ascii_arg)
+  in
+  Cmd.v
+    (Cmd.info "shil" ~doc:"Full SHIL analysis: locks, stability, states, lock range (§III).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* lockrange *)
+
+let lockrange_cmd =
+  let validate_arg =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Also binary-search the lock edges with transient simulation (slow).")
+  in
+  let run choice custom n vi validate =
+    let osc = resolve_oscillator choice custom in
+    let report = Shil.Analysis.run osc ~n ~vi in
+    Format.printf "%a@." Shil.Lock_range.pp report.lock_range;
+    if validate then begin
+      match choice with
+      | Tanh ->
+        let lr = report.lock_range in
+        let low =
+          Shil.Simulate.lock_edge osc.nl ~tank:osc.tank ~vi ~n
+            ~f_lo:(lr.f_inj_low -. (0.4 *. lr.delta_f_inj))
+            ~f_hi:(lr.f_inj_low +. (0.4 *. lr.delta_f_inj))
+            ~side:`Low
+        in
+        let high =
+          Shil.Simulate.lock_edge osc.nl ~tank:osc.tank ~vi ~n
+            ~f_lo:(lr.f_inj_high -. (0.4 *. lr.delta_f_inj))
+            ~f_hi:(lr.f_inj_high +. (0.4 *. lr.delta_f_inj))
+            ~side:`High
+        in
+        Format.printf "simulated band: [%.8g, %.8g] Hz (delta %.6g)@." low high
+          (high -. low)
+      | Diffpair | Tunnel ->
+        let bench =
+          match choice with
+          | Diffpair -> Experiments.Osc_experiments.diff_pair ()
+          | Tunnel | Tanh -> Experiments.Osc_experiments.tunnel ()
+        in
+        let cmp =
+          Circuits.Validate.lock_range
+            ~make_circuit:(fun ~f_inj -> bench.circuit_injected ~f_inj)
+            ~probe:bench.probe ~n:bench.n ~predicted:report.lock_range ()
+        in
+        Format.printf "%a@." Circuits.Validate.pp_lock cmp
+    end
+  in
+  let term =
+    Term.(const run $ osc_arg $ custom_args $ n_arg $ vi_arg $ validate_arg)
+  in
+  Cmd.v (Cmd.info "lockrange" ~doc:"Predict (and optionally validate) the SHIL lock range.") term
+
+(* ------------------------------------------------------------------ *)
+(* dcsweep *)
+
+let dcsweep_cmd =
+  let run choice =
+    let vs, is =
+      match choice with
+      | Diffpair -> Circuits.Diff_pair.extraction_fv Circuits.Diff_pair.default
+      | Tunnel -> Circuits.Tunnel_osc.extraction_fv Circuits.Tunnel_osc.default
+      | Tanh ->
+        Shil.Nonlinearity.sample
+          (Circuits.Tanh_osc.nonlinearity Circuits.Tanh_osc.default)
+          ~v_min:(-2.0) ~v_max:2.0 ~n:201
+    in
+    print_endline "v,i";
+    Array.iteri (fun k v -> Printf.printf "%.9g,%.9g\n" v is.(k)) vs
+  in
+  let term = Term.(const run $ osc_arg) in
+  Cmd.v
+    (Cmd.info "dcsweep" ~doc:"Extract and print the i = f(v) table (CSV on stdout).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* transient *)
+
+let transient_cmd =
+  let cycles_arg =
+    Arg.(value & opt float 200.0
+         & info [ "cycles" ] ~docv:"N" ~doc:"Simulated length in tank periods.")
+  in
+  let finj_arg =
+    Arg.(value & opt (some float) None
+         & info [ "finj" ] ~docv:"HZ" ~doc:"Add an injection tone at $(docv).")
+  in
+  let run choice n vi cycles finj ascii =
+    let circuit, probe, fc =
+      match choice with
+      | Tanh ->
+        let p = Circuits.Tanh_osc.default in
+        let injection =
+          Option.map
+            (fun f_inj ->
+              Spice.Wave.Sine
+                {
+                  offset = 0.0;
+                  ampl = 2.0 *. vi /. Shil.Tank.mag (Circuits.Tanh_osc.tank p)
+                                        ~omega:(2.0 *. Float.pi *. f_inj);
+                  freq = f_inj;
+                  phase = 0.0;
+                  delay = 0.0;
+                })
+            finj
+        in
+        ( Circuits.Tanh_osc.circuit ?injection p,
+          Spice.Transient.Node "t",
+          Shil.Tank.f_c (Circuits.Tanh_osc.tank p) )
+      | Diffpair ->
+        let p = Circuits.Diff_pair.default in
+        let injection =
+          Option.map (fun f_inj -> { Circuits.Diff_pair.vi; n; f_inj; phase = 0.0 }) finj
+        in
+        ( Circuits.Diff_pair.circuit ?injection p,
+          Circuits.Diff_pair.osc_probe,
+          Shil.Tank.f_c (Circuits.Diff_pair.tank p) )
+      | Tunnel ->
+        let p = Circuits.Tunnel_osc.default in
+        let injection =
+          Option.map (fun f_inj -> { Circuits.Tunnel_osc.vi; n; f_inj; phase = 0.0 }) finj
+        in
+        ( Circuits.Tunnel_osc.circuit ?injection p,
+          Circuits.Tunnel_osc.osc_probe,
+          Shil.Tank.f_c (Circuits.Tunnel_osc.tank p) )
+    in
+    let opts =
+      Spice.Transient.default_options
+        ~dt:(1.0 /. (fc *. 150.0))
+        ~t_stop:(cycles /. fc)
+    in
+    let res = Spice.Transient.run circuit ~probes:[ probe ] opts in
+    let values = Spice.Transient.signal res probe in
+    if ascii then begin
+      let s = Waveform.Signal.make ~times:res.times ~values in
+      let tail = Waveform.Signal.tail_fraction s 0.25 in
+      Format.printf "steady amplitude: %.6g V, frequency: %.8g Hz@."
+        (Waveform.Measure.amplitude tail)
+        (Waveform.Measure.frequency tail);
+      Plotkit.Ascii_render.print
+        (Plotkit.Fig.add_line
+           (Plotkit.Fig.create ~title:"transient (last 10 cycles)" ~xlabel:"t (s)" ())
+           ~xs:(Waveform.Signal.tail_fraction s (10.0 /. cycles)).times
+           ~ys:(Waveform.Signal.tail_fraction s (10.0 /. cycles)).values)
+    end
+    else begin
+      print_endline "t,v";
+      Array.iteri (fun k t -> Printf.printf "%.9g,%.9g\n" t values.(k)) res.times
+    end
+  in
+  let term =
+    Term.(const run $ osc_arg $ n_arg $ vi_arg $ cycles_arg $ finj_arg $ ascii_arg)
+  in
+  Cmd.v
+    (Cmd.info "transient" ~doc:"Device-level transient simulation (CSV or --ascii summary).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* harmonics *)
+
+let harmonics_cmd =
+  let kmax_arg =
+    Arg.(value & opt int 7 & info [ "kmax" ] ~docv:"K" ~doc:"Harmonics retained.")
+  in
+  let run choice custom k_max =
+    let osc = resolve_oscillator choice custom in
+    match Shil.Harmonic_balance.solve ~k_max osc.nl ~tank:osc.tank with
+    | exception Shil.Harmonic_balance.No_convergence msg ->
+      Format.eprintf "harmonic balance failed: %s@." msg;
+      exit 1
+    | hb ->
+      Format.printf "harmonic balance (K = %d):@." k_max;
+      Format.printf "  frequency: %.8g Hz (tank f_c %.8g Hz, shift %+.6g Hz)@."
+        (Shil.Harmonic_balance.frequency hb)
+        (Shil.Tank.f_c osc.tank)
+        (Shil.Harmonic_balance.frequency hb -. Shil.Tank.f_c osc.tank);
+      Format.printf "  fundamental amplitude: %.6g V@."
+        (Shil.Harmonic_balance.amplitude hb);
+      Format.printf "  THD: %.4g@." (Shil.Harmonic_balance.thd hb);
+      Array.iteri
+        (fun k v ->
+          if k >= 1 then
+            Format.printf "  |V_%d| = %.6g V, arg = %.4f rad@." k
+              (Numerics.Cx.abs v) (Numerics.Cx.arg v))
+        hb.coeffs
+  in
+  let term = Term.(const run $ osc_arg $ custom_args $ kmax_arg) in
+  Cmd.v
+    (Cmd.info "harmonics"
+       ~doc:"Multi-harmonic balance of the free-running oscillator (K = 1 is the paper's describing function).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* netlist *)
+
+let netlist_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"NETLIST" ~doc:"SPICE-like netlist file.")
+  in
+  let analysis_arg =
+    Arg.(value & opt string "op"
+         & info [ "analysis" ] ~docv:"KIND"
+             ~doc:"Analysis to run: op (default), tran or print.")
+  in
+  let tstop_arg =
+    Arg.(value & opt float 1e-3
+         & info [ "tstop" ] ~docv:"S" ~doc:"Transient stop time.")
+  in
+  let dt_arg =
+    Arg.(value & opt float 1e-6 & info [ "dt" ] ~docv:"S" ~doc:"Transient step.")
+  in
+  let probe_arg =
+    Arg.(value & opt_all string []
+         & info [ "probe" ] ~docv:"NODE" ~doc:"Node(s) to record in tran.")
+  in
+  let run file analysis tstop dt probes =
+    match Spice.Netlist.parse_file file with
+    | Error e ->
+      Format.eprintf "%s:%d: %s@." file e.line e.message;
+      exit 1
+    | Ok circuit -> begin
+      match analysis with
+      | "print" -> print_string (Spice.Netlist.to_string circuit)
+      | "op" ->
+        let op = Spice.Op.run circuit in
+        List.iter
+          (fun node ->
+            Format.printf "v(%s) = %.9g@." node (Spice.Op.voltage op node))
+          (Spice.Circuit.node_names circuit)
+      | "tran" ->
+        let probes =
+          match probes with
+          | [] -> List.map (fun n -> Spice.Transient.Node n) (Spice.Circuit.node_names circuit)
+          | ps -> List.map (fun n -> Spice.Transient.Node n) ps
+        in
+        let res =
+          Spice.Transient.run circuit ~probes
+            (Spice.Transient.default_options ~dt ~t_stop:tstop)
+        in
+        let headers =
+          List.map
+            (function Spice.Transient.Node n -> n | _ -> "?")
+            (List.map fst res.signals)
+        in
+        Printf.printf "t,%s\n" (String.concat "," headers);
+        Array.iteri
+          (fun k t ->
+            Printf.printf "%.9g" t;
+            List.iter
+              (fun (_, vs) -> Printf.printf ",%.9g" vs.(k))
+              res.signals;
+            print_newline ())
+          res.times
+      | other ->
+        Format.eprintf "unknown analysis %S@." other;
+        exit 1
+    end
+  in
+  let term =
+    Term.(const run $ file_arg $ analysis_arg $ tstop_arg $ dt_arg $ probe_arg)
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Parse a SPICE-like netlist and run op/tran on it.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* figures / experiments *)
+
+let figures_cmd =
+  let dir_arg =
+    Arg.(value & opt string "out/figures"
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run dir =
+    let show out =
+      let paths = Experiments.Output.write_figures ~dir out in
+      List.iter (Printf.printf "wrote %s\n%!") paths
+    in
+    let ts = Experiments.Tanh_experiments.default_setup in
+    show (Experiments.Tanh_experiments.fig3_natural ~validate:false ts);
+    show (Experiments.Tanh_experiments.fig6_tank ts);
+    show (Experiments.Tanh_experiments.fig7_solutions ts);
+    show (Experiments.Tanh_experiments.fig9_states ts);
+    show (Experiments.Tanh_experiments.fig10_lock_range ts);
+    let dp = Experiments.Osc_experiments.diff_pair () in
+    show (Experiments.Osc_experiments.fig_fv dp);
+    show (Experiments.Osc_experiments.fig_natural_prediction dp);
+    show (Experiments.Osc_experiments.fig_lock_range_curves dp);
+    let td = Experiments.Osc_experiments.tunnel () in
+    show (Experiments.Osc_experiments.fig_fv td);
+    show (Experiments.Osc_experiments.fig_natural_prediction td);
+    show (Experiments.Osc_experiments.fig_lock_range_curves td)
+  in
+  let term = Term.(const run $ dir_arg) in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures as SVG files.") term
+
+let experiments_cmd =
+  let fast_arg =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Skip the slow transient searches.")
+  in
+  let run fast =
+    let show out = Format.printf "%a@.@." Experiments.Output.print out in
+    let ts = Experiments.Tanh_experiments.default_setup in
+    show (Experiments.Tanh_experiments.fig3_natural ts);
+    show (Experiments.Tanh_experiments.fig6_tank ts);
+    show (Experiments.Tanh_experiments.fig7_solutions ts);
+    show (Experiments.Tanh_experiments.fig9_states ts);
+    show (Experiments.Tanh_experiments.fig10_lock_range ~validate:(not fast) ts);
+    let dp = Experiments.Osc_experiments.diff_pair () in
+    show (Experiments.Osc_experiments.fig_fv dp);
+    show (Experiments.Osc_experiments.fig_natural_prediction dp);
+    show (Experiments.Osc_experiments.fig_transient dp);
+    show (fst (Experiments.Osc_experiments.table_lock_range ~predict_only:fast dp));
+    let td = Experiments.Osc_experiments.tunnel () in
+    show (Experiments.Osc_experiments.fig_fv td);
+    show (Experiments.Osc_experiments.fig_natural_prediction td);
+    show (Experiments.Osc_experiments.fig_transient td);
+    show (fst (Experiments.Osc_experiments.table_lock_range ~predict_only:fast td))
+  in
+  let term = Term.(const run $ fast_arg) in
+  Cmd.v (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.") term
+
+let () =
+  let doc =
+    "Graphical describing-function analysis of sub-harmonic injection \
+     locking in LC oscillators (DAC 2014 reproduction)."
+  in
+  let info = Cmd.info "oshil" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
+            transient_cmd; netlist_cmd; figures_cmd; experiments_cmd;
+          ]))

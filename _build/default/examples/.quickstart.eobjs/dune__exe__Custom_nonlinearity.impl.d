@@ -1,0 +1,1 @@
+examples/custom_nonlinearity.ml: Float Format Plotkit Shil

@@ -1,0 +1,1 @@
+examples/diff_pair_shil.ml: Array Circuits Format Plotkit Shil Spice Waveform

@@ -1,0 +1,1 @@
+examples/diff_pair_shil.mli:

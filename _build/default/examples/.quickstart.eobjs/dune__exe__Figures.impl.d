@@ -1,0 +1,1 @@
+examples/figures.ml: Array Experiments List Printf Sys

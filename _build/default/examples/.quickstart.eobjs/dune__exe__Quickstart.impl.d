@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Format Shil

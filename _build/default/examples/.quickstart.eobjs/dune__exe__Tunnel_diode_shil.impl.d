@@ -1,0 +1,1 @@
+examples/tunnel_diode_shil.ml: Circuits Format List Shil

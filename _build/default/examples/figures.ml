@@ -1,0 +1,27 @@
+(* Regenerates every SVG figure of the reproduction into out/figures/
+   without the slow transient searches.
+
+   Run with:  dune exec examples/figures.exe [output-dir] *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "out/figures" in
+  let show out =
+    let paths = Experiments.Output.write_figures ~dir out in
+    List.iter (Printf.printf "wrote %s\n%!") paths
+  in
+  let ts = Experiments.Tanh_experiments.default_setup in
+  show (Experiments.Tanh_experiments.fig3_natural ~validate:false ts);
+  show (Experiments.Tanh_experiments.fig6_tank ts);
+  show (Experiments.Tanh_experiments.fig7_solutions ts);
+  show (Experiments.Tanh_experiments.fig9_states ts);
+  show (Experiments.Tanh_experiments.fig10_lock_range ts);
+  let dp = Experiments.Osc_experiments.diff_pair () in
+  show (Experiments.Osc_experiments.fig_fv dp);
+  show (Experiments.Osc_experiments.fig_natural_prediction dp);
+  show (Experiments.Osc_experiments.fig_transient ~cycles:120.0 dp);
+  show (Experiments.Osc_experiments.fig_lock_range_curves dp);
+  let td = Experiments.Osc_experiments.tunnel () in
+  show (Experiments.Osc_experiments.fig_fv td);
+  show (Experiments.Osc_experiments.fig_natural_prediction td);
+  show (Experiments.Osc_experiments.fig_transient ~cycles:120.0 td);
+  show (Experiments.Osc_experiments.fig_lock_range_curves td)

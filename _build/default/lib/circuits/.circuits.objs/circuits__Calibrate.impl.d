@@ -1,0 +1,1 @@
+lib/circuits/calibrate.ml: Float Numerics Shil

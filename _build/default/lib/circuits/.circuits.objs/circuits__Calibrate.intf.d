@@ -1,0 +1,1 @@
+lib/circuits/calibrate.mli: Shil

@@ -1,0 +1,1 @@
+lib/circuits/cmos_pair.mli: Shil Spice

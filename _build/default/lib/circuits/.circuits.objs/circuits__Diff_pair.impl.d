@@ -1,0 +1,1 @@
+lib/circuits/diff_pair.ml: Array Float Shil Spice

@@ -1,0 +1,1 @@
+lib/circuits/tanh_osc.ml: Float Shil Spice

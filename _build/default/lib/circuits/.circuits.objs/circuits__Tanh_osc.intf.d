@@ -1,0 +1,1 @@
+lib/circuits/tanh_osc.mli: Shil Spice

@@ -1,0 +1,1 @@
+lib/circuits/tunnel_osc.ml: Array Float Shil Spice

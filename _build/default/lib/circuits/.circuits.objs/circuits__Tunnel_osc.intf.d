@@ -1,0 +1,1 @@
+lib/circuits/tunnel_osc.mli: Shil Spice

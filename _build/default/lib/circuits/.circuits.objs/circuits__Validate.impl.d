@@ -1,0 +1,1 @@
+lib/circuits/validate.ml: Float Format List Numerics Shil Spice Waveform

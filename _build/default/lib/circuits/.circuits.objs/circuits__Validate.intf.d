@@ -1,0 +1,1 @@
+lib/circuits/validate.mli: Format Shil Spice

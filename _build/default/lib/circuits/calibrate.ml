@@ -1,0 +1,40 @@
+let r_for_amplitude ?(r_lo = 10.0) ?(r_hi = 1e6) ~nl ~target_a () =
+  (* scale the amplitude scan window to the target so large-R solutions
+     do not escape it *)
+  let a_min = 1e-4 *. target_a and a_max = 50.0 *. target_a in
+  let amp r =
+    match Shil.Natural.predicted_amplitude ~a_min ~a_max ~scan:800 nl ~r with
+    | Some a -> a
+    | None ->
+      (* loop gain still above 1 at the window top means the amplitude
+         escaped above a_max: report the window edge so the bisection
+         still sees a sign change *)
+      if Shil.Describing_function.t_f_free nl ~r ~a:a_max >= 1.0 then a_max
+      else 0.0
+  in
+  let g log_r = amp (exp log_r) -. target_a in
+  let a = log r_lo and b = log r_hi in
+  if g a *. g b > 0.0 then
+    failwith "Calibrate.r_for_amplitude: target amplitude not bracketed";
+  let log_r = Numerics.Roots.bisect ~tol:1e-9 ~f:g ~a ~b () in
+  exp log_r
+
+type tank_fit = { r : float; l : float; c : float; q : float; phi_d_max : float }
+
+let fit_tank ?points ~nl ~target_a ~f_c ~n ~vi ~target_delta_f_inj () =
+  let r = r_for_amplitude ~nl ~target_a () in
+  let grid =
+    Shil.Grid.sample ?points nl ~n ~r ~vi
+      ~a_range:(0.25 *. target_a, 1.3 *. target_a)
+      ()
+  in
+  let phi_d_max = Shil.Lock_range.phi_d_boundary ?points grid in
+  if phi_d_max <= 0.0 then failwith "Calibrate.fit_tank: no lock at phi_d = 0";
+  (* delta_f_osc = f_c tan(phi_d_max) / Q exactly (the band edges are the
+     two roots of Q (u - 1/u) = -+tan(phi_d_max), whose difference is
+     tan(phi_d_max)/Q in units of f_c) *)
+  let delta_f_osc = target_delta_f_inj /. float_of_int n in
+  let q = f_c *. tan phi_d_max /. delta_f_osc in
+  let z0 = r /. q in
+  let wc = 2.0 *. Float.pi *. f_c in
+  { r; l = z0 /. wc; c = 1.0 /. (z0 *. wc); q; phi_d_max }

@@ -1,0 +1,123 @@
+module Signal = Waveform.Signal
+
+type natural_cmp = {
+  predicted_a : float;
+  simulated_a : float;
+  predicted_f : float;
+  simulated_f : float;
+}
+
+let transient_signal ~circuit ~probe ~dt ~t_stop ~t_start =
+  let opts =
+    { (Spice.Transient.default_options ~dt ~t_stop) with t_start }
+  in
+  let res = Spice.Transient.run circuit ~probes:[ probe ] opts in
+  Signal.make ~times:res.times ~values:(Spice.Transient.signal res probe)
+
+let natural ?(cycles = 400.0) ?(steps_per_cycle = 120) ~circuit ~probe
+    ~(osc : Shil.Analysis.oscillator) () =
+  let fc = Shil.Tank.f_c osc.tank in
+  let r = (osc.tank : Shil.Tank.t).r in
+  let predicted_a =
+    match Shil.Natural.predicted_amplitude osc.nl ~r with
+    | Some a -> a
+    | None -> Float.nan
+  in
+  let dt = 1.0 /. (fc *. float_of_int steps_per_cycle) in
+  let t_stop = cycles /. fc in
+  let s = transient_signal ~circuit ~probe ~dt ~t_stop ~t_start:0.0 in
+  let tail = Signal.tail_fraction s 0.25 in
+  let mean = Signal.mean tail in
+  let centred = Signal.shift_values tail (-.mean) in
+  {
+    predicted_a;
+    simulated_a = Waveform.Measure.amplitude centred;
+    predicted_f = fc;
+    simulated_f = Waveform.Measure.frequency centred;
+  }
+
+type lock_cmp = {
+  predicted : Shil.Lock_range.t;
+  sim_f_low : float;
+  sim_f_high : float;
+  sim_delta : float;
+}
+
+let lock_range ?(cycles = 600.0) ?(steps_per_cycle = 180) ?(rel_tol = 2e-5)
+    ~make_circuit ~probe ~n ~(predicted : Shil.Lock_range.t) () =
+  let f_center = 0.5 *. (predicted.f_inj_low +. predicted.f_inj_high) in
+  let f_osc_center = f_center /. float_of_int n in
+  let dt = 1.0 /. (f_osc_center *. float_of_int steps_per_cycle) in
+  let t_stop = cycles /. f_osc_center in
+  let locked f_inj =
+    let s =
+      transient_signal ~circuit:(make_circuit ~f_inj) ~probe ~dt ~t_stop
+        ~t_start:0.0
+    in
+    let mean = Signal.mean s in
+    let s = Signal.shift_values s (-.mean) in
+    (Waveform.Lock.analyze s ~f_target:(f_inj /. float_of_int n)).locked
+  in
+  let tol = rel_tol *. f_center in
+  let delta = Float.max (predicted.delta_f_inj *. 0.5) (20.0 *. tol) in
+  let bisect ~f_guess ~side =
+    (* widen the bracket around the predicted edge until it straddles *)
+    let want_lo = match side with `Low -> false | `High -> true in
+    let rec widen lo hi k =
+      if k > 6 then failwith "Validate.lock_range: cannot bracket edge"
+      else begin
+        let lo_ok = locked lo = want_lo and hi_ok = locked hi <> want_lo in
+        match (lo_ok, hi_ok) with
+        | true, true -> (lo, hi)
+        | false, _ -> widen (lo -. delta) hi (k + 1)
+        | _, false -> widen lo (hi +. delta) (k + 1)
+      end
+    in
+    let lo, hi = widen (f_guess -. delta) (f_guess +. delta) 0 in
+    let lo = ref lo and hi = ref hi in
+    while !hi -. !lo > tol do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if locked mid = want_lo then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  in
+  let sim_f_low = bisect ~f_guess:predicted.f_inj_low ~side:`Low in
+  let sim_f_high = bisect ~f_guess:predicted.f_inj_high ~side:`High in
+  { predicted; sim_f_low; sim_f_high; sim_delta = sim_f_high -. sim_f_low }
+
+let lock_states ?(cycles = 900.0) ?(steps_per_cycle = 180) ~make_circuit
+    ~probe ~n ~f_inj ~pulse ~pulse_times () =
+  let f_osc = f_inj /. float_of_int n in
+  let dt = 1.0 /. (f_osc *. float_of_int steps_per_cycle) in
+  let t_stop = cycles /. f_osc in
+  let extra = List.map (fun at -> pulse ~at) pulse_times in
+  let s =
+    transient_signal ~circuit:(make_circuit ~extra) ~probe ~dt ~t_stop
+      ~t_start:0.0
+  in
+  let mean = Signal.mean s in
+  let s = Signal.shift_values s (-.mean) in
+  (* windows: from after each pulse (plus settle margin) to the next *)
+  let boundaries = 0.0 :: List.sort compare pulse_times in
+  let ends = List.tl boundaries @ [ t_stop ] in
+  List.map2
+    (fun t0 t1 ->
+      let settle = 0.35 *. (t1 -. t0) in
+      let w = Signal.slice s ~t_min:(t0 +. settle) ~t_max:t1 in
+      Numerics.Cx.arg (Waveform.Measure.fundamental w ~freq:f_osc))
+    boundaries ends
+
+let pp_natural ppf c =
+  Format.fprintf ppf
+    "natural: A pred %.4g V / sim %.4g V (%.2f%% err); f pred %.6g / sim %.6g"
+    c.predicted_a c.simulated_a
+    (100.0 *. Float.abs (c.simulated_a -. c.predicted_a) /. c.simulated_a)
+    c.predicted_f c.simulated_f
+
+let pp_lock ppf c =
+  Format.fprintf ppf
+    "@[<v>lock range (injection-referred):@,\
+     prediction: [%.8g, %.8g] Hz, delta %.6g Hz@,\
+     simulation: [%.8g, %.8g] Hz, delta %.6g Hz@]"
+    c.predicted.f_inj_low c.predicted.f_inj_high c.predicted.delta_f_inj
+    c.sim_f_low c.sim_f_high c.sim_delta

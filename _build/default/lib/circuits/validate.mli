@@ -1,0 +1,52 @@
+(** End-to-end validation drivers: the paper's §IV methodology.
+
+    Each function compares a describing-function prediction against a
+    brute-force MNA transient on the device-level netlist, returning a
+    comparison record ready for the experiment tables. *)
+
+type natural_cmp = {
+  predicted_a : float;
+  simulated_a : float;
+  predicted_f : float;  (** tank centre frequency *)
+  simulated_f : float;  (** zero-crossing frequency of the steady state *)
+}
+
+val natural :
+  ?cycles:float -> ?steps_per_cycle:int -> circuit:Spice.Circuit.t ->
+  probe:Spice.Transient.probe -> osc:Shil.Analysis.oscillator -> unit ->
+  natural_cmp
+(** Runs the free oscillator for [cycles] (default 400) tank periods at
+    [steps_per_cycle] (default 120) and measures the steady tail. *)
+
+type lock_cmp = {
+  predicted : Shil.Lock_range.t;
+  sim_f_low : float;
+  sim_f_high : float;
+  sim_delta : float;
+}
+
+val lock_range :
+  ?cycles:float -> ?steps_per_cycle:int -> ?rel_tol:float ->
+  make_circuit:(f_inj:float -> Spice.Circuit.t) ->
+  probe:Spice.Transient.probe -> n:int ->
+  predicted:Shil.Lock_range.t -> unit -> lock_cmp
+(** Binary search for both lock edges of the simulated oscillator,
+    bracketing around the predicted edges (the paper's "binary search ...
+    over different frequencies"). [cycles] (default 600) oscillator
+    periods per trial; [rel_tol] (default 2e-5) of the centre frequency
+    stops the bisection. *)
+
+val lock_states :
+  ?cycles:float -> ?steps_per_cycle:int ->
+  make_circuit:(extra:Spice.Device.t list -> Spice.Circuit.t) ->
+  probe:Spice.Transient.probe -> n:int -> f_inj:float ->
+  pulse:(at:float -> Spice.Device.t) -> pulse_times:float list -> unit ->
+  float list
+(** Runs the locked oscillator with state-flipping pulses at the given
+    times (Figs. 15/19) and returns the steady relative phase (rad,
+    against a [cos] reference at [f_inj / n]) measured in the window
+    after each pulse (including the initial pulse-free window) — [n]
+    distinct values spaced [2 pi / n] demonstrate the [n] states. *)
+
+val pp_natural : Format.formatter -> natural_cmp -> unit
+val pp_lock : Format.formatter -> lock_cmp -> unit

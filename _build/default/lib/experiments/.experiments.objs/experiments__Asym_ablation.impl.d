@@ -1,0 +1,1 @@
+lib/experiments/asym_ablation.ml: Float Output Ppv Printf Shil

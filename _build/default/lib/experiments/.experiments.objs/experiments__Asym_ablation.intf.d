@@ -1,0 +1,1 @@
+lib/experiments/asym_ablation.mli: Output Shil

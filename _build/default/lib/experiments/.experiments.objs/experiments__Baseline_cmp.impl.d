@@ -1,0 +1,1 @@
+lib/experiments/baseline_cmp.ml: List Output Ppv Printf Shil

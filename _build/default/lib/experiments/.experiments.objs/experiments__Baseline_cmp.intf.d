@@ -1,0 +1,1 @@
+lib/experiments/baseline_cmp.mli: Output Shil

@@ -1,0 +1,1 @@
+lib/experiments/cmos_experiment.ml: Circuits Output Printf Shil

@@ -1,0 +1,1 @@
+lib/experiments/fhil_experiment.ml: Circuits List Output Printf Shil

@@ -1,0 +1,1 @@
+lib/experiments/fhil_experiment.mli: Output

@@ -1,0 +1,1 @@
+lib/experiments/osc_experiments.ml: Array Circuits Float List Numerics Option Output Plotkit Printf Shil Spice

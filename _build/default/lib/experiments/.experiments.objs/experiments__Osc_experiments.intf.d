@@ -1,0 +1,1 @@
+lib/experiments/osc_experiments.mli: Circuits Output Shil Spice

@@ -1,0 +1,1 @@
+lib/experiments/output.ml: Filename Format List Plotkit Printf String

@@ -1,0 +1,1 @@
+lib/experiments/pulling_experiment.mli: Output

@@ -1,0 +1,1 @@
+lib/experiments/speedup.ml: Circuits Option Osc_experiments Output Printf Shil Unix

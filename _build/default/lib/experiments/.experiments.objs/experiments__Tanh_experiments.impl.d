@@ -1,0 +1,1 @@
+lib/experiments/tanh_experiments.ml: Array Circuits Float List Numerics Output Plotkit Printf Shil Waveform

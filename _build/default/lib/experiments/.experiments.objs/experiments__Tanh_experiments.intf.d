@@ -1,0 +1,1 @@
+lib/experiments/tanh_experiments.mli: Circuits Output

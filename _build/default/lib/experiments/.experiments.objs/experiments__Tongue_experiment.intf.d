@@ -1,0 +1,1 @@
+lib/experiments/tongue_experiment.mli: Output Shil

@@ -1,0 +1,81 @@
+let cell () : Shil.Analysis.oscillator =
+  let f v =
+    let core = (-.2e-3 *. v) +. (0.6e-3 *. v *. v *. v) in
+    let clip = if v > 0.8 then 5e-3 *. ((v -. 0.8) ** 2.0) else 0.0 in
+    core +. clip
+  in
+  let wc = 2.0 *. Float.pi *. 2e6 in
+  {
+    nl = Shil.Nonlinearity.make ~name:"asym_clip" f;
+    tank = Shil.Tank.make ~r:1.2e3 ~l:(150.0 /. wc) ~c:(1.0 /. (150.0 *. wc));
+  }
+
+let band (lr : Shil.Lock_range.t) =
+  Printf.sprintf "[%.8g, %.8g] Hz (delta %.6g, centre %.8g)" lr.f_inj_low
+    lr.f_inj_high lr.delta_f_inj
+    (0.5 *. (lr.f_inj_low +. lr.f_inj_high))
+
+let run ?(simulate = false) ?(self_consistent = true) () =
+  let osc = cell () in
+  let n = 2 and vi = 0.06 in
+  let report = Shil.Analysis.run osc ~n ~vi in
+  let plain = report.lock_range in
+  let f0 = Ppv.Refined.free_running_frequency osc.nl ~tank:osc.tank in
+  let recentred = Ppv.Refined.recenter plain ~f0 ~tank:osc.tank in
+  let hb = Shil.Harmonic_balance.solve ~k_max:9 osc.nl ~tank:osc.tank in
+  let rows =
+    [
+      Output.row_f "tank f_c (Hz)" (Shil.Tank.f_c osc.tank);
+      Output.row_f "orbit f_0 (Hz)" f0;
+      Output.row_f "harmonic-balance f_0 (Hz)" (Shil.Harmonic_balance.frequency hb);
+      Output.row_f "harmonic-balance THD" (Shil.Harmonic_balance.thd hb);
+      ("plain prediction", band plain);
+      ("orbit-recentred", band recentred);
+    ]
+  in
+  let rows =
+    if self_consistent then begin
+      let sc =
+        Shil.Self_consistent.lock_range ~points:256 ~tol:1e-3 osc.nl
+          ~tank:osc.tank ~n ~vi
+      in
+      rows @ [ ("self-consistent harmonic", band sc) ]
+    end
+    else rows
+  in
+  let rows =
+    if simulate then begin
+      let low =
+        Shil.Simulate.lock_edge ~cycles:900.0 osc.nl ~tank:osc.tank ~vi ~n
+          ~f_lo:(recentred.f_inj_low -. 15e3)
+          ~f_hi:(recentred.f_inj_low +. 15e3)
+          ~side:`Low
+      in
+      let high =
+        Shil.Simulate.lock_edge ~cycles:900.0 osc.nl ~tank:osc.tank ~vi ~n
+          ~f_lo:(recentred.f_inj_high -. 15e3)
+          ~f_hi:(recentred.f_inj_high +. 15e3)
+          ~side:`High
+      in
+      rows
+      @ [
+          ( "simulated (ODE truth)",
+            Printf.sprintf "[%.8g, %.8g] Hz (delta %.6g, centre %.8g)" low high
+              (high -. low)
+              (0.5 *. (low +. high)) );
+        ]
+    end
+    else rows
+  in
+  Output.make ~id:"A2"
+    ~title:
+      "ablation: filtering assumption on an asymmetric cell (n = 2, Vi = 0.06)"
+    ~rows:
+      (rows
+      @ [
+          ( "reading",
+            "the plain band is offset by the free-running detuning the \
+             paper's method neglects; orbit recentring recovers it, the \
+             self-consistent harmonic accounts for part of it" );
+        ])
+    ()

@@ -1,0 +1,20 @@
+(** Ablation A2 (beyond the paper): the filtering assumption on an
+    asymmetric nonlinearity.
+
+    The paper's examples are odd-symmetric, so the oscillator's own
+    n-th-harmonic current barely perturbs the analysis. An asymmetric
+    cell at n = 2 breaks that: the plain prediction's band is offset.
+    This experiment compares, on a clipped asymmetric cell,
+
+    - the plain graphical prediction (the paper's method),
+    - the self-consistent-harmonic extension ({!Shil.Self_consistent}),
+    - the orbit-recentred prediction ({!Ppv.Refined}),
+    - brute-force time-domain lock edges (when [simulate]). *)
+
+val cell : unit -> Shil.Analysis.oscillator
+(** The asymmetric demonstration cell (van der Pol core + one-sided
+    clipping diode), 2 MHz tank. *)
+
+val run : ?simulate:bool -> ?self_consistent:bool -> unit -> Output.t
+(** [simulate] (default false) adds the ODE edge searches; the
+    self-consistent solve (default true) costs ~2 min. *)

@@ -1,0 +1,9 @@
+(** Extension experiment X1: the paper's flow on a modern 2.4 GHz CMOS
+    cross-coupled VCO (the topology §I motivates but §IV does not
+    evaluate). Extraction, natural-oscillation validation against the
+    device-level transient, 3rd-SHIL lock range, and a time-domain lock
+    spot check. *)
+
+val run : ?validate:bool -> unit -> Output.t
+(** [validate] (default true) runs the device-level transient and the
+    reduced-model lock checks. *)

@@ -1,0 +1,36 @@
+let run ?(vis = [ 0.01; 0.05; 0.1; 0.2 ]) () =
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  let r = (osc.tank : Shil.Tank.t).r in
+  let a_nat =
+    match Shil.Natural.predicted_amplitude osc.nl ~r with
+    | Some a -> a
+    | None -> failwith "Fhil_experiment: no oscillation"
+  in
+  let rows =
+    List.map
+      (fun vi ->
+        let grid =
+          Shil.Fhil.grid osc.nl ~r ~vi
+            ~a_range:(0.25 *. a_nat, 1.5 *. a_nat)
+        in
+        let lr = Shil.Lock_range.predict grid ~tank:osc.tank in
+        let f_lo, f_hi = Shil.Fhil.adler_range ~tank:osc.tank ~a:a_nat ~vi in
+        let adler = f_hi -. f_lo in
+        ( Printf.sprintf "Vi = %.3g" vi,
+          Printf.sprintf "rigorous %.6g Hz | Adler %.6g Hz (%+.2f%%)"
+            lr.delta_f_inj adler
+            (100.0 *. (adler -. lr.delta_f_inj) /. lr.delta_f_inj) ))
+      vis
+  in
+  Output.make ~id:"A3"
+    ~title:"ablation: FHIL (n = 1) rigorous vs Adler's formula"
+    ~rows:
+      (rows
+      @ [
+          ( "reading",
+            "the generic SHIL machinery at n = 1 reduces to the classical \
+             FHIL picture; Adler's first-order formula agrees for weak \
+             injection and drifts for strong injection" );
+        ])
+    ()

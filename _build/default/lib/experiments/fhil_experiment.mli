@@ -1,0 +1,11 @@
+(** Ablation A3: fundamental-harmonic injection locking (n = 1, §III-B).
+
+    The SHIL machinery subsumes FHIL as its n = 1 special case; Adler's
+    classical formula is the textbook baseline. The rigorous lock range
+    must approach Adler for weak injection and depart as the injection
+    grows (Adler assumes a fixed amplitude and a sinusoidal phase
+    characteristic). *)
+
+val run : ?vis:float list -> unit -> Output.t
+(** Sweeps injection strengths (default [0.01; 0.05; 0.1; 0.2] on the
+    tanh oscillator) comparing the rigorous n = 1 range with Adler's. *)

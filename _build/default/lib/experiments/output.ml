@@ -1,0 +1,28 @@
+type t = {
+  id : string;
+  title : string;
+  rows : (string * string) list;
+  figures : (string * Plotkit.Fig.t) list;
+}
+
+let make ~id ~title ?(rows = []) ?(figures = []) () = { id; title; rows; figures }
+let row_f key v = (key, Printf.sprintf "%.8g" v)
+
+let print ppf t =
+  let open Format in
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 t.rows
+  in
+  fprintf ppf "@[<v>=== [%s] %s@," t.id t.title;
+  List.iter
+    (fun (k, v) -> fprintf ppf "  %-*s  %s@," width k v)
+    t.rows;
+  fprintf ppf "@]"
+
+let write_figures ~dir t =
+  List.map
+    (fun (stem, fig) ->
+      let path = Filename.concat dir (Printf.sprintf "%s_%s.svg" t.id stem) in
+      Plotkit.Svg_render.write_file ~path fig;
+      path)
+    t.figures

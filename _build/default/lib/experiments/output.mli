@@ -1,0 +1,22 @@
+(** Common output container for reproduced experiments: key/value rows for
+    the terminal tables and named figures for the SVG writer. *)
+
+type t = {
+  id : string;  (** paper item, e.g. "F3" or "T1" *)
+  title : string;
+  rows : (string * string) list;  (** printable findings, in order *)
+  figures : (string * Plotkit.Fig.t) list;  (** file stem -> figure *)
+}
+
+val make :
+  id:string -> title:string -> ?rows:(string * string) list ->
+  ?figures:(string * Plotkit.Fig.t) list -> unit -> t
+
+val row_f : string -> float -> string * string
+(** Formats a float with 8 significant digits. *)
+
+val print : Format.formatter -> t -> unit
+(** Banner, then one aligned [key: value] line per row. *)
+
+val write_figures : dir:string -> t -> string list
+(** Writes each figure as [dir/<id>_<stem>.svg]; returns the paths. *)

@@ -1,0 +1,13 @@
+(** Extension experiment X2: injection pulling outside the lock range.
+
+    Sweeps the injection frequency beyond the predicted band edge and
+    compares the measured phase-slip (beat) frequency of the pulled
+    oscillator against the Adler-type prediction
+    [sqrt (delta^2 - w_L^2)] fed with the rigorous lock range — turning
+    the paper's lock-range analysis into a quantitative quasi-lock
+    prediction. *)
+
+val run : ?fracs:float list -> ?simulate:bool -> unit -> Output.t
+(** [fracs] are offsets beyond the upper band edge in units of the lock
+    range (default [0.25; 0.5; 1.0; 2.0]); [simulate] (default true)
+    adds the measured beats. *)

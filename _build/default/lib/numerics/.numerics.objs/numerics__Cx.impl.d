@@ -1,0 +1,1 @@
+lib/numerics/cx.ml: Complex Float Format

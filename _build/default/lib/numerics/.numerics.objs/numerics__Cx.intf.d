@@ -1,0 +1,1 @@
+lib/numerics/cx.mli: Complex Format

@@ -1,0 +1,1 @@
+lib/numerics/fft.mli: Cx

@@ -1,0 +1,1 @@
+lib/numerics/fourier.ml: Array Cx Float

@@ -1,0 +1,1 @@
+lib/numerics/linalg.ml: Array Cx Float Fun List

@@ -1,0 +1,1 @@
+lib/numerics/ode.ml: Array Float List

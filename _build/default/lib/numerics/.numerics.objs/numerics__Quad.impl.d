@@ -1,0 +1,1 @@
+lib/numerics/quad.ml: Array Float

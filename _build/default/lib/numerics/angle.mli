@@ -1,0 +1,28 @@
+(** Angle arithmetic: wrapping, unwrapping and conversions.
+
+    All angles are in radians unless a function name says otherwise. *)
+
+val pi : float
+val two_pi : float
+
+val wrap_pi : float -> float
+(** [wrap_pi a] maps [a] into [(-pi, pi]]. *)
+
+val wrap_two_pi : float -> float
+(** [wrap_two_pi a] maps [a] into [[0, 2*pi)]. *)
+
+val unwrap : float array -> float array
+(** [unwrap a] removes jumps larger than [pi] between consecutive samples by
+    adding multiples of [2*pi], as MATLAB's [unwrap]. The input is not
+    modified. *)
+
+val dist : float -> float -> float
+(** [dist a b] is the absolute angular distance between [a] and [b], wrapped
+    into [[0, pi]]. *)
+
+val deg_of_rad : float -> float
+val rad_of_deg : float -> float
+
+val approx_equal : ?tol:float -> float -> float -> bool
+(** [approx_equal a b] is true when the wrapped distance between the two
+    angles is below [tol] (default [1e-9]). *)

@@ -1,0 +1,106 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  assert (n >= 1);
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* In-place iterative radix-2 Cooley-Tukey; [sign] = -1 forward, +1 inverse
+   (without the 1/N factor). *)
+let radix2_inplace sign (re : float array) (im : float array) =
+  let n = Array.length re in
+  (* bit reversal permutation *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = !i to !i + half - 1 do
+        let k2 = k + half in
+        let tr = (!cr *. re.(k2)) -. (!ci *. im.(k2)) in
+        let ti = (!cr *. im.(k2)) +. (!ci *. re.(k2)) in
+        re.(k2) <- re.(k) -. tr;
+        im.(k2) <- im.(k) -. ti;
+        re.(k) <- re.(k) +. tr;
+        im.(k) <- im.(k) +. ti;
+        let ncr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := ncr
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let of_arrays re im = Array.init (Array.length re) (fun k -> Cx.make re.(k) im.(k))
+
+let radix2 sign x =
+  let re = Array.map Cx.re x and im = Array.map Cx.im x in
+  radix2_inplace sign re im;
+  of_arrays re im
+
+(* Bluestein chirp-z: express an arbitrary-length DFT as a convolution,
+   evaluated with power-of-two FFTs. *)
+let bluestein sign x =
+  let n = Array.length x in
+  let m = next_power_of_two ((2 * n) + 1) in
+  let chirp =
+    Array.init n (fun k ->
+        let angle =
+          sign *. Float.pi *. float_of_int k *. float_of_int k /. float_of_int n
+        in
+        Cx.exp_j angle)
+  in
+  let a = Array.make m Cx.zero in
+  for k = 0 to n - 1 do
+    a.(k) <- Cx.mul x.(k) chirp.(k)
+  done;
+  let b = Array.make m Cx.zero in
+  b.(0) <- Cx.conj chirp.(0);
+  for k = 1 to n - 1 do
+    let v = Cx.conj chirp.(k) in
+    b.(k) <- v;
+    b.(m - k) <- v
+  done;
+  let fa = radix2 (-1.0) a and fb = radix2 (-1.0) b in
+  let prod = Array.init m (fun k -> Cx.mul fa.(k) fb.(k)) in
+  let conv = radix2 1.0 prod in
+  Array.init n (fun k ->
+      Cx.mul (Cx.scale (1.0 /. float_of_int m) conv.(k)) chirp.(k))
+
+let transform sign x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else if n = 1 then [| x.(0) |]
+  else if is_power_of_two n then radix2 sign x
+  else bluestein sign x
+
+let dft x = transform (-1.0) x
+
+let idft x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else Array.map (Cx.scale (1.0 /. float_of_int n)) (transform 1.0 x)
+
+let rdft x = dft (Array.map Cx.of_float x)
+let magnitudes x = Array.map Cx.abs x

@@ -1,0 +1,19 @@
+(** Discrete Fourier transforms.
+
+    Radix-2 Cooley–Tukey for power-of-two lengths, Bluestein's chirp-z
+    algorithm for everything else, so {!dft} accepts any length. Forward
+    transform convention: [X[k] = sum_n x[n] exp(-2 pi j k n / N)] (no
+    normalisation); {!idft} divides by [N]. *)
+
+val dft : Cx.t array -> Cx.t array
+val idft : Cx.t array -> Cx.t array
+
+val rdft : float array -> Cx.t array
+(** [rdft x] is [dft] of the real signal [x] (full spectrum, length [n]). *)
+
+val magnitudes : Cx.t array -> float array
+
+val is_power_of_two : int -> bool
+
+val next_power_of_two : int -> int
+(** Smallest power of two [>= n] (for [n >= 1]). *)

@@ -1,0 +1,63 @@
+let two_pi = 2.0 *. Float.pi
+
+let coeffs ?(n = 1024) ~f ~kmax () =
+  assert (n >= 1 && kmax >= 0);
+  let samples = Array.init n (fun s -> f (two_pi *. float_of_int s /. float_of_int n)) in
+  Array.init (kmax + 1) (fun k ->
+      let re = ref 0.0 and im = ref 0.0 in
+      for s = 0 to n - 1 do
+        let theta = two_pi *. float_of_int (k * s) /. float_of_int n in
+        re := !re +. (samples.(s) *. cos theta);
+        im := !im -. (samples.(s) *. sin theta)
+      done;
+      Cx.make (!re /. float_of_int n) (!im /. float_of_int n))
+
+let coeff ?(n = 1024) ~f ~k () =
+  assert (n >= 1);
+  let re = ref 0.0 and im = ref 0.0 in
+  for s = 0 to n - 1 do
+    let phase = two_pi *. float_of_int s /. float_of_int n in
+    let v = f phase in
+    let theta = float_of_int k *. phase in
+    re := !re +. (v *. cos theta);
+    im := !im -. (v *. sin theta)
+  done;
+  Cx.make (!re /. float_of_int n) (!im /. float_of_int n)
+
+let coeff_sampled x ~k =
+  let n = Array.length x in
+  assert (n >= 1);
+  let re = ref 0.0 and im = ref 0.0 in
+  for s = 0 to n - 1 do
+    let theta = two_pi *. float_of_int (k * s) /. float_of_int n in
+    re := !re +. (x.(s) *. cos theta);
+    im := !im -. (x.(s) *. sin theta)
+  done;
+  Cx.make (!re /. float_of_int n) (!im /. float_of_int n)
+
+let of_time_series ~t ~x ~freq ~k =
+  let n = Array.length t in
+  assert (n = Array.length x && n >= 2);
+  let w = two_pi *. freq *. float_of_int k in
+  let g i =
+    let theta = w *. t.(i) in
+    Cx.scale x.(i) (Cx.exp_j (-.theta))
+  in
+  let acc = ref Cx.zero in
+  for i = 0 to n - 2 do
+    let dt = t.(i + 1) -. t.(i) in
+    acc := Cx.add !acc (Cx.scale (0.5 *. dt) (Cx.add (g i) (g (i + 1))))
+  done;
+  let span = t.(n - 1) -. t.(0) in
+  Cx.scale (1.0 /. span) !acc
+
+let reconstruct cs ~theta =
+  let n = Array.length cs in
+  if n = 0 then 0.0
+  else begin
+    let s = ref (Cx.re cs.(0)) in
+    for k = 1 to n - 1 do
+      s := !s +. (2.0 *. Cx.re (Cx.mul cs.(k) (Cx.exp_j (float_of_int k *. theta))))
+    done;
+    !s
+  end

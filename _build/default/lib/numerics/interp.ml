@@ -1,0 +1,179 @@
+(* Each interval [x_i, x_{i+1}) carries cubic coefficients (a, b, c, d) so
+   that y(x) = a + b dx + c dx^2 + d dx^3 with dx = x - x_i. All three
+   interpolant kinds reduce to this representation. *)
+
+type t = {
+  xs : float array;
+  ys : float array;
+  coeffs : (float * float * float * float) array; (* per interval *)
+  x_shift : float;
+}
+
+let check_knots xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Interp: xs/ys length mismatch";
+  if n < 2 then invalid_arg "Interp: need at least two knots";
+  for i = 0 to n - 2 do
+    if not (xs.(i) < xs.(i + 1)) then
+      invalid_arg "Interp: abscissae must be strictly increasing"
+  done
+
+let linear ~xs ~ys =
+  check_knots xs ys;
+  let n = Array.length xs in
+  let coeffs =
+    Array.init (n - 1) (fun i ->
+        let slope = (ys.(i + 1) -. ys.(i)) /. (xs.(i + 1) -. xs.(i)) in
+        (ys.(i), slope, 0.0, 0.0))
+  in
+  { xs = Array.copy xs; ys = Array.copy ys; coeffs; x_shift = 0.0 }
+
+(* Natural cubic spline: solve the tridiagonal system for second
+   derivatives, then convert to per-interval cubics. *)
+let cubic_spline ~xs ~ys =
+  check_knots xs ys;
+  let n = Array.length xs in
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  let m = Array.make n 0.0 in
+  if n > 2 then begin
+    let sub = Array.make n 0.0
+    and diag = Array.make n 0.0
+    and sup = Array.make n 0.0
+    and rhs = Array.make n 0.0 in
+    for i = 1 to n - 2 do
+      sub.(i) <- h.(i - 1);
+      diag.(i) <- 2.0 *. (h.(i - 1) +. h.(i));
+      sup.(i) <- h.(i);
+      rhs.(i) <-
+        6.0
+        *. (((ys.(i + 1) -. ys.(i)) /. h.(i))
+            -. ((ys.(i) -. ys.(i - 1)) /. h.(i - 1)))
+    done;
+    (* Thomas algorithm on rows 1..n-2 (natural ends: m.(0)=m.(n-1)=0) *)
+    for i = 2 to n - 2 do
+      let w = sub.(i) /. diag.(i - 1) in
+      diag.(i) <- diag.(i) -. (w *. sup.(i - 1));
+      rhs.(i) <- rhs.(i) -. (w *. rhs.(i - 1))
+    done;
+    m.(n - 2) <- rhs.(n - 2) /. diag.(n - 2);
+    for i = n - 3 downto 1 do
+      m.(i) <- (rhs.(i) -. (sup.(i) *. m.(i + 1))) /. diag.(i)
+    done
+  end;
+  let coeffs =
+    Array.init (n - 1) (fun i ->
+        let a = ys.(i) in
+        let c = m.(i) /. 2.0 in
+        let d = (m.(i + 1) -. m.(i)) /. (6.0 *. h.(i)) in
+        let b =
+          ((ys.(i + 1) -. ys.(i)) /. h.(i))
+          -. (h.(i) *. ((2.0 *. m.(i)) +. m.(i + 1)) /. 6.0)
+        in
+        (a, b, c, d))
+  in
+  { xs = Array.copy xs; ys = Array.copy ys; coeffs; x_shift = 0.0 }
+
+(* Fritsch-Carlson monotone Hermite slopes. *)
+let pchip_slopes xs ys =
+  let n = Array.length xs in
+  let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+  let delta = Array.init (n - 1) (fun i -> (ys.(i + 1) -. ys.(i)) /. h.(i)) in
+  let m = Array.make n 0.0 in
+  if n = 2 then begin
+    m.(0) <- delta.(0);
+    m.(1) <- delta.(0)
+  end
+  else begin
+    for i = 1 to n - 2 do
+      if delta.(i - 1) *. delta.(i) <= 0.0 then m.(i) <- 0.0
+      else begin
+        let w1 = (2.0 *. h.(i)) +. h.(i - 1) in
+        let w2 = h.(i) +. (2.0 *. h.(i - 1)) in
+        m.(i) <- (w1 +. w2) /. ((w1 /. delta.(i - 1)) +. (w2 /. delta.(i)))
+      end
+    done;
+    (* one-sided three-point endpoint slopes, clamped for shape *)
+    let endpoint h0 h1 d0 d1 =
+      let m0 = (((2.0 *. h0) +. h1) *. d0 -. (h0 *. d1)) /. (h0 +. h1) in
+      if m0 *. d0 <= 0.0 then 0.0
+      else if d0 *. d1 <= 0.0 && Float.abs m0 > 3.0 *. Float.abs d0 then
+        3.0 *. d0
+      else m0
+    in
+    m.(0) <- endpoint h.(0) h.(1) delta.(0) delta.(1);
+    m.(n - 1) <- endpoint h.(n - 2) h.(n - 3) delta.(n - 2) delta.(n - 3)
+  end;
+  m
+
+let pchip ~xs ~ys =
+  check_knots xs ys;
+  let n = Array.length xs in
+  let m = pchip_slopes xs ys in
+  let coeffs =
+    Array.init (n - 1) (fun i ->
+        let h = xs.(i + 1) -. xs.(i) in
+        let delta = (ys.(i + 1) -. ys.(i)) /. h in
+        let a = ys.(i) and b = m.(i) in
+        let c = ((3.0 *. delta) -. (2.0 *. m.(i)) -. m.(i + 1)) /. h in
+        let d = (m.(i) +. m.(i + 1) -. (2.0 *. delta)) /. (h *. h) in
+        (a, b, c, d))
+  in
+  { xs = Array.copy xs; ys = Array.copy ys; coeffs; x_shift = 0.0 }
+
+let interval t x =
+  (* binary search: largest i with xs.(i) <= x, clamped to a valid interval *)
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let x = x +. t.x_shift in
+  let i = interval t x in
+  let a, b, c, d = t.coeffs.(i) in
+  let n = Array.length t.xs in
+  if x < t.xs.(0) then
+    (* linear extrapolation with the left boundary slope *)
+    t.ys.(0) +. (b *. (x -. t.xs.(0)))
+  else if x > t.xs.(n - 1) then begin
+    let _, b, c, d = t.coeffs.(n - 2) in
+    let h = t.xs.(n - 1) -. t.xs.(n - 2) in
+    let slope_end = b +. (2.0 *. c *. h) +. (3.0 *. d *. h *. h) in
+    t.ys.(n - 1) +. (slope_end *. (x -. t.xs.(n - 1)))
+  end
+  else begin
+    let dx = x -. t.xs.(i) in
+    a +. (dx *. (b +. (dx *. (c +. (dx *. d)))))
+  end
+
+let eval_deriv t x =
+  let x = x +. t.x_shift in
+  let n = Array.length t.xs in
+  if x < t.xs.(0) then
+    let _, b, _, _ = t.coeffs.(0) in
+    b
+  else if x > t.xs.(n - 1) then begin
+    let _, b, c, d = t.coeffs.(n - 2) in
+    let h = t.xs.(n - 1) -. t.xs.(n - 2) in
+    b +. (2.0 *. c *. h) +. (3.0 *. d *. h *. h)
+  end
+  else begin
+    let i = interval t x in
+    let _, b, c, d = t.coeffs.(i) in
+    let dx = x -. t.xs.(i) in
+    b +. (dx *. ((2.0 *. c) +. (dx *. 3.0 *. d)))
+  end
+
+let domain t = (t.xs.(0) -. t.x_shift, t.xs.(Array.length t.xs - 1) -. t.x_shift)
+
+let knots t =
+  Array.init (Array.length t.xs) (fun i -> (t.xs.(i) -. t.x_shift, t.ys.(i)))
+
+let shift_x t dx = { t with x_shift = t.x_shift +. dx }

@@ -1,0 +1,52 @@
+(** Small dense linear algebra: the workhorse of the MNA circuit solver.
+
+    Matrices are dense [float array array] in row-major layout; all
+    operations allocate fresh results unless documented otherwise. Sizes are
+    the handful-of-nodes systems that lumped circuits produce, so no blocking
+    or pivot-growth heroics are attempted beyond partial pivoting. *)
+
+type mat = float array array
+
+val create : int -> int -> mat
+(** [create rows cols] is a zero matrix. *)
+
+val identity : int -> mat
+val copy : mat -> mat
+val dims : mat -> int * int
+
+val mat_vec : mat -> float array -> float array
+val mat_mul : mat -> mat -> mat
+val transpose : mat -> mat
+
+val vec_add : float array -> float array -> float array
+val vec_sub : float array -> float array -> float array
+val vec_scale : float -> float array -> float array
+val dot : float array -> float array -> float
+val norm_inf : float array -> float
+val norm2 : float array -> float
+
+exception Singular
+(** Raised by factorisations and solvers when a pivot underflows. *)
+
+type lu
+(** A packed LU factorisation with partial pivoting. *)
+
+val lu_factor : mat -> lu
+(** [lu_factor a] factorises a copy of [a]. Raises {!Singular} if a pivot
+    magnitude falls below [1e-300]. *)
+
+val lu_solve : lu -> float array -> float array
+val lu_det : lu -> float
+
+val solve : mat -> float array -> float array
+(** [solve a b] solves [a x = b] by LU with partial pivoting. *)
+
+val solve_many : mat -> float array list -> float array list
+(** Solves against several right-hand sides with a single factorisation. *)
+
+val solve_complex : Cx.t array array -> Cx.t array -> Cx.t array
+(** Complex Gaussian elimination with partial pivoting (by modulus); used by
+    small-signal AC analysis. *)
+
+val residual : mat -> float array -> float array -> float
+(** [residual a x b] is [||a x - b||_inf]. *)

@@ -1,0 +1,35 @@
+(** Initial-value ODE solvers for systems [dy/dt = f t y].
+
+    Used for the reduced (nonlinearity + tank) oscillator model and for the
+    PPV baseline: orbit finding, monodromy and adjoint integration. *)
+
+type system = float -> float array -> float array
+(** [f t y] returns [dy/dt]; must not retain or mutate [y]. *)
+
+val rk4_step : system -> t:float -> dt:float -> float array -> float array
+(** One classical Runge–Kutta 4 step. *)
+
+val rk4 :
+  system -> t0:float -> t1:float -> dt:float -> y0:float array ->
+  (float array * float array array)
+(** [rk4 f ~t0 ~t1 ~dt ~y0] integrates with fixed step (the last step is
+    shortened to land on [t1]) and returns [(times, states)] including both
+    endpoints. *)
+
+val rk4_final : system -> t0:float -> t1:float -> dt:float -> y0:float array -> float array
+(** As {!rk4} but returns only the final state (no trajectory storage). *)
+
+type dopri_stats = { steps : int; rejected : int }
+
+val dopri5 :
+  ?rtol:float -> ?atol:float -> ?dt0:float -> ?max_steps:int ->
+  system -> t0:float -> t1:float -> y0:float array ->
+  (float array * float array array * dopri_stats)
+(** Adaptive Dormand–Prince 5(4) with PI step control. Returns the accepted
+    mesh, states, and step statistics. Raises [Failure] if [max_steps]
+    (default [2_000_000]) is exceeded. *)
+
+val sample :
+  times:float array -> states:float array array -> component:int ->
+  float array
+(** Extracts one state component across a trajectory. *)

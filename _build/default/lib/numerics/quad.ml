@@ -1,0 +1,68 @@
+let trapezoid ~f ~a ~b ~n =
+  assert (n >= 1);
+  let h = (b -. a) /. float_of_int n in
+  let s = ref (0.5 *. (f a +. f b)) in
+  for k = 1 to n - 1 do
+    s := !s +. f (a +. (float_of_int k *. h))
+  done;
+  !s *. h
+
+let simpson ~f ~a ~b ~n =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  let h = (b -. a) /. float_of_int n in
+  let s = ref (f a +. f b) in
+  for k = 1 to n - 1 do
+    let w = if k mod 2 = 1 then 4.0 else 2.0 in
+    s := !s +. (w *. f (a +. (float_of_int k *. h)))
+  done;
+  !s *. h /. 3.0
+
+let periodic ~f ~period ~n =
+  assert (n >= 1);
+  let h = period /. float_of_int n in
+  let s = ref 0.0 in
+  for k = 0 to n - 1 do
+    s := !s +. f (float_of_int k *. h)
+  done;
+  !s *. h
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 50) ~f ~a ~b () =
+  let simpson_3 a fa b fb =
+    let m = 0.5 *. (a +. b) in
+    let fm = f m in
+    (m, fm, (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb))
+  in
+  let rec go a fa b fb m fm whole tol depth =
+    let lm, flm, left = simpson_3 a fa m fm in
+    let rm, frm, right = simpson_3 m fm b fb in
+    let delta = left +. right -. whole in
+    if depth >= max_depth || Float.abs delta <= 15.0 *. tol then
+      left +. right +. (delta /. 15.0)
+    else
+      go a fa m fm lm flm left (tol /. 2.0) (depth + 1)
+      +. go m fm b fb rm frm right (tol /. 2.0) (depth + 1)
+  in
+  let fa = f a and fb = f b in
+  let m, fm, whole = simpson_3 a fa b fb in
+  go a fa b fb m fm whole tol 0
+
+let romberg ?(levels = 12) ~f ~a ~b () =
+  let r = Array.make_matrix (levels + 1) (levels + 1) 0.0 in
+  r.(0).(0) <- 0.5 *. (b -. a) *. (f a +. f b);
+  let h = ref (b -. a) in
+  for i = 1 to levels do
+    h := !h /. 2.0;
+    (* trapezoid refinement: add midpoints of the previous level *)
+    let count = 1 lsl (i - 1) in
+    let s = ref 0.0 in
+    for k = 1 to count do
+      s := !s +. f (a +. ((float_of_int ((2 * k) - 1)) *. !h))
+    done;
+    r.(i).(0) <- (0.5 *. r.(i - 1).(0)) +. (!h *. !s);
+    for j = 1 to i do
+      let pow = Float.pow 4.0 (float_of_int j) in
+      r.(i).(j) <-
+        ((pow *. r.(i).(j - 1)) -. r.(i - 1).(j - 1)) /. (pow -. 1.0)
+    done
+  done;
+  r.(levels).(levels)

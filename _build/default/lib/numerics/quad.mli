@@ -1,0 +1,28 @@
+(** One-dimensional quadrature.
+
+    The describing-function integrals of the SHIL theory are integrals of
+    smooth periodic functions over one period, for which the trapezoidal
+    rule converges spectrally; {!periodic} is therefore the workhorse.
+    {!adaptive_simpson} covers non-periodic integrands (waveform energy,
+    model calibration). *)
+
+val trapezoid : f:(float -> float) -> a:float -> b:float -> n:int -> float
+(** Composite trapezoidal rule with [n] intervals ([n >= 1]). *)
+
+val simpson : f:(float -> float) -> a:float -> b:float -> n:int -> float
+(** Composite Simpson rule; [n] is rounded up to the next even count. *)
+
+val periodic : f:(float -> float) -> period:float -> n:int -> float
+(** [periodic ~f ~period ~n] integrates [f] over [[0, period)] using the
+    [n]-point rectangle (= trapezoid, by periodicity) rule. Spectrally
+    accurate for smooth periodic [f]. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> a:float -> b:float ->
+  unit -> float
+(** Adaptive Simpson quadrature with absolute tolerance [tol] (default
+    [1e-10]) and recursion cap [max_depth] (default 50). *)
+
+val romberg : ?levels:int -> f:(float -> float) -> a:float -> b:float -> unit -> float
+(** Romberg extrapolation of the trapezoid rule, [levels] refinement steps
+    (default 12). *)

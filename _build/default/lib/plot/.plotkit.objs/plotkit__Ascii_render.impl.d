@@ -1,0 +1,1 @@
+lib/plot/ascii_render.ml: Array Buffer Fig Float List Printf Scale String

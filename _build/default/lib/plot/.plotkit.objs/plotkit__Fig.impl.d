@@ -1,0 +1,1 @@
+lib/plot/fig.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/plot/scale.ml: Float List Printf

@@ -1,0 +1,1 @@
+lib/plot/svg_render.ml: Array Buffer Fig Filename Float Fun List Printf Scale String Sys

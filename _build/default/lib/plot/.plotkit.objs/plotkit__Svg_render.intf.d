@@ -1,0 +1,1 @@
+lib/plot/svg_render.mli: Fig

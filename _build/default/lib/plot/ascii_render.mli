@@ -1,0 +1,10 @@
+(** Terminal renderer for {!Fig.t}: a coarse character-cell plot, handy for
+    CLI output and quick looks at describing-function curves. *)
+
+val to_string : ?cols:int -> ?rows:int -> Fig.t -> string
+(** Renders into a [cols] x [rows] character grid (default 72 x 24) with a
+    simple frame and min/max annotations. Different series cycle through
+    the glyphs [*, +, o, x, #, @]. *)
+
+val print : ?cols:int -> ?rows:int -> Fig.t -> unit
+(** [to_string] to stdout. *)

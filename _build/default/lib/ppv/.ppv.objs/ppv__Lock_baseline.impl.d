@@ -1,0 +1,1 @@
+lib/ppv/lock_baseline.ml: Array Float Format Numerics Orbit Sensitivity Shil

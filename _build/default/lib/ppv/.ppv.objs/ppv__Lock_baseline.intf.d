@@ -1,0 +1,1 @@
+lib/ppv/lock_baseline.mli: Format Shil

@@ -1,0 +1,1 @@
+lib/ppv/orbit.ml: Array Float Numerics

@@ -1,0 +1,1 @@
+lib/ppv/orbit.mli: Numerics

@@ -1,0 +1,1 @@
+lib/ppv/refined.mli: Shil

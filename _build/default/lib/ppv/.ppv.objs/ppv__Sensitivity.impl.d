@@ -1,0 +1,1 @@
+lib/ppv/sensitivity.ml: Array Float Numerics Orbit Printf

@@ -1,0 +1,1 @@
+lib/ppv/sensitivity.mli: Numerics Orbit

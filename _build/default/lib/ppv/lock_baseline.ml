@@ -1,0 +1,49 @@
+type t = {
+  f0 : float;
+  vn_mag : float;
+  f_inj_low : float;
+  f_inj_high : float;
+  delta_f_inj : float;
+  floquet_mu : float;
+  ppv_norm_error : float;
+}
+
+let predict ?(settle_periods = 300.0) nl ~tank ~n ~vi =
+  let { Shil.Tank.r; l; c } = tank in
+  let f_sys _t y =
+    let v = y.(0) and il = y.(1) in
+    [| ((-.v /. r) -. il -. Shil.Nonlinearity.eval nl v) /. c; v /. l |]
+  in
+  let period_estimate = 1.0 /. Shil.Tank.f_c tank in
+  let orbit =
+    Orbit.from_transient ~settle_periods ~f:f_sys ~x_start:[| 1e-3; 0.0 |]
+      ~period_estimate ()
+  in
+  let ppv = Sensitivity.compute ~f:f_sys orbit in
+  let f0 = 1.0 /. orbit.Orbit.period in
+  let w0 = 2.0 *. Float.pi *. f0 in
+  let vn = Sensitivity.fourier_component ppv ~component:0 ~k:n in
+  let vn_mag = Numerics.Cx.abs vn in
+  let i_m =
+    2.0 *. vi /. Shil.Tank.mag tank ~omega:(float_of_int n *. w0)
+  in
+  (* half lock range (injection-referred, rad/s): n w0 (I_m / C) |V_n| *)
+  let half = float_of_int n *. w0 *. i_m /. c *. vn_mag /. (2.0 *. Float.pi) in
+  let f_center = float_of_int n *. f0 in
+  {
+    f0;
+    vn_mag;
+    f_inj_low = f_center -. half;
+    f_inj_high = f_center +. half;
+    delta_f_inj = 2.0 *. half;
+    floquet_mu = ppv.Sensitivity.floquet_mu;
+    ppv_norm_error = Sensitivity.normalization_error ppv;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>PPV baseline: f0 = %.8g Hz, |V_%s| = %.6g@,\
+     injection band [%.8g, %.8g] Hz (delta = %.6g Hz)@,\
+     floquet mu = %.4g, PPV normalisation error = %.3g@]"
+    t.f0 "n" t.vn_mag t.f_inj_low t.f_inj_high t.delta_f_inj t.floquet_mu
+    t.ppv_norm_error

@@ -1,0 +1,33 @@
+(** Generalized-Adler SHIL lock-range estimate from the PPV — the
+    baseline theory ([17] in the paper) the rigorous graphical method is
+    compared against.
+
+    For a current injection [i(t) = I_m cos(w_inj t)] into the tank
+    capacitor node with [w_inj ~ n w_0], the averaged phase model is
+    [psi' = delta - n w_0 (I_m / C) |V_n| cos(psi - arg V_n)]
+    where [V_n] is the n-th Fourier coefficient of the voltage component
+    of the PPV; locking requires
+    [|delta| <= n w_0 (I_m / C) |V_n|] (injection-referred). First-order
+    in the injection, so accurate for weak injection only — which is
+    exactly the regime where the paper's rigorous method and the PPV
+    baseline should agree. *)
+
+type t = {
+  f0 : float;  (** free-running frequency from the orbit (Hz) *)
+  vn_mag : float;  (** |V_n| of the PPV voltage component *)
+  f_inj_low : float;
+  f_inj_high : float;
+  delta_f_inj : float;  (** total injection-referred lock range (Hz) *)
+  floquet_mu : float;  (** orbit-stability multiplier, for diagnostics *)
+  ppv_norm_error : float;
+}
+
+val predict :
+  ?settle_periods:float -> Shil.Nonlinearity.t -> tank:Shil.Tank.t ->
+  n:int -> vi:float -> t
+(** Builds the reduced oscillator ODE from [nl] and [tank], finds the
+    orbit, computes the PPV and evaluates the generalized-Adler range for
+    the same injection convention as {!Shil.Simulate} ([I_m = 2 vi /
+    |H(j n w0)|]). *)
+
+val pp : Format.formatter -> t -> unit

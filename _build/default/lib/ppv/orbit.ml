@@ -1,0 +1,130 @@
+module Ode = Numerics.Ode
+
+type t = {
+  x0 : float array;
+  period : float;
+  times : float array;
+  states : float array array;
+}
+
+exception No_orbit of string
+
+let flow ~f ~steps x0 t1 =
+  if t1 <= 0.0 then Array.copy x0
+  else Ode.rk4_final f ~t0:0.0 ~t1 ~dt:(t1 /. float_of_int steps) ~y0:x0
+
+(* residual: [x(T) - x0 ; F_0(x0)] over unknowns [x0 ; T] *)
+let residual ~f ~steps u =
+  let dim = Array.length u - 1 in
+  let x0 = Array.sub u 0 dim in
+  let period = u.(dim) in
+  if period <= 0.0 then Array.make (dim + 1) 1e3
+  else begin
+    let xT = flow ~f ~steps x0 period in
+    let r = Array.make (dim + 1) 0.0 in
+    for k = 0 to dim - 1 do
+      r.(k) <- xT.(k) -. x0.(k)
+    done;
+    r.(dim) <- (f 0.0 x0).(0) *. 1e-0;
+    r
+  end
+
+let find ?(steps_per_period = 400) ?(n_samples = 256) ?(max_iter = 40)
+    ?(tol = 1e-10) ~f ~guess_x0 ~guess_period () =
+  let dim = Array.length guess_x0 in
+  let m = dim + 1 in
+  let u = Array.append guess_x0 [| guess_period |] in
+  (* scale for finite differences and convergence tests *)
+  let scale k = if k = dim then guess_period else 1.0 +. Float.abs guess_x0.(k) in
+  let converged = ref false in
+  let it = ref 0 in
+  while (not !converged) && !it < max_iter do
+    incr it;
+    let r = residual ~f ~steps:steps_per_period u in
+    let rnorm = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 r in
+    if rnorm < tol then converged := true
+    else begin
+      (* finite-difference Jacobian *)
+      let jac = Array.make_matrix m m 0.0 in
+      for c = 0 to m - 1 do
+        let h = 1e-7 *. scale c in
+        let u' = Array.copy u in
+        u'.(c) <- u'.(c) +. h;
+        let r' = residual ~f ~steps:steps_per_period u' in
+        for rr = 0 to m - 1 do
+          jac.(rr).(c) <- (r'.(rr) -. r.(rr)) /. h
+        done
+      done;
+      match Numerics.Linalg.solve jac r with
+      | exception Numerics.Linalg.Singular -> raise (No_orbit "singular shooting Jacobian")
+      | du ->
+        for k = 0 to m - 1 do
+          (* damp huge steps *)
+          let lim = 0.5 *. scale k in
+          let d = if Float.abs du.(k) > lim then Float.copy_sign lim du.(k) else du.(k) in
+          u.(k) <- u.(k) -. d
+        done
+    end
+  done;
+  if not !converged then raise (No_orbit "shooting did not converge");
+  let x0 = Array.sub u 0 dim in
+  let period = u.(dim) in
+  (* resample the converged orbit on a uniform mesh *)
+  let times = Array.init n_samples (fun s -> period *. float_of_int s /. float_of_int n_samples) in
+  let states = Array.make n_samples x0 in
+  let dt = period /. float_of_int (steps_per_period * 2) in
+  let x = ref (Array.copy x0) in
+  let t = ref 0.0 in
+  for s = 0 to n_samples - 1 do
+    let target = times.(s) in
+    while !t < target -. 1e-18 do
+      let h = Float.min dt (target -. !t) in
+      x := Ode.rk4_step f ~t:!t ~dt:h !x;
+      t := !t +. h
+    done;
+    states.(s) <- Array.copy !x
+  done;
+  { x0; period; times; states }
+
+let from_transient ?(settle_periods = 200.0) ?steps_per_period ?n_samples ~f
+    ~x_start ~period_estimate () =
+  let t1 = settle_periods *. period_estimate in
+  let dt = period_estimate /. 200.0 in
+  let times, states = Ode.rk4 f ~t0:0.0 ~t1 ~dt ~y0:x_start in
+  (* anchor: last maximum of component 0 *)
+  let n = Array.length times in
+  let anchor = ref None in
+  let k = ref (n - 2) in
+  while !anchor = None && !k > 1 do
+    let a = states.(!k - 1).(0) and b = states.(!k).(0) and c = states.(!k + 1).(0) in
+    if b >= a && b > c then anchor := Some !k;
+    decr k
+  done;
+  let idx = match !anchor with Some i -> i | None -> raise (No_orbit "no extremum found") in
+  (* refine the period estimate from successive maxima *)
+  let prev_max = ref None in
+  let j = ref (idx - 5) in
+  while !prev_max = None && !j > 1 do
+    let a = states.(!j - 1).(0) and b = states.(!j).(0) and c = states.(!j + 1).(0) in
+    if b >= a && b > c then prev_max := Some !j;
+    decr j
+  done;
+  let period_guess =
+    match !prev_max with
+    | Some jdx -> times.(idx) -. times.(jdx)
+    | None -> period_estimate
+  in
+  find ?steps_per_period ?n_samples ~f ~guess_x0:states.(idx)
+    ~guess_period:period_guess ()
+
+let state_at orb t =
+  let n = Array.length orb.times in
+  let tau = Float.rem t orb.period in
+  let tau = if tau < 0.0 then tau +. orb.period else tau in
+  let pos = tau /. orb.period *. float_of_int n in
+  let i = int_of_float pos mod n in
+  let frac = pos -. Float.of_int (int_of_float pos) in
+  let j = (i + 1) mod n in
+  Array.init
+    (Array.length orb.x0)
+    (fun k -> orb.states.(i).(k) +. (frac *. (orb.states.(j).(k) -. orb.states.(i).(k))))

@@ -1,0 +1,37 @@
+(** Periodic steady state of an autonomous ODE [dx/dt = F(x)] by
+    single shooting — the first ingredient of the PPV baseline [17].
+
+    Unknowns are the initial state [x0] and the period [T]; the phase is
+    pinned by requiring the first state component to start at an
+    extremum ([F_0(x0) = 0]). A settled transient provides the initial
+    guess. *)
+
+type t = {
+  x0 : float array;
+  period : float;
+  times : float array;  (** uniform mesh over one period, [n_samples] points *)
+  states : float array array;  (** orbit samples at [times] *)
+}
+
+exception No_orbit of string
+
+val find :
+  ?steps_per_period:int -> ?n_samples:int -> ?max_iter:int -> ?tol:float ->
+  f:Numerics.Ode.system -> guess_x0:float array -> guess_period:float ->
+  unit -> t
+(** Newton shooting with finite-difference sensitivities. [tol] (default
+    1e-10) is on the shooting residual; [steps_per_period] (default 400)
+    controls the RK4 integration; the converged orbit is resampled at
+    [n_samples] (default 256) uniform instants. Raises {!No_orbit} on
+    divergence. *)
+
+val from_transient :
+  ?settle_periods:float -> ?steps_per_period:int -> ?n_samples:int ->
+  f:Numerics.Ode.system -> x_start:float array -> period_estimate:float ->
+  unit -> t
+(** Convenience: integrate [settle_periods] (default 200) periods to reach
+    the attractor, locate a maximum of component 0 for the phase anchor,
+    then call {!find}. *)
+
+val state_at : t -> float -> float array
+(** Periodic linear interpolation of the orbit at any time. *)

@@ -1,0 +1,38 @@
+let free_running_frequency ?(settle_periods = 300.0) nl ~tank =
+  let { Shil.Tank.r; l; c } = tank in
+  let f_sys _t (y : float array) =
+    let v = y.(0) and il = y.(1) in
+    [| ((-.v /. r) -. il -. Shil.Nonlinearity.eval nl v) /. c; v /. l |]
+  in
+  let orbit =
+    Orbit.from_transient ~settle_periods ~f:f_sys ~x_start:[| 1e-3; 0.0 |]
+      ~period_estimate:(1.0 /. Shil.Tank.f_c tank)
+      ()
+  in
+  1.0 /. orbit.Orbit.period
+
+let recenter (lr : Shil.Lock_range.t) ~f0 ~tank =
+  let scale = f0 /. Shil.Tank.f_c tank in
+  {
+    lr with
+    Shil.Lock_range.f_osc_low = lr.f_osc_low *. scale;
+    f_osc_high = lr.f_osc_high *. scale;
+    f_inj_low = lr.f_inj_low *. scale;
+    f_inj_high = lr.f_inj_high *. scale;
+    delta_f_inj = lr.delta_f_inj *. scale;
+  }
+
+let lock_range ?points nl ~tank ~n ~vi =
+  let r = (tank : Shil.Tank.t).r in
+  let a_nat =
+    match Shil.Natural.predicted_amplitude nl ~r with
+    | Some a -> a
+    | None -> failwith "Refined.lock_range: oscillator does not oscillate"
+  in
+  let grid =
+    Shil.Grid.sample ?points nl ~n ~r ~vi
+      ~a_range:(0.25 *. a_nat, 1.3 *. a_nat)
+      ()
+  in
+  let plain = Shil.Lock_range.predict ?points grid ~tank in
+  recenter plain ~f0:(free_running_frequency nl ~tank) ~tank

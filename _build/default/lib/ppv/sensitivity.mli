@@ -1,0 +1,33 @@
+(** Perturbation projection vector (PPV) of a periodic orbit — the phase
+    sensitivity function of Demir et al. used by the PPV-based SHIL
+    analysis the paper compares against.
+
+    The PPV [v1(t)] is the periodic solution of the adjoint variational
+    equation [dp/dt = -J(x(t))^T p] normalised so that
+    [v1(t) . F(x(t)) = 1] for all [t]; [v1(t) . b] is the instantaneous
+    phase-slip rate caused by a state-space perturbation [b]. *)
+
+type t = {
+  orbit : Orbit.t;
+  samples : float array array;  (** [v1] at the orbit's sample times *)
+  monodromy : Numerics.Linalg.mat;
+  floquet_mu : float;  (** the non-unit Floquet multiplier (2-D systems) *)
+}
+
+val compute : ?jac_eps:float -> f:Numerics.Ode.system -> Orbit.t -> t
+(** Integrates the adjoint equation from the left eigenvector of the
+    monodromy matrix for the unit multiplier; Jacobians of [f] are
+    finite-difference with relative step [jac_eps] (default 1e-7).
+    Raises [Failure] when the unit multiplier is missing (not an
+    oscillator orbit). *)
+
+val at : t -> float -> float array
+(** Periodic interpolation of the PPV. *)
+
+val normalization_error : t -> float
+(** [max_t |v1(t) . F(x(t)) - 1|] — a built-in accuracy check (should be
+    << 1). *)
+
+val fourier_component : t -> component:int -> k:int -> Numerics.Cx.t
+(** Two-sided Fourier coefficient [V_k] of one PPV component over the
+    orbit period. *)

@@ -1,0 +1,1 @@
+lib/shil/analysis.ml: Float Format Grid List Lock_range Natural Nonlinearity Solutions Tank

@@ -1,0 +1,1 @@
+lib/shil/analysis.mli: Format Grid Lock_range Natural Nonlinearity Solutions Tank

@@ -1,0 +1,1 @@
+lib/shil/describing_function.ml: Float Nonlinearity Numerics

@@ -1,0 +1,1 @@
+lib/shil/describing_function.mli: Nonlinearity Numerics

@@ -1,0 +1,1 @@
+lib/shil/fhil.ml: Grid Tank

@@ -1,0 +1,1 @@
+lib/shil/fhil.mli: Grid Nonlinearity Tank

@@ -1,0 +1,1 @@
+lib/shil/grid.ml: Array Contour Describing_function Float Nonlinearity Numerics

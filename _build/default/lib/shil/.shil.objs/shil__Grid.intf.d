@@ -1,0 +1,1 @@
+lib/shil/grid.mli: Nonlinearity Numerics

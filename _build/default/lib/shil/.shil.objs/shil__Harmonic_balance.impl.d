@@ -1,0 +1,1 @@
+lib/shil/harmonic_balance.ml: Array Float Natural Nonlinearity Numerics Printf Tank

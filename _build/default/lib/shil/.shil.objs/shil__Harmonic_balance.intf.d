@@ -1,0 +1,1 @@
+lib/shil/harmonic_balance.mli: Nonlinearity Numerics Tank

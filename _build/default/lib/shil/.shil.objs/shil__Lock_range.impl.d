@@ -1,0 +1,1 @@
+lib/shil/lock_range.ml: Float Format Grid Solutions Tank

@@ -1,0 +1,1 @@
+lib/shil/lock_range.mli: Format Grid Solutions Tank

@@ -1,0 +1,1 @@
+lib/shil/natural.ml: Describing_function List Nonlinearity Numerics

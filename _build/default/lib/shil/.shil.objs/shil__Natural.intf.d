@@ -1,0 +1,1 @@
+lib/shil/natural.mli: Nonlinearity

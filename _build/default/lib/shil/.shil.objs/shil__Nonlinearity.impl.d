@@ -1,0 +1,1 @@
+lib/shil/nonlinearity.ml: Array Float Numerics

@@ -1,0 +1,1 @@
+lib/shil/pulling.ml: Array Float Lock_range Numerics Simulate Waveform

@@ -1,0 +1,1 @@
+lib/shil/pulling.mli: Lock_range Nonlinearity Tank

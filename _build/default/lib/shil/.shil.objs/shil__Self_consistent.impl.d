@@ -1,0 +1,1 @@
+lib/shil/self_consistent.ml: Describing_function Float List Lock_range Natural Numerics Tank

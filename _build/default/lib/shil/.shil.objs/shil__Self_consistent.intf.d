@@ -1,0 +1,1 @@
+lib/shil/self_consistent.mli: Lock_range Nonlinearity Numerics Tank

@@ -1,0 +1,1 @@
+lib/shil/simulate.ml: Array Float Nonlinearity Numerics Tank Waveform

@@ -1,0 +1,1 @@
+lib/shil/simulate.mli: Nonlinearity Tank Waveform

@@ -1,0 +1,1 @@
+lib/shil/solutions.mli: Grid Nonlinearity

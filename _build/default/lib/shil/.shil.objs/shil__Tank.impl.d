@@ -1,0 +1,1 @@
+lib/shil/tank.ml: Array Float Format Numerics

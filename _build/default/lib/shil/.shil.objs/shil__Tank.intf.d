@@ -1,0 +1,1 @@
+lib/shil/tank.mli: Format Numerics

@@ -1,0 +1,63 @@
+type oscillator = { nl : Nonlinearity.t; tank : Tank.t }
+
+type shil_report = {
+  osc : oscillator;
+  n : int;
+  vi : float;
+  natural : Natural.solution list;
+  natural_amplitude : float option;
+  grid : Grid.t;
+  locks_at_center : Solutions.point list;
+  lock_range : Lock_range.t;
+}
+
+let run ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
+  let r = (osc.tank : Tank.t).r in
+  let natural = Natural.solve ?points osc.nl ~r in
+  let natural_amplitude =
+    List.fold_left
+      (fun acc (s : Natural.solution) -> if s.stable then Some s.a else acc)
+      None natural
+  in
+  let a_range =
+    match (a_range, natural_amplitude) with
+    | Some range, _ -> range
+    | None, Some a -> (0.25 *. a, 1.25 *. a)
+    | None, None ->
+      failwith
+        "Analysis.run: oscillator has no stable natural oscillation; supply \
+         ~a_range explicitly"
+  in
+  let grid = Grid.sample ?points ?n_phi ?n_amp osc.nl ~n ~r ~vi ~a_range () in
+  let locks_at_center = Solutions.find ?points grid ~phi_d:0.0 in
+  let lock_range = Lock_range.predict ?points grid ~tank:osc.tank in
+  {
+    osc;
+    n;
+    vi;
+    natural;
+    natural_amplitude;
+    grid;
+    locks_at_center;
+    lock_range;
+  }
+
+let locks_at ?points report ~f_inj =
+  let omega_i = 2.0 *. Float.pi *. f_inj /. float_of_int report.n in
+  let phi_d = Tank.phase report.osc.tank ~omega:omega_i in
+  Solutions.find ?points report.grid ~phi_d
+
+let pp ppf r =
+  let open Format in
+  fprintf ppf "@[<v>SHIL analysis: %s, n = %d, |Vi| = %g@,%a@,"
+    (Nonlinearity.name r.osc.nl) r.n r.vi Tank.pp r.osc.tank;
+  (match r.natural_amplitude with
+  | Some a -> fprintf ppf "natural oscillation: A = %.6g V@," a
+  | None -> fprintf ppf "no stable natural oscillation@,");
+  fprintf ppf "locks at centre frequency:@,";
+  List.iter
+    (fun (p : Solutions.point) ->
+      fprintf ppf "  phi = %.4f rad, A = %.6g V, %s@," p.phi p.a
+        (if p.stable then "stable" else "unstable"))
+    r.locks_at_center;
+  fprintf ppf "%a@]" Lock_range.pp r.lock_range

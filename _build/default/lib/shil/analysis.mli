@@ -1,0 +1,35 @@
+(** One-call convenience layer: a complete SHIL study of an oscillator
+    described by a nonlinearity and a tank. *)
+
+type oscillator = {
+  nl : Nonlinearity.t;
+  tank : Tank.t;
+}
+
+type shil_report = {
+  osc : oscillator;
+  n : int;
+  vi : float;
+  natural : Natural.solution list;
+  natural_amplitude : float option;  (** largest stable natural amplitude *)
+  grid : Grid.t;
+  locks_at_center : Solutions.point list;  (** at [omega_i = omega_c] *)
+  lock_range : Lock_range.t;
+}
+
+val run :
+  ?points:int -> ?n_phi:int -> ?n_amp:int -> ?a_range:float * float ->
+  oscillator -> n:int -> vi:float -> shil_report
+(** Natural-oscillation solve, describing-function grid around the
+    natural amplitude (default [a_range] = 25%%–125%% of it), lock points
+    at centre frequency, and lock range. Raises [Failure] when the
+    oscillator does not oscillate (no stable [T_f = 1] solution) and no
+    [a_range] override is supplied. *)
+
+val locks_at :
+  ?points:int -> shil_report -> f_inj:float -> Solutions.point list
+(** Lock points when the injection frequency is [f_inj] (Hz); the
+    oscillator then runs at [f_inj / n] and the tank phase adjusts
+    accordingly. *)
+
+val pp : Format.formatter -> shil_report -> unit

@@ -1,0 +1,135 @@
+type segment = { x1 : float; y1 : float; x2 : float; y2 : float }
+
+(* Linear interpolation of the level crossing between two grid corners. *)
+let cross v1 v2 c1 c2 level =
+  let t = (level -. v1) /. (v2 -. v1) in
+  c1 +. (t *. (c2 -. c1))
+
+let segments ~xs ~ys ~field ~level =
+  let ni = Array.length xs and nj = Array.length ys in
+  if Array.length field <> ni then invalid_arg "Contour.segments: field size";
+  let out = ref [] in
+  for i = 0 to ni - 2 do
+    if Array.length field.(i) <> nj then invalid_arg "Contour.segments: field size";
+    for j = 0 to nj - 2 do
+      (* corners: a=(i,j) b=(i+1,j) c=(i+1,j+1) d=(i,j+1) *)
+      let va = field.(i).(j)
+      and vb = field.(i + 1).(j)
+      and vc = field.(i + 1).(j + 1)
+      and vd = field.(i).(j + 1) in
+      if
+        Float.is_finite va && Float.is_finite vb && Float.is_finite vc
+        && Float.is_finite vd
+      then begin
+        let xa = xs.(i) and xb = xs.(i + 1) in
+        let ya = ys.(j) and yb = ys.(j + 1) in
+        let above v = v > level in
+        let code =
+          (if above va then 1 else 0)
+          lor (if above vb then 2 else 0)
+          lor (if above vc then 4 else 0)
+          lor if above vd then 8 else 0
+        in
+        (* edge crossing points; evaluated lazily per case *)
+        let bottom () = (cross va vb xa xb level, ya) in
+        let right () = (xb, cross vb vc ya yb level) in
+        let top () = (cross vd vc xa xb level, yb) in
+        let left () = (xa, cross va vd ya yb level) in
+        let add (x1, y1) (x2, y2) = out := { x1; y1; x2; y2 } :: !out in
+        match code with
+        | 0 | 15 -> ()
+        | 1 | 14 -> add (left ()) (bottom ())
+        | 2 | 13 -> add (bottom ()) (right ())
+        | 4 | 11 -> add (right ()) (top ())
+        | 8 | 7 -> add (top ()) (left ())
+        | 3 | 12 -> add (left ()) (right ())
+        | 6 | 9 -> add (bottom ()) (top ())
+        | 5 | 10 ->
+          (* saddle: use the centre average to pick the pairing *)
+          let centre = 0.25 *. (va +. vb +. vc +. vd) in
+          let centre_above = centre > level in
+          if (code = 5) = centre_above then begin
+            add (left ()) (top ());
+            add (bottom ()) (right ())
+          end
+          else begin
+            add (left ()) (bottom ());
+            add (right ()) (top ())
+          end
+        | _ -> assert false
+      end
+    done
+  done;
+  List.rev !out
+
+let filter_segments pred segs =
+  List.filter
+    (fun s -> pred (0.5 *. (s.x1 +. s.x2), 0.5 *. (s.y1 +. s.y2)))
+    segs
+
+(* Chain segments into polylines by greedy endpoint matching. *)
+let chain ?(tol = 1e-12) all =
+  (* drop degenerate segments (contour through a grid node) - they only
+     confuse the endpoint chaining *)
+  let significant (s : segment) =
+    Float.abs (s.x2 -. s.x1) > 0.0 || Float.abs (s.y2 -. s.y1) > 0.0
+  in
+  let segs = Array.of_list (List.filter significant all) in
+  let n = Array.length segs in
+  let used = Array.make n false in
+  let close (x1, y1) (x2, y2) =
+    Float.abs (x1 -. x2) <= tol && Float.abs (y1 -. y2) <= tol
+  in
+  let find_next pt =
+    let found = ref None in
+    let k = ref 0 in
+    while !found = None && !k < n do
+      if not used.(!k) then begin
+        let s = segs.(!k) in
+        if close pt (s.x1, s.y1) then found := Some (!k, (s.x2, s.y2))
+        else if close pt (s.x2, s.y2) then found := Some (!k, (s.x1, s.y1))
+      end;
+      incr k
+    done;
+    !found
+  in
+  let out = ref [] in
+  for start = 0 to n - 1 do
+    if not used.(start) then begin
+      used.(start) <- true;
+      let s = segs.(start) in
+      (* grow forward from (x2,y2) and backward from (x1,y1) *)
+      let grow pt0 =
+        let acc = ref [] and pt = ref pt0 in
+        let continue = ref true in
+        while !continue do
+          match find_next !pt with
+          | Some (k, nxt) ->
+            used.(k) <- true;
+            acc := nxt :: !acc;
+            pt := nxt
+          | None -> continue := false
+        done;
+        List.rev !acc
+      in
+      let fwd = grow (s.x2, s.y2) in
+      let bwd = grow (s.x1, s.y1) in
+      let pts = List.rev_append bwd ((s.x1, s.y1) :: (s.x2, s.y2) :: fwd) in
+      let arr = Array.of_list pts in
+      out :=
+        (Array.map fst arr, Array.map snd arr) :: !out
+    end
+  done;
+  List.rev !out
+
+let polylines ~xs ~ys ~field ~level =
+  let all = segments ~xs ~ys ~field ~level in
+  let xspan =
+    if Array.length xs >= 2 then Float.abs (xs.(Array.length xs - 1) -. xs.(0))
+    else 1.0
+  in
+  let yspan =
+    if Array.length ys >= 2 then Float.abs (ys.(Array.length ys - 1) -. ys.(0))
+    else 1.0
+  in
+  chain ~tol:(1e-7 *. Float.max xspan yspan) all

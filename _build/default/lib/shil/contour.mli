@@ -1,0 +1,30 @@
+(** Marching-squares contour extraction on rectilinear grids — the tool
+    that draws the paper's [C_{T_f,1}] and [angle(-I_1)] level curves. *)
+
+type segment = { x1 : float; y1 : float; x2 : float; y2 : float }
+
+val segments :
+  xs:float array -> ys:float array -> field:float array array ->
+  level:float -> segment list
+(** [field.(i).(j)] is the value at [(xs.(i), ys.(j))]. Returns the level
+    crossings of each grid cell with linear interpolation along the
+    edges; ambiguous (saddle) cells are disambiguated with the cell-centre
+    average. Cells containing non-finite values are skipped. *)
+
+val polylines :
+  xs:float array -> ys:float array -> field:float array array ->
+  level:float -> (float array * float array) list
+(** {!segments} chained into polylines (endpoints matched with a relative
+    tolerance); open curves and closed loops both supported. Each polyline
+    is [(x coords, y coords)]. *)
+
+val filter_segments : (float * float -> bool) -> segment list -> segment list
+(** Keeps segments whose midpoint satisfies the predicate (used to drop
+    the [cos (angle(-I_1) + phi_d) <= 0] spurious branch of the phase
+    condition). *)
+
+val chain : ?tol:float -> segment list -> (float array * float array) list
+(** Chains an arbitrary segment soup into polylines by greedy endpoint
+    matching with absolute tolerance [tol] (default [1e-12] — pass a
+    grid-scaled value for marching-squares output). Degenerate zero-length
+    segments are dropped. *)

@@ -1,0 +1,43 @@
+module Cx = Numerics.Cx
+module Fourier = Numerics.Fourier
+
+let default_points = 1024
+
+let i1 ?(points = default_points) nl ~a =
+  let f theta = Nonlinearity.eval nl (a *. cos theta) in
+  Cx.re (Fourier.coeff ~n:points ~f ~k:1 ())
+
+let ik ?(points = default_points) nl ~a ~k =
+  let f theta = Nonlinearity.eval nl (a *. cos theta) in
+  Fourier.coeff ~n:points ~f ~k ()
+
+let two_tone_input nl ~n ~a ~vi ~phi theta =
+  Nonlinearity.eval nl
+    ((a *. cos theta) +. (2.0 *. vi *. cos ((float_of_int n *. theta) +. phi)))
+
+let i1_two_tone ?(points = default_points) nl ~n ~a ~vi ~phi =
+  if n < 1 then invalid_arg "Describing_function: n must be >= 1";
+  let f = two_tone_input nl ~n ~a ~vi ~phi in
+  Fourier.coeff ~n:points ~f ~k:1 ()
+
+let ik_two_tone ?(points = default_points) nl ~n ~a ~vi ~phi ~k =
+  if n < 1 then invalid_arg "Describing_function: n must be >= 1";
+  let f = two_tone_input nl ~n ~a ~vi ~phi in
+  Fourier.coeff ~n:points ~f ~k ()
+
+let t_f_free ?points nl ~r ~a =
+  if a <= 0.0 then invalid_arg "Describing_function.t_f_free: a must be > 0";
+  -.r *. i1 ?points nl ~a /. (a /. 2.0)
+
+let t_f ?points nl ~n ~r ~a ~vi ~phi =
+  if a <= 0.0 then invalid_arg "Describing_function.t_f: a must be > 0";
+  let i1c = i1_two_tone ?points nl ~n ~a ~vi ~phi in
+  -.r *. Cx.re i1c /. (a /. 2.0)
+
+let t_cap_f ?points nl ~n ~r ~a ~vi ~phi ~phi_d =
+  if a <= 0.0 then invalid_arg "Describing_function.t_cap_f: a must be > 0";
+  let i1c = i1_two_tone ?points nl ~n ~a ~vi ~phi in
+  Float.abs (r *. Cx.abs i1c *. cos phi_d /. (a /. 2.0))
+
+let arg_minus_i1 ?points nl ~n ~a ~vi ~phi =
+  Cx.arg (Cx.neg (i1_two_tone ?points nl ~n ~a ~vi ~phi))

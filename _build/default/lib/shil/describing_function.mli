@@ -1,0 +1,50 @@
+(** Describing functions: Fourier coefficients of a nonlinearity driven by
+    one or two tones — the computational heart of the paper.
+
+    Conventions (paper eq. 1): for input [x(theta)] with fundamental
+    period [2 pi] in [theta = w_i t], the current [i = f(x)] has series
+    [i = sum_k I_k exp(j k theta)]. A single tone [A cos theta] makes
+    every [I_k] real; the two-tone SHIL input
+    [A cos theta + 2 V_i cos (n theta + phi)] makes [I_1] complex and a
+    function of [(A, V_i, phi)]. *)
+
+val default_points : int
+(** Quadrature points per period (1024). Spectral accuracy: doubling the
+    count is only needed for extremely sharp nonlinearities. *)
+
+val i1 : ?points:int -> Nonlinearity.t -> a:float -> float
+(** Single-tone fundamental coefficient [I_1(A)] — real by symmetry
+    (footnote 3 of the paper). *)
+
+val ik : ?points:int -> Nonlinearity.t -> a:float -> k:int -> Numerics.Cx.t
+(** Single-tone [k]-th coefficient. *)
+
+val i1_two_tone :
+  ?points:int -> Nonlinearity.t -> n:int -> a:float -> vi:float ->
+  phi:float -> Numerics.Cx.t
+(** [I_1(A, V_i, phi)] for the input
+    [A cos theta + 2 V_i cos (n theta + phi)] (Fig. 8). [n >= 1]. *)
+
+val ik_two_tone :
+  ?points:int -> Nonlinearity.t -> n:int -> a:float -> vi:float ->
+  phi:float -> k:int -> Numerics.Cx.t
+
+val t_f_free : ?points:int -> Nonlinearity.t -> r:float -> a:float -> float
+(** Free-running loop gain (eq. 2): [T_f(A) = -R I_1(A) / (A/2)].
+    [A > 0]. *)
+
+val t_f : ?points:int -> Nonlinearity.t -> n:int -> r:float -> a:float ->
+  vi:float -> phi:float -> float
+(** Injected loop gain (eq. 3):
+    [T_f(A,V_i,phi) = -R Re(I_1(A,V_i,phi)) / (A/2)]. *)
+
+val t_cap_f :
+  ?points:int -> Nonlinearity.t -> n:int -> r:float -> a:float -> vi:float ->
+  phi:float -> phi_d:float -> float
+(** The magnitude form (eq. 5):
+    [T_F = |R I_1 cos(phi_d) / (A/2)|]. *)
+
+val arg_minus_i1 :
+  ?points:int -> Nonlinearity.t -> n:int -> a:float -> vi:float ->
+  phi:float -> float
+(** [angle (-I_1(A, V_i, phi))], the left side of eq. 4. *)

@@ -1,0 +1,10 @@
+let grid ?points ?n_phi ?n_amp nl ~r ~vi ~a_range =
+  Grid.sample ?points ?n_phi ?n_amp nl ~n:1 ~r ~vi ~a_range ()
+
+let adler_half_range ~tank ~a ~vi =
+  Tank.f_c tank /. (2.0 *. Tank.q tank) *. (2.0 *. vi /. a)
+
+let adler_range ~tank ~a ~vi =
+  let half = adler_half_range ~tank ~a ~vi in
+  let fc = Tank.f_c tank in
+  (fc -. half, fc +. half)

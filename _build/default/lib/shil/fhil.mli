@@ -1,0 +1,22 @@
+(** Fundamental-harmonic injection locking: the [n = 1] special case
+    (§III-B), plus Adler's classical lock-range estimate as a baseline.
+
+    For FHIL the injection phasor adds directly at the oscillation
+    frequency, so the generic SHIL machinery applies with [n = 1]; Adler's
+    small-injection formula
+    [delta_omega = omega_c / (2 Q) * V_i_total / A] (total single-sided
+    half-range) is the widely used first-order baseline the rigorous
+    method should reduce to for weak injection. *)
+
+val grid :
+  ?points:int -> ?n_phi:int -> ?n_amp:int -> Nonlinearity.t -> r:float ->
+  vi:float -> a_range:float * float -> Grid.t
+(** Convenience: {!Grid.sample} with [n = 1]. *)
+
+val adler_half_range : tank:Tank.t -> a:float -> vi:float -> float
+(** Adler half lock range in Hz (oscillator-referred): [f_c/(2Q) * (2 V_i
+    / A)] — [2 V_i] because the injected waveform amplitude is [2 V_i] in
+    this paper's phasor convention. *)
+
+val adler_range : tank:Tank.t -> a:float -> vi:float -> float * float
+(** [(f_low, f_high)] around the tank centre frequency. *)

@@ -1,0 +1,124 @@
+module Cx = Numerics.Cx
+module Df = Describing_function
+
+type t = {
+  nl : Nonlinearity.t;
+  n : int;
+  r : float;
+  vi : float;
+  phis : float array;
+  amps : float array;
+  i1 : Cx.t array array;
+  points : int;
+}
+
+let linspace a b n =
+  Array.init n (fun k -> a +. ((b -. a) *. float_of_int k /. float_of_int (n - 1)))
+
+let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
+    ?(n_amp = 101) nl ~n ~r ~vi ~a_range () =
+  if n_phi < 2 || n_amp < 2 then invalid_arg "Grid.sample: need >= 2 samples";
+  let a_lo, a_hi = a_range in
+  if a_lo <= 0.0 || a_hi <= a_lo then invalid_arg "Grid.sample: bad a_range";
+  let p_lo, p_hi = phi_range in
+  let phis = linspace p_lo p_hi n_phi in
+  let amps = linspace a_lo a_hi n_amp in
+  (* hot loop: precompute the trig tables shared by every (phi, A) sample
+     so the quadrature reduces to nonlinearity evaluations and fused
+     multiply-adds; equivalent to Df.i1_two_tone on each node *)
+  let cos_t = Array.init points (fun s ->
+      cos (2.0 *. Float.pi *. float_of_int s /. float_of_int points))
+  and sin_t = Array.init points (fun s ->
+      sin (2.0 *. Float.pi *. float_of_int s /. float_of_int points))
+  and cos_nt = Array.init points (fun s ->
+      cos (2.0 *. Float.pi *. float_of_int (n * s) /. float_of_int points))
+  and sin_nt = Array.init points (fun s ->
+      sin (2.0 *. Float.pi *. float_of_int (n * s) /. float_of_int points))
+  in
+  let f = Nonlinearity.eval nl in
+  let i1 =
+    Array.map
+      (fun phi ->
+        let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
+        Array.map
+          (fun a ->
+            let re = ref 0.0 and im = ref 0.0 in
+            for s = 0 to points - 1 do
+              let v = (a *. cos_t.(s)) +. (cp *. cos_nt.(s)) -. (sp *. sin_nt.(s)) in
+              let i = f v in
+              re := !re +. (i *. cos_t.(s));
+              im := !im -. (i *. sin_t.(s))
+            done;
+            Cx.make (!re /. float_of_int points) (!im /. float_of_int points))
+          amps)
+      phis
+  in
+  { nl; n; r; vi; phis; amps; i1; points }
+
+let t_f_field g =
+  Array.mapi
+    (fun i _ ->
+      Array.mapi
+        (fun j a -> (-.g.r *. Cx.re g.i1.(i).(j) /. (a /. 2.0)) -. 1.0)
+        g.amps)
+    g.phis
+
+let arg_minus_i1_field g =
+  Array.map (fun row -> Array.map (fun z -> Cx.arg (Cx.neg z)) row) g.i1
+
+let phase_field g ~phi_d =
+  Array.map
+    (fun row ->
+      Array.map
+        (fun z ->
+          let m = Cx.neg z in
+          (* sin(arg m + phi_d) computed without atan2 for smoothness *)
+          let mag = Cx.abs m in
+          if mag = 0.0 then nan
+          else ((Cx.im m *. cos phi_d) +. (Cx.re m *. sin phi_d)) /. mag)
+        row)
+    g.i1
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let interp_i1 g ~phi ~a =
+  let locate grid v =
+    let n = Array.length grid in
+    let v = clamp grid.(0) grid.(n - 1) v in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if grid.(mid) <= v then lo := mid else hi := mid
+    done;
+    let t = (v -. grid.(!lo)) /. (grid.(!hi) -. grid.(!lo)) in
+    (!lo, t)
+  in
+  let i, ti = locate g.phis phi in
+  let j, tj = locate g.amps a in
+  let mix a b t = Cx.add (Cx.scale (1.0 -. t) a) (Cx.scale t b) in
+  mix
+    (mix g.i1.(i).(j) g.i1.(i + 1).(j) ti)
+    (mix g.i1.(i).(j + 1) g.i1.(i + 1).(j + 1) ti)
+    tj
+
+let phase_cos_ok g ~phi_d (phi, a) =
+  let m = Cx.neg (interp_i1 g ~phi ~a) in
+  let mag = Cx.abs m in
+  mag > 0.0
+  && ((Cx.re m *. cos phi_d) -. (Cx.im m *. sin phi_d)) /. mag > 0.0
+
+let t_f_curve g =
+  Contour.polylines ~xs:g.phis ~ys:g.amps ~field:(t_f_field g) ~level:0.0
+
+let phase_curve g ~phi_d =
+  let segs =
+    Contour.segments ~xs:g.phis ~ys:g.amps ~field:(phase_field g ~phi_d)
+      ~level:0.0
+  in
+  let segs = Contour.filter_segments (phase_cos_ok g ~phi_d) segs in
+  let span =
+    Float.max
+      (g.phis.(Array.length g.phis - 1) -. g.phis.(0))
+      (g.amps.(Array.length g.amps - 1) -. g.amps.(0))
+  in
+  Contour.chain ~tol:(1e-7 *. span) segs

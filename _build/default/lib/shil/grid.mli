@@ -1,0 +1,52 @@
+(** Sampled describing-function field over the [(phi, A)] plane.
+
+    This is the object the graphical procedure draws on: the complex
+    [I_1(A, V_i, phi)] is evaluated once on a rectilinear grid, after
+    which every curve the paper plots — [C_{T_f,1}], [C_{T_F,1}] and the
+    isolines of [angle(-I_1)] — is a contour of a derived scalar field.
+    Critically the grid does NOT depend on the operating frequency
+    [omega_i], so a lock-range sweep reuses one grid (§III-C's
+    "invariance of [C_{T_f,1}]"). *)
+
+type t = {
+  nl : Nonlinearity.t;
+  n : int;  (** sub-harmonic order *)
+  r : float;  (** tank resistance *)
+  vi : float;  (** injection phasor magnitude *)
+  phis : float array;
+  amps : float array;
+  i1 : Numerics.Cx.t array array;  (** [i1.(i).(j)] at [(phis.(i), amps.(j))] *)
+  points : int;  (** quadrature points used per sample *)
+}
+
+val sample :
+  ?points:int -> ?phi_range:float * float -> ?n_phi:int -> ?n_amp:int ->
+  Nonlinearity.t -> n:int -> r:float -> vi:float -> a_range:float * float ->
+  unit -> t
+(** Defaults: [phi_range = (0, 2 pi)], [n_phi = 121], [n_amp = 101],
+    [points = 512]. [a_range] should bracket the expected lock amplitudes
+    (e.g. 40%%–120%% of the natural amplitude). *)
+
+val t_f_field : t -> float array array
+(** [T_f(phi, A) - 1] (eq. 3 residual). *)
+
+val phase_field : t -> phi_d:float -> float array array
+(** [sin(angle(-I_1) + phi_d)] — zero on the eq. 4 curve; pair with
+    {!phase_cos_ok} to discard the [cos <= 0] branch. *)
+
+val arg_minus_i1_field : t -> float array array
+
+val phase_cos_ok : t -> phi_d:float -> float * float -> bool
+(** Midpoint predicate for {!Contour.filter_segments}: true when
+    [cos(angle(-I_1) + phi_d) > 0] at the (bilinearly interpolated) grid
+    point. *)
+
+val interp_i1 : t -> phi:float -> a:float -> Numerics.Cx.t
+(** Bilinear interpolation of the sampled [I_1]; clamped at the grid
+    boundary. *)
+
+val t_f_curve : t -> (float array * float array) list
+(** The [C_{T_f,1}] polylines in the [(phi, A)] plane. *)
+
+val phase_curve : t -> phi_d:float -> (float array * float array) list
+(** The [C_{angle(-I_1), -phi_d}] polylines (spurious branch removed). *)

@@ -1,0 +1,46 @@
+(** Multi-harmonic harmonic balance for the free-running reduced
+    oscillator — the "more harmonics" generalisation of the paper's
+    single-harmonic describing-function analysis (§II is exactly the
+    [K = 1] case of this solver).
+
+    The steady state is written [v(t) = sum_{k=1..K} 2 Re (V_k e^{jkwt})]
+    with [V_1] pinned real (phase reference); the unknowns are [V_1],
+    [V_2..V_K] (complex) and the oscillation frequency [w]. Each harmonic
+    must satisfy KCL through the tank:
+    [Y(jkw) V_k + I_k = 0], where [I_k] are the Fourier coefficients of
+    [f(v(t))] and [Y] is the tank admittance. (The DC component is
+    absorbed by the inductor, which forces [V_0 = 0].)
+
+    Uses: predicting the harmonic-distortion-induced frequency shift
+    (Groszkowski) that the describing function neglects, and quantifying
+    the accuracy of the [K = 1] truncation (ablation A3). *)
+
+type solution = {
+  omega : float;  (** oscillation frequency, rad/s *)
+  coeffs : Numerics.Cx.t array;  (** [coeffs.(k)] is [V_k]; [coeffs.(0) = 0] *)
+  k_max : int;
+  residual : float;  (** final KCL residual, A *)
+}
+
+exception No_convergence of string
+
+val solve :
+  ?k_max:int -> ?samples:int -> ?max_iter:int -> ?tol:float ->
+  Nonlinearity.t -> tank:Tank.t -> solution
+(** Newton on the harmonic-balance system, warm-started from the
+    describing-function solution ([V_1 = A/2] at [w_c]). Defaults:
+    [k_max = 7], [samples = 256] time points per period, [tol = 1e-12]
+    (relative residual). Raises {!No_convergence} (also when the
+    oscillator does not start). *)
+
+val amplitude : solution -> float
+(** Fundamental amplitude [2 |V_1|] (the describing function's [A]). *)
+
+val frequency : solution -> float
+(** Oscillation frequency in Hz — includes the Groszkowski shift. *)
+
+val waveform : solution -> theta:float -> float
+(** Reconstructs [v] at phase [theta] (radians). *)
+
+val thd : solution -> float
+(** Total harmonic distortion: [sqrt (sum_{k>=2} |V_k|^2) / |V_1|]. *)

@@ -1,0 +1,71 @@
+type t = {
+  phi_d_max : float;
+  f_osc_low : float;
+  f_osc_high : float;
+  f_inj_low : float;
+  f_inj_high : float;
+  delta_f_inj : float;
+  at_center : Solutions.point list;
+}
+
+let phi_d_boundary ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
+  let stable phi_d = Solutions.stable_exists ?points g ~phi_d in
+  if not (stable 0.0) then 0.0
+  else begin
+    (* grow an upper bound first: the boundary is usually well inside *)
+    let rec find_unstable lo hi =
+      if hi >= phi_d_cap then (lo, phi_d_cap)
+      else if stable hi then find_unstable hi (Float.min phi_d_cap (hi *. 2.0))
+      else (lo, hi)
+    in
+    let lo0, hi0 = find_unstable 0.0 0.05 in
+    if stable hi0 then hi0 (* stable all the way to the cap *)
+    else begin
+      let lo = ref lo0 and hi = ref hi0 in
+      while !hi -. !lo > tol do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if stable mid then lo := mid else hi := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  end
+
+let predict ?points ?phi_d_cap ?tol (g : Grid.t) ~tank =
+  if Float.abs ((tank : Tank.t).r -. g.r) > 1e-9 *. g.r then
+    invalid_arg "Lock_range.predict: grid and tank R differ";
+  let phi_d_max = phi_d_boundary ?points ?phi_d_cap ?tol g in
+  let two_pi = 2.0 *. Float.pi in
+  let n = float_of_int g.n in
+  if phi_d_max <= 0.0 then
+    {
+      phi_d_max = 0.0;
+      f_osc_low = Float.nan;
+      f_osc_high = Float.nan;
+      f_inj_low = Float.nan;
+      f_inj_high = Float.nan;
+      delta_f_inj = 0.0;
+      at_center = Solutions.find ?points g ~phi_d:0.0;
+    }
+  else begin
+    (* phi_d > 0 below resonance: omega(+phi_d_max) is the lower edge *)
+    let w_low = Tank.omega_of_phase tank ~phi_d:phi_d_max in
+    let w_high = Tank.omega_of_phase tank ~phi_d:(-.phi_d_max) in
+    let f_osc_low = w_low /. two_pi and f_osc_high = w_high /. two_pi in
+    {
+      phi_d_max;
+      f_osc_low;
+      f_osc_high;
+      f_inj_low = n *. f_osc_low;
+      f_inj_high = n *. f_osc_high;
+      delta_f_inj = n *. (f_osc_high -. f_osc_low);
+      at_center = Solutions.find ?points g ~phi_d:0.0;
+    }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>lock range: phi_d_max = %.6g rad@,\
+     oscillator band: [%.8g, %.8g] Hz@,\
+     injection band:  [%.8g, %.8g] Hz (delta = %.6g Hz)@]"
+    t.phi_d_max t.f_osc_low t.f_osc_high t.f_inj_low t.f_inj_high
+    t.delta_f_inj

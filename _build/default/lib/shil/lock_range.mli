@@ -1,0 +1,29 @@
+(** Lock-range prediction (§III-C, Fig. 10): the largest tank phase
+    [|phi_d|] at which a stable lock survives, mapped to frequency through
+    the tank and multiplied by [n] to give the injection-referred range. *)
+
+type t = {
+  phi_d_max : float;  (** boundary tank phase, rad (> 0) *)
+  f_osc_low : float;  (** oscillator-referred lower lock edge, Hz *)
+  f_osc_high : float;
+  f_inj_low : float;  (** injection-referred edges ([n] x oscillator), Hz *)
+  f_inj_high : float;
+  delta_f_inj : float;  (** injection-referred lock range, Hz *)
+  at_center : Solutions.point list;  (** lock points at [phi_d = 0] *)
+}
+
+val phi_d_boundary :
+  ?points:int -> ?phi_d_cap:float -> ?tol:float -> Grid.t -> float
+(** Bisection on [phi_d in [0, phi_d_cap]] (default cap 1.4 rad, tol 1e-5)
+    for the largest phase with a stable lock, reusing one
+    describing-function grid for the whole sweep (the [C_{T_f,1}]
+    invariance trick). Returns 0. when even [phi_d = 0] has no stable
+    lock. By §VI-B3 the boundary is symmetric in [+-phi_d]. *)
+
+val predict :
+  ?points:int -> ?phi_d_cap:float -> ?tol:float -> Grid.t -> tank:Tank.t -> t
+(** Full prediction. The grid's [r] must equal [tank.r]. The oscillator
+    locks on [f_c / p .. f_c * p] style band: edges are
+    [omega_of_phase (+-phi_d_max)] (positive [phi_d] = below resonance). *)
+
+val pp : Format.formatter -> t -> unit

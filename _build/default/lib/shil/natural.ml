@@ -1,0 +1,27 @@
+module Df = Describing_function
+module Roots = Numerics.Roots
+
+type solution = { a : float; slope : float; stable : bool }
+
+(* [?points] is accepted for signature uniformity with the other
+   describing-function entry points; the small-signal limit is analytic
+   and needs no quadrature. *)
+let small_signal_gain ?points:_ nl ~r = -.r *. Nonlinearity.deriv nl 0.0
+
+let solve ?points ?(a_min = 1e-4) ?(a_max = 10.0) ?(scan = 400) nl ~r =
+  let g a = Df.t_f_free ?points nl ~r ~a -. 1.0 in
+  let roots = Roots.find_all ~f:g ~a:a_min ~b:a_max ~n:scan () in
+  List.map
+    (fun a ->
+      let h = 1e-5 *. (1.0 +. a) in
+      let slope = (g (a +. h) -. g (a -. h)) /. (2.0 *. h) in
+      { a; slope; stable = slope < 0.0 })
+    roots
+
+let predicted_amplitude ?points ?a_min ?a_max ?scan nl ~r =
+  let sols = solve ?points ?a_min ?a_max ?scan nl ~r in
+  List.fold_left
+    (fun acc s -> if s.stable then Some s.a else acc)
+    None sols
+
+let oscillates ?points nl ~r = small_signal_gain ?points nl ~r > 1.0

@@ -1,0 +1,75 @@
+module Interp = Numerics.Interp
+
+type t = { name : string; f : float -> float; df : float -> float }
+
+let numeric_df f v =
+  let h = 1e-6 *. (1.0 +. Float.abs v) in
+  (f (v +. h) -. f (v -. h)) /. (2.0 *. h)
+
+let make ?(name = "custom") ?df f =
+  { name; f; df = (match df with Some d -> d | None -> numeric_df f) }
+
+let name t = t.name
+let eval t v = t.f v
+let deriv t v = t.df v
+
+let neg_tanh ~g0 ~isat =
+  if g0 <= 0.0 || isat <= 0.0 then invalid_arg "Nonlinearity.neg_tanh";
+  let f v = -.isat *. tanh (g0 *. v /. isat) in
+  let df v =
+    let c = cosh (g0 *. v /. isat) in
+    -.g0 /. (c *. c)
+  in
+  { name = "neg_tanh"; f; df }
+
+let cubic ~g1 ~g3 =
+  let f v = (-.g1 *. v) +. (g3 *. v *. v *. v) in
+  let df v = -.g1 +. (3.0 *. g3 *. v *. v) in
+  { name = "cubic"; f; df }
+
+(* Paper appendix §VI-C model (same constants as Spice.Device.paper_tunnel;
+   duplicated here so the core theory library stays independent of the
+   circuit simulator). *)
+let paper_tunnel_iv v =
+  let is = 1e-12 and eta = 1.0 and vth = 0.025 in
+  let r0 = 1000.0 and v0 = 0.2 and m = 2.0 in
+  let powm = Float.pow (Float.abs (v /. v0)) m in
+  let e = exp (-.powm) in
+  let i_tun = v /. r0 *. e in
+  let g_tun = e /. r0 *. (1.0 -. (m *. powm)) in
+  let x = v /. (eta *. vth) in
+  let cap = 40.0 in
+  let ex = if x > cap then exp cap *. (1.0 +. (x -. cap)) else exp x in
+  let dex = if x > cap then exp cap else exp x in
+  let i_d = is *. (ex -. 1.0) in
+  let g_d = is *. dex /. (eta *. vth) in
+  (i_tun +. i_d, g_tun +. g_d)
+
+let tunnel_diode ?(params = paper_tunnel_iv) ~bias () =
+  let i0, _ = params bias in
+  let f v = fst (params (bias +. v)) -. i0 in
+  let df v = snd (params (bias +. v)) in
+  { name = "tunnel_diode"; f; df }
+
+let of_table ?(name = "table") ~vs ~is () =
+  let itp = Interp.pchip ~xs:vs ~ys:is in
+  { name; f = Interp.eval itp; df = Interp.eval_deriv itp }
+
+let shift_bias t vb =
+  let i0 = t.f vb in
+  {
+    name = t.name ^ "+bias";
+    f = (fun v -> t.f (vb +. v) -. i0);
+    df = (fun v -> t.df (vb +. v));
+  }
+
+let scale_current t k =
+  { name = t.name; f = (fun v -> k *. t.f v); df = (fun v -> k *. t.df v) }
+
+let sample t ~v_min ~v_max ~n =
+  if n < 2 then invalid_arg "Nonlinearity.sample";
+  let vs =
+    Array.init n (fun k ->
+        v_min +. ((v_max -. v_min) *. float_of_int k /. float_of_int (n - 1)))
+  in
+  (vs, Array.map t.f vs)

@@ -1,0 +1,45 @@
+(** Memoryless nonlinearities [i = f(v)] — the negative-resistance element
+    of the LC oscillator (Fig. 1b of the paper).
+
+    The describing-function machinery only requires point evaluation; the
+    derivative is used for small-signal checks and stability heuristics. *)
+
+type t
+
+val make : ?name:string -> ?df:(float -> float) -> (float -> float) -> t
+(** [make f] wraps a function; missing [df] is computed by central
+    differences with a relative step of 1e-6. *)
+
+val name : t -> string
+val eval : t -> float -> float
+val deriv : t -> float -> float
+
+val neg_tanh : g0:float -> isat:float -> t
+(** The paper's illustration nonlinearity: [f v = -. isat *. tanh (g0 *. v
+    /. isat)]. Small-signal conductance [-g0]; saturation current [isat]. *)
+
+val cubic : g1:float -> g3:float -> t
+(** Van der Pol cubic [f v = -. g1 *. v +. g3 *. v ** 3.] — the classic
+    textbook negative resistance, used as an analytic cross-check (its
+    describing function is known in closed form). *)
+
+val tunnel_diode :
+  ?params:(float -> float * float) -> bias:float -> unit -> t
+(** Bias-shifted tunnel diode: [f v = i_td (bias + v) - i_td bias], the
+    paper's §IV-B treatment (the tank only sees the incremental current).
+    [params] defaults to the paper's appendix model; supply a custom
+    [v -> (i, di/dv)] to override. *)
+
+val of_table : ?name:string -> vs:float array -> is:float array -> unit -> t
+(** Monotone-cubic (PCHIP) interpolation of a DC-sweep table, the output
+    of the paper's Fig. 11b extraction flow. Linear extrapolation beyond
+    the table. *)
+
+val shift_bias : t -> float -> t
+(** [shift_bias nl vb] is [fun v -> eval nl (vb +. v) -. eval nl vb]. *)
+
+val scale_current : t -> float -> t
+(** Multiplies the output current (e.g. flipping sign or changing units). *)
+
+val sample : t -> v_min:float -> v_max:float -> n:int -> float array * float array
+(** Uniform sampling, for plotting. *)

@@ -1,0 +1,207 @@
+module Cx = Numerics.Cx
+module Df = Describing_function
+module Angle = Numerics.Angle
+module Roots = Numerics.Roots
+
+type point = {
+  chi : float;
+  a : float;
+  v_eff : Cx.t;
+  stable : bool;
+  trace : float;
+  det : float;
+}
+
+let i_n ?points nl ~n ~a ~v =
+  (* n-th harmonic coefficient with harmonic drive given as a phasor *)
+  Df.ik_two_tone ?points nl ~n ~a ~vi:(Cx.abs v) ~phi:(Cx.arg v) ~k:n
+
+let effective_v ?points ?(max_iter = 60) ?(tol = 1e-10) nl ~n ~a ~v_inj ~h_n =
+  let v = ref v_inj in
+  let converged = ref false in
+  let it = ref 0 in
+  while (not !converged) && !it < max_iter do
+    incr it;
+    let inh = i_n ?points nl ~n ~a ~v:!v in
+    let v' = Cx.sub v_inj (Cx.mul inh h_n) in
+    if Cx.abs (Cx.sub v' !v) < tol *. (1.0 +. Cx.abs v') then converged := true;
+    (* mild damping guards rare strong-feedback cases *)
+    v := Cx.add (Cx.scale 0.3 !v) (Cx.scale 0.7 v')
+  done;
+  !v
+
+(* fundamental coefficient with the self-consistent harmonic *)
+let i1_eff ?points nl ~n ~a ~v_inj ~h_n =
+  let v = effective_v ?points nl ~n ~a ~v_inj ~h_n in
+  (Df.i1_two_tone ?points nl ~n ~a ~vi:(Cx.abs v) ~phi:(Cx.arg v), v)
+
+let residuals ?points nl ~n ~r ~vi ~phi_d ~h_n (chi, a) =
+  if a <= 0.0 then (1e6, 1e6)
+  else begin
+    let v_inj = Cx.polar vi chi in
+    let i1, _ = i1_eff ?points nl ~n ~a ~v_inj ~h_n in
+    let m = Cx.neg i1 in
+    let mag = Cx.abs m in
+    let r1 = (r *. Cx.re m /. (a /. 2.0)) -. 1.0 in
+    let r2 =
+      if mag = 0.0 then 1e6
+      else ((Cx.im m *. cos phi_d) +. (Cx.re m *. sin phi_d)) /. mag
+    in
+    (r1, r2)
+  end
+
+let flow ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a =
+  let v_inj = Cx.polar vi chi in
+  let i1, _ = i1_eff ?points nl ~n ~a ~v_inj ~h_n in
+  let m = Cx.neg i1 in
+  let f1 = (2.0 *. r *. Cx.abs m *. cos phi_d /. a) -. 1.0 in
+  let f2 = -.Angle.wrap_pi (Cx.arg m +. phi_d) in
+  (f1, f2)
+
+let classify ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a ~v_eff =
+  let ha = 1e-5 *. (1.0 +. Float.abs a) and hp = 1e-5 in
+  let f1_pa, f2_pa = flow ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a:(a +. ha) in
+  let f1_ma, f2_ma = flow ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a:(a -. ha) in
+  let f1_pp, f2_pp = flow ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi:(chi +. hp) ~a in
+  let f1_mp, f2_mp = flow ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi:(chi -. hp) ~a in
+  let j11 = (f1_pa -. f1_ma) /. (2.0 *. ha) in
+  let j12 = (f1_pp -. f1_mp) /. (2.0 *. hp) in
+  let j21 = (f2_pa -. f2_ma) /. (2.0 *. ha) in
+  let j22 = (f2_pp -. f2_mp) /. (2.0 *. hp) in
+  let trace = j11 +. j22 in
+  let det = (j11 *. j22) -. (j12 *. j21) in
+  { chi; a; v_eff; stable = trace < 0.0 && det > 0.0; trace; det }
+
+let natural_amplitude nl ~r =
+  match Natural.predicted_amplitude nl ~r with
+  | Some a -> a
+  | None -> failwith "Self_consistent: oscillator does not oscillate"
+
+let find ?points ?(chi_scan = 48) ?a_range nl ~tank ~n ~vi ~omega_i =
+  let r = (tank : Tank.t).r in
+  let a_lo, a_hi =
+    match a_range with
+    | Some range -> range
+    | None ->
+      let a_nat = natural_amplitude nl ~r in
+      (0.25 *. a_nat, 1.3 *. a_nat)
+  in
+  let phi_d = Tank.phase tank ~omega:omega_i in
+  let h_n = Tank.h tank ~omega:(float_of_int n *. omega_i) in
+  let res = residuals ?points nl ~n ~r ~vi ~phi_d ~h_n in
+  (* coarse scan on chi: for each chi, track the A solving r1 = 0, then
+     look for sign changes of r2 along that ridge *)
+  let a_of_chi chi =
+    let g a = fst (res (chi, a)) in
+    match Roots.find_all ~f:g ~a:a_lo ~b:a_hi ~n:40 () with
+    | [] -> None
+    | roots -> Some (List.fold_left Float.max a_lo roots)
+  in
+  let candidates = ref [] in
+  let prev = ref None in
+  for k = 0 to chi_scan do
+    let chi = 2.0 *. Float.pi *. float_of_int k /. float_of_int chi_scan in
+    (match a_of_chi chi with
+    | Some a ->
+      let r2 = snd (res (chi, a)) in
+      (match !prev with
+      | Some (chi_p, a_p, r2_p) ->
+        if r2_p *. r2 <= 0.0 && Float.abs (r2_p -. r2) < 1.0 then begin
+          let t = if r2_p = r2 then 0.5 else r2_p /. (r2_p -. r2) in
+          candidates := (chi_p +. (t *. (chi -. chi_p)), a_p +. (t *. (a -. a_p))) :: !candidates
+        end
+      | None -> ());
+      prev := Some (chi, a, r2)
+    | None -> prev := None)
+  done;
+  let refined =
+    List.filter_map
+      (fun (chi0, a0) ->
+        match
+          Roots.newton2d ~tol:1e-11 ~f:(fun x -> res x) ~x0:(chi0, a0) ()
+        with
+        | chi, a when a > 0.0 -> Some (Angle.wrap_two_pi chi, a)
+        | _ -> None
+        | exception Roots.No_convergence _ -> None)
+      !candidates
+  in
+  let dedup =
+    List.fold_left
+      (fun acc (chi, a) ->
+        if
+          List.exists
+            (fun (chi', a') ->
+              Angle.dist chi chi' < 1e-5 && Float.abs (a -. a') < 1e-7 *. (1.0 +. a))
+            acc
+        then acc
+        else (chi, a) :: acc)
+      [] refined
+  in
+  let pts =
+    List.map
+      (fun (chi, a) ->
+        let v_eff =
+          effective_v ?points nl ~n ~a ~v_inj:(Cx.polar vi chi) ~h_n
+        in
+        classify ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a ~v_eff)
+      dedup
+  in
+  List.sort (fun p q -> compare p.chi q.chi) pts
+
+let lock_range ?points ?(tol = 1e-4) nl ~tank ~n ~vi =
+  let stable_at phi_d =
+    let omega_i = Tank.omega_of_phase tank ~phi_d in
+    List.exists
+      (fun p -> p.stable)
+      (find ?points ~chi_scan:32 nl ~tank ~n ~vi ~omega_i)
+  in
+  let boundary side =
+    (* side = +1. searches positive phi_d (below resonance), -1. above *)
+    if not (stable_at 0.0) then 0.0
+    else begin
+      let rec grow hi =
+        if hi >= 1.4 then 1.4
+        else if stable_at (side *. hi) then grow (hi *. 2.0)
+        else hi
+      in
+      let hi0 = grow 0.05 in
+      if stable_at (side *. hi0) then hi0
+      else begin
+        let lo = ref (hi0 /. 2.0) and hi = ref hi0 in
+        if not (stable_at (side *. !lo)) then lo := 0.0;
+        while !hi -. !lo > tol do
+          let mid = 0.5 *. (!lo +. !hi) in
+          if stable_at (side *. mid) then lo := mid else hi := mid
+        done;
+        0.5 *. (!lo +. !hi)
+      end
+    end
+  in
+  (* the harmonic feedback breaks the +-phi_d symmetry: search both sides *)
+  let phi_pos = boundary 1.0 in
+  let phi_neg = boundary (-1.0) in
+  let two_pi = 2.0 *. Float.pi in
+  let nf = float_of_int n in
+  if phi_pos <= 0.0 && phi_neg <= 0.0 then
+    {
+      Lock_range.phi_d_max = 0.0;
+      f_osc_low = Float.nan;
+      f_osc_high = Float.nan;
+      f_inj_low = Float.nan;
+      f_inj_high = Float.nan;
+      delta_f_inj = 0.0;
+      at_center = [];
+    }
+  else begin
+    let w_low = Tank.omega_of_phase tank ~phi_d:phi_pos in
+    let w_high = Tank.omega_of_phase tank ~phi_d:(-.phi_neg) in
+    {
+      Lock_range.phi_d_max = Float.max phi_pos phi_neg;
+      f_osc_low = w_low /. two_pi;
+      f_osc_high = w_high /. two_pi;
+      f_inj_low = nf *. w_low /. two_pi;
+      f_inj_high = nf *. w_high /. two_pi;
+      delta_f_inj = nf *. (w_high -. w_low) /. two_pi;
+      at_center = [];
+    }
+  end

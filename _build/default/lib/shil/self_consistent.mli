@@ -1,0 +1,44 @@
+(** Extension beyond the paper: self-consistent n-th-harmonic analysis.
+
+    The paper's model takes the n-th-harmonic drive at the nonlinearity
+    input to be the external injection alone. But the nonlinearity's own
+    n-th-harmonic current [I_n] also flows through the tank and returns
+    as an additional n-th-harmonic voltage [-I_n H(j n w_i)]. For
+    odd-symmetric cells at n = 3 this is small (the paper's examples);
+    for asymmetric cells at n = 2 it rivals the injection and visibly
+    shifts the lock band (see examples/custom_nonlinearity.ml).
+
+    This module closes the loop: the effective harmonic phasor solves the
+    fixed point [V = V_inj - I_n(A, V) H(j n w_i)], embedded in the lock
+    equations. Unknowns are the injection phase [chi] (relative to the
+    pinned fundamental) and the amplitude [A]. *)
+
+type point = {
+  chi : float;  (** external injection phase, rad *)
+  a : float;
+  v_eff : Numerics.Cx.t;  (** effective n-th harmonic phasor at the input *)
+  stable : bool;
+  trace : float;
+  det : float;
+}
+
+val effective_v :
+  ?points:int -> ?max_iter:int -> ?tol:float -> Nonlinearity.t -> n:int ->
+  a:float -> v_inj:Numerics.Cx.t -> h_n:Numerics.Cx.t -> Numerics.Cx.t
+(** Fixed-point solve of [V = V_inj - I_n(A, V) h_n]; converges
+    geometrically when [|dI_n/dV h_n| < 1] (always, for realistic
+    tanks). *)
+
+val find :
+  ?points:int -> ?chi_scan:int -> ?a_range:float * float ->
+  Nonlinearity.t -> tank:Tank.t -> n:int -> vi:float -> omega_i:float ->
+  point list
+(** Lock points at the given oscillator frequency, with the harmonic
+    feedback included. [a_range] defaults to 25%%–130%% of the natural
+    amplitude. *)
+
+val lock_range :
+  ?points:int -> ?tol:float -> Nonlinearity.t -> tank:Tank.t -> n:int ->
+  vi:float -> Lock_range.t
+(** Like {!Lock_range.predict} but self-consistent. The returned
+    [at_center] field holds the plain-model points for comparison. *)

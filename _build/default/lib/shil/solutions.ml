@@ -1,0 +1,128 @@
+module Cx = Numerics.Cx
+module Df = Describing_function
+module Angle = Numerics.Angle
+module Roots = Numerics.Roots
+
+type point = {
+  phi : float;
+  a : float;
+  stable : bool;
+  trace : float;
+  det : float;
+}
+
+let residuals ?points nl ~n ~r ~vi ~phi_d (phi, a) =
+  if a <= 0.0 then (1e6, 1e6)
+  else begin
+    let i1 = Df.i1_two_tone ?points nl ~n ~a ~vi ~phi in
+    let m = Cx.neg i1 in
+    let mag = Cx.abs m in
+    let r1 = (r *. Cx.re m /. (a /. 2.0)) -. 1.0 in
+    let r2 =
+      if mag = 0.0 then 1e6
+      else ((Cx.im m *. cos phi_d) +. (Cx.re m *. sin phi_d)) /. mag
+    in
+    (r1, r2)
+  end
+
+(* Reduced restoring flow (§VI-B3): dA/dt = F1 = T_F - 1, dphi/dt = F2 =
+   -(angle(-I1) + phi_d). Stability = eigenvalues of d(F1,F2)/d(A,phi) in
+   the left half plane <=> trace < 0 and det > 0. *)
+let flow ?points nl ~n ~r ~vi ~phi_d ~phi ~a =
+  let i1 = Df.i1_two_tone ?points nl ~n ~a ~vi ~phi in
+  let m = Cx.neg i1 in
+  let f1 = (2.0 *. r *. Cx.abs m *. cos phi_d /. a) -. 1.0 in
+  let f2 = -.Angle.wrap_pi (Cx.arg m +. phi_d) in
+  (f1, f2)
+
+let classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a =
+  let ha = 1e-5 *. (1.0 +. Float.abs a) in
+  let hp = 1e-5 in
+  let f1_pa, f2_pa = flow ?points nl ~n ~r ~vi ~phi_d ~phi ~a:(a +. ha) in
+  let f1_ma, f2_ma = flow ?points nl ~n ~r ~vi ~phi_d ~phi ~a:(a -. ha) in
+  let f1_pp, f2_pp = flow ?points nl ~n ~r ~vi ~phi_d ~phi:(phi +. hp) ~a in
+  let f1_mp, f2_mp = flow ?points nl ~n ~r ~vi ~phi_d ~phi:(phi -. hp) ~a in
+  let j11 = (f1_pa -. f1_ma) /. (2.0 *. ha) in
+  let j12 = (f1_pp -. f1_mp) /. (2.0 *. hp) in
+  let j21 = (f2_pa -. f2_ma) /. (2.0 *. ha) in
+  let j22 = (f2_pp -. f2_mp) /. (2.0 *. hp) in
+  let trace = j11 +. j22 in
+  let det = (j11 *. j22) -. (j12 *. j21) in
+  { phi; a; stable = trace < 0.0 && det > 0.0; trace; det }
+
+let refine ?points nl ~n ~r ~vi ~phi_d ~phi0 ~a0 =
+  let f = residuals ?points nl ~n ~r ~vi ~phi_d in
+  try Some (Roots.newton2d ~tol:1e-12 ~f ~x0:(phi0, a0) ())
+  with Roots.No_convergence _ -> None
+
+let find ?points (g : Grid.t) ~phi_d =
+  let nl = g.nl and n = g.n and r = g.r and vi = g.vi in
+  let curves = Grid.t_f_curve g in
+  (* residual of eq. 4 along the T_f = 1 curve, wrapped *)
+  let phase_res phi a =
+    let i1 = Grid.interp_i1 g ~phi ~a in
+    Angle.wrap_pi (Cx.arg (Cx.neg i1) +. phi_d)
+  in
+  let candidates = ref [] in
+  List.iter
+    (fun (xs, ys) ->
+      let m = Array.length xs in
+      let prev = ref None in
+      for k = 0 to m - 1 do
+        let gk = phase_res xs.(k) ys.(k) in
+        (match !prev with
+        | Some (gp, kp) ->
+          (* bracket only genuine crossings (avoid the +-pi wrap seam) *)
+          if gp *. gk <= 0.0 && Float.abs (gp -. gk) < Float.pi /. 2.0 then begin
+            let t = if gp = gk then 0.5 else gp /. (gp -. gk) in
+            let phi0 = xs.(kp) +. (t *. (xs.(k) -. xs.(kp))) in
+            let a0 = ys.(kp) +. (t *. (ys.(k) -. ys.(kp))) in
+            candidates := (phi0, a0) :: !candidates
+          end
+        | None -> ());
+        prev := Some (gk, k)
+      done)
+    curves;
+  let refined =
+    List.filter_map
+      (fun (phi0, a0) ->
+        match refine ?points nl ~n ~r ~vi ~phi_d ~phi0 ~a0 with
+        | Some (phi, a) when a > 0.0 ->
+          (* reject the spurious cos <= 0 branch *)
+          let i1 = Df.i1_two_tone ?points nl ~n ~a ~vi ~phi in
+          let m = Cx.neg i1 in
+          if Float.abs (Angle.wrap_pi (Cx.arg m +. phi_d)) < Float.pi /. 2.0
+          then Some (Angle.wrap_two_pi phi, a)
+          else None
+        | Some _ | None -> None)
+      !candidates
+  in
+  (* deduplicate: two solutions are the same within small tolerances *)
+  let dedup =
+    List.fold_left
+      (fun acc (phi, a) ->
+        if
+          List.exists
+            (fun (phi', a') ->
+              Angle.dist phi phi' < 1e-5 && Float.abs (a -. a') < 1e-7 *. (1.0 +. a))
+            acc
+        then acc
+        else (phi, a) :: acc)
+      [] refined
+  in
+  let pts =
+    List.map (fun (phi, a) -> classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a) dedup
+  in
+  List.sort (fun p q -> compare p.phi q.phi) pts
+
+let stable_exists ?points g ~phi_d =
+  List.exists (fun p -> p.stable) (find ?points g ~phi_d)
+
+let n_states p ~n =
+  List.init n (fun k ->
+      let psi =
+        Angle.wrap_two_pi
+          ((-.p.phi /. float_of_int n)
+          +. (2.0 *. Float.pi *. float_of_int k /. float_of_int n))
+      in
+      (psi, p.a))

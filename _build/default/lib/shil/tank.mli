@@ -1,0 +1,39 @@
+(** Parallel RLC tank: the linear filter of the oscillator loop.
+
+    Transfer impedance (current in, voltage out):
+    [H(jw) = R / (1 + j Q (w/wc - wc/w))] with [wc = 1/sqrt(LC)] and
+    [Q = R sqrt(C/L)]. Phase [phi_d(w) = -atan (Q (w/wc - wc/w))] is
+    positive below resonance, zero at [wc], negative above — Fig. 6. *)
+
+type t = private { r : float; l : float; c : float }
+
+val make : r:float -> l:float -> c:float -> t
+(** All values must be positive. *)
+
+val with_r : t -> float -> t
+
+val omega_c : t -> float
+val f_c : t -> float
+val q : t -> float
+
+val h : t -> omega:float -> Numerics.Cx.t
+val mag : t -> omega:float -> float
+val phase : t -> omega:float -> float
+(** [phi_d] in radians, in (-pi/2, pi/2). *)
+
+val omega_of_phase : t -> phi_d:float -> float
+(** Inverse of {!phase}: the unique positive frequency at which the tank
+    contributes [phi_d]. Requires [|phi_d| < pi/2]. *)
+
+val circle_point : t -> b_center:Numerics.Cx.t -> phi_d:float -> Numerics.Cx.t
+(** Circle property (§VI-B1): given the output phasor [b_center] at the
+    centre frequency, the output phasor at the frequency where the tank
+    phase is [phi_d] is the projection
+    [b_center * cos(phi_d) * exp(j phi_d)]. *)
+
+val circle_locus : t -> b_center:Numerics.Cx.t -> n:int -> Numerics.Cx.t array
+(** [n] samples of the full circle swept by the output phasor as the
+    operating frequency runs over (0, infinity) — for the Fig. 20
+    visualization. *)
+
+val pp : Format.formatter -> t -> unit

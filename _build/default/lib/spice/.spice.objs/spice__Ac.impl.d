@@ -1,0 +1,1 @@
+lib/spice/ac.ml: Array Circuit Device Float List Mna Numerics Op

@@ -1,0 +1,1 @@
+lib/spice/circuit.ml: Device Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/spice/dc_sweep.ml: Array Circuit Device Mna Op Printf Wave

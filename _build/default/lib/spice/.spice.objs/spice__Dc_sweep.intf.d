@@ -1,0 +1,1 @@
+lib/spice/dc_sweep.mli: Circuit Mna Newton

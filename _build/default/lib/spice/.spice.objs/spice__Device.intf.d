@@ -1,0 +1,1 @@
+lib/spice/device.mli: Wave

@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Circuit Device Float Hashtbl List Wave

@@ -1,0 +1,1 @@
+lib/spice/mna.mli: Circuit Numerics

@@ -1,0 +1,1 @@
+lib/spice/netlist.ml: Buffer Circuit Device Float List Option Printf Result String Wave

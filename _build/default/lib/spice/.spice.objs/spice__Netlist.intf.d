@@ -1,0 +1,1 @@
+lib/spice/netlist.mli: Circuit

@@ -1,0 +1,1 @@
+lib/spice/newton.ml: Array Float Numerics Printf

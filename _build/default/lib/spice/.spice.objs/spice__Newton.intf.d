@@ -1,0 +1,1 @@
+lib/spice/newton.mli: Numerics

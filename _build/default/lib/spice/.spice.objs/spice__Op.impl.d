@@ -1,0 +1,1 @@
+lib/spice/op.ml: Array Format Mna Newton

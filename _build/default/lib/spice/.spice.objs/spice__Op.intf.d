@@ -1,0 +1,1 @@
+lib/spice/op.mli: Circuit Format Mna Newton

@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Circuit Device Float List Mna Newton Op Option Wave

@@ -1,0 +1,1 @@
+lib/spice/transient.mli: Circuit Mna Newton

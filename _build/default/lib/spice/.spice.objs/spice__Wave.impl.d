@@ -1,0 +1,1 @@
+lib/spice/wave.ml: Float List

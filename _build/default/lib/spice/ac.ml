@@ -1,0 +1,126 @@
+module Cx = Numerics.Cx
+module Linalg = Numerics.Linalg
+
+type t = {
+  freqs : float array;
+  compiled : Mna.compiled;
+  solutions : Cx.t array array;
+}
+
+let run ?newton ~circuit ~source ~freqs () =
+  let op = Op.run ?newton circuit in
+  let compiled = op.Op.compiled in
+  let size = Mna.size compiled in
+  let idx n = if Circuit.is_ground n then -1 else Mna.node_index compiled n in
+  let v_op n = Mna.node_voltage compiled op.Op.x n in
+  let solve_at freq =
+    let w = 2.0 *. Float.pi *. freq in
+    let a = Array.init size (fun _ -> Array.make size Cx.zero) in
+    let b = Array.make size Cx.zero in
+    let add_a r c v =
+      if r >= 0 && c >= 0 then a.(r).(c) <- Cx.add a.(r).(c) v
+    in
+    let add_b r v = if r >= 0 then b.(r) <- Cx.add b.(r) v in
+    let stamp_g i1 i2 g =
+      let gz = Cx.of_float g in
+      add_a i1 i1 gz;
+      add_a i1 i2 (Cx.neg gz);
+      add_a i2 i1 (Cx.neg gz);
+      add_a i2 i2 gz
+    in
+    let stamp_y i1 i2 y =
+      add_a i1 i1 y;
+      add_a i1 i2 (Cx.neg y);
+      add_a i2 i1 (Cx.neg y);
+      add_a i2 i2 y
+    in
+    List.iter
+      (fun (d : Device.t) ->
+        match d with
+        | Resistor { n1; n2; r; _ } -> stamp_g (idx n1) (idx n2) (1.0 /. r)
+        | Capacitor { n1; n2; c; _ } ->
+          stamp_y (idx n1) (idx n2) (Cx.make 0.0 (w *. c))
+        | Inductor { name; n1; n2; l; _ } ->
+          let br = Mna.branch_index compiled name in
+          let i1 = idx n1 and i2 = idx n2 in
+          add_a i1 br Cx.one;
+          add_a i2 br (Cx.neg Cx.one);
+          add_a br i1 Cx.one;
+          add_a br i2 (Cx.neg Cx.one);
+          a.(br).(br) <- Cx.sub a.(br).(br) (Cx.make 0.0 (w *. l))
+        | Vsource { name; np; nn; _ } ->
+          let br = Mna.branch_index compiled name in
+          let ip = idx np and inn = idx nn in
+          add_a ip br Cx.one;
+          add_a inn br (Cx.neg Cx.one);
+          add_a br ip Cx.one;
+          add_a br inn (Cx.neg Cx.one);
+          if name = source then b.(br) <- Cx.one
+        | Isource { name; np; nn; _ } ->
+          (* unit AC current np -> nn when driven: drawn out of np *)
+          if name = source then begin
+            add_b (idx np) (Cx.neg Cx.one);
+            add_b (idx nn) Cx.one
+          end
+        | Diode { np; nn; p; _ } ->
+          let v = v_op np -. v_op nn in
+          let _, g = Device.diode_iv p v in
+          stamp_g (idx np) (idx nn) g
+        | Tunnel_diode { np; nn; p; _ } ->
+          let v = v_op np -. v_op nn in
+          let _, g = Device.tunnel_iv p v in
+          stamp_g (idx np) (idx nn) g
+        | Nonlinear_cs { np; nn; f; df; _ } ->
+          let v = v_op np -. v_op nn in
+          let g =
+            match df with
+            | Some df -> df v
+            | None ->
+              let h = 1e-6 *. (1.0 +. Float.abs v) in
+              (f (v +. h) -. f (v -. h)) /. (2.0 *. h)
+          in
+          stamp_g (idx np) (idx nn) g
+        | Mosfet { nd; ng; ns; p; _ } ->
+          let vg = v_op ng and vd = v_op nd and vs = v_op ns in
+          let lin = Device.mos_iv p ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+          let d = idx nd and g = idx ng and s = idx ns in
+          List.iter
+            (fun (r, c, gv) -> add_a r c (Cx.of_float gv))
+            [
+              (d, g, lin.gm); (d, d, lin.gds); (d, s, -.(lin.gm +. lin.gds));
+              (s, g, -.lin.gm); (s, d, -.lin.gds); (s, s, lin.gm +. lin.gds);
+            ]
+        | Bjt { nc; nb; ne; p; _ } ->
+          let vb = v_op nb and vc = v_op nc and ve = v_op ne in
+          let lin = Device.bjt_iv p ~vbe:(vb -. ve) ~vbc:(vb -. vc) in
+          let ic_ = idx nc and ib_ = idx nb and ie_ = idx ne in
+          let dic_dvb = lin.dic_dvbe +. lin.dic_dvbc in
+          let dic_dvc = -.lin.dic_dvbc in
+          let dic_dve = -.lin.dic_dvbe in
+          let dib_dvb = lin.dib_dvbe +. lin.dib_dvbc in
+          let dib_dvc = -.lin.dib_dvbc in
+          let dib_dve = -.lin.dib_dvbe in
+          let entries =
+            [
+              (ic_, ib_, dic_dvb); (ic_, ic_, dic_dvc); (ic_, ie_, dic_dve);
+              (ib_, ib_, dib_dvb); (ib_, ic_, dib_dvc); (ib_, ie_, dib_dve);
+              (ie_, ib_, -.(dic_dvb +. dib_dvb));
+              (ie_, ic_, -.(dic_dvc +. dib_dvc));
+              (ie_, ie_, -.(dic_dve +. dib_dve));
+            ]
+          in
+          List.iter (fun (r, c, g) -> add_a r c (Cx.of_float g)) entries)
+      (Circuit.devices circuit);
+    (* small leak keeps floating nodes regular, mirroring the DC gmin *)
+    for k = 0 to Mna.n_nodes compiled - 1 do
+      a.(k).(k) <- Cx.add a.(k).(k) (Cx.of_float 1e-12)
+    done;
+    Linalg.solve_complex a b
+  in
+  { freqs; compiled; solutions = Array.map solve_at freqs }
+
+let voltage t node =
+  let i = Mna.node_index t.compiled node in
+  Array.map (fun x -> if i < 0 then Cx.zero else x.(i)) t.solutions
+
+let transfer = voltage

@@ -1,0 +1,23 @@
+(** Small-signal AC analysis: linearize every nonlinear device at the DC
+    operating point and solve the complex MNA system over a frequency
+    list. Used to cross-check the analytic RLC tank transfer function. *)
+
+type t = {
+  freqs : float array;
+  compiled : Mna.compiled;
+  solutions : Numerics.Cx.t array array;
+      (** [solutions.(k)] is the unknown vector at [freqs.(k)] *)
+}
+
+val run :
+  ?newton:Newton.options -> circuit:Circuit.t -> source:string ->
+  freqs:float array -> unit -> t
+(** Drives the named independent source with a unit AC amplitude (V or A
+    according to its kind), all other independent sources quiesced, and
+    solves at each frequency. *)
+
+val voltage : t -> string -> Numerics.Cx.t array
+(** Complex node voltage across the sweep. *)
+
+val transfer : t -> string -> Numerics.Cx.t array
+(** Same as {!voltage} (the drive has unit amplitude and zero phase). *)

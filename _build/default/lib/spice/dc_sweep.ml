@@ -1,0 +1,34 @@
+type point = { value : float; x : float array }
+type t = { compiled : Mna.compiled; points : point array }
+
+let with_source_value circuit ~source v =
+  match Circuit.find circuit source with
+  | Some (Device.Vsource s) ->
+    Circuit.replace circuit source (Device.Vsource { s with wave = Wave.Dc v })
+  | Some (Device.Isource s) ->
+    Circuit.replace circuit source (Device.Isource { s with wave = Wave.Dc v })
+  | Some _ -> invalid_arg "Dc_sweep: source is not an independent V/I source"
+  | None -> invalid_arg (Printf.sprintf "Dc_sweep: no device named %S" source)
+
+let run ?newton ~circuit ~source ~start ~stop ~steps () =
+  if steps < 1 then invalid_arg "Dc_sweep: steps must be >= 1";
+  let compiled = Mna.compile circuit in
+  let prev_x = ref None in
+  let points =
+    Array.init (steps + 1) (fun k ->
+        let v = start +. ((stop -. start) *. float_of_int k /. float_of_int steps) in
+        let c = with_source_value circuit ~source v in
+        let op = Op.run ?newton ?x0:!prev_x c in
+        prev_x := Some op.Op.x;
+        { value = v; x = op.Op.x })
+  in
+  { compiled; points }
+
+let voltages t node =
+  Array.map (fun p -> Mna.node_voltage t.compiled p.x node) t.points
+
+let source_values t = Array.map (fun p -> p.value) t.points
+
+let branch_currents t name =
+  let idx = Mna.branch_index t.compiled name in
+  Array.map (fun p -> p.x.(idx)) t.points

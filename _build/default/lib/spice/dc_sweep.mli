@@ -1,0 +1,27 @@
+(** DC sweep of an independent source: the paper's Fig. 11b/12a flow for
+    extracting the [i = f(v)] curve of a negative-resistance cell. *)
+
+type point = {
+  value : float;  (** swept source value *)
+  x : float array;  (** converged solution at that value *)
+}
+
+type t = { compiled : Mna.compiled; points : point array }
+
+val run :
+  ?newton:Newton.options -> circuit:Circuit.t -> source:string ->
+  start:float -> stop:float -> steps:int -> unit -> t
+(** Sweeps the named V or I source from [start] to [stop] in [steps]
+    uniform increments (inclusive; [steps + 1] points), warm-starting each
+    solve from the previous point. Raises [Invalid_argument] if [source]
+    is not an independent source, {!Op.No_convergence} if a point fails. *)
+
+val voltages : t -> string -> float array
+(** Node voltage at each sweep point. *)
+
+val source_values : t -> float array
+
+val branch_currents : t -> string -> float array
+(** Branch current (of a V source or inductor) at each sweep point — for a
+    swept V source this is exactly the current meter reading of the
+    extraction circuit. *)

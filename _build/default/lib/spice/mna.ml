@@ -1,0 +1,312 @@
+(* Unknowns: node voltages then branch currents (V sources and inductors).
+   KCL residual: sum of currents leaving the node; branch residuals follow.
+   Nonlinear devices are linearized analytically; integration uses
+   trapezoidal or backward-Euler companion models. *)
+
+type inst =
+  | IR of { i1 : int; i2 : int; g : float }
+  | IC of { i1 : int; i2 : int; c : float; ic : float option; si : int }
+  | IL of { i1 : int; i2 : int; l : float; ic : float option; br : int; si : int }
+  | IV of { ip : int; inn : int; wave : Wave.t; br : int }
+  | II of { ip : int; inn : int; wave : Wave.t }
+  | ID of { ip : int; inn : int; p : Device.diode_params }
+  | IQ of { nc : int; nb : int; ne : int; p : Device.bjt_params }
+  | ITD of { ip : int; inn : int; p : Device.tunnel_params }
+  | IM of { nd : int; ng : int; ns : int; p : Device.mos_params }
+  | INL of { ip : int; inn : int; f : float -> float; df : (float -> float) option }
+
+type compiled = {
+  n_nodes : int;
+  n_branches : int;
+  insts : inst array;
+  node_tbl : (string, int) Hashtbl.t;
+  branch_tbl : (string, int) Hashtbl.t;  (* device name -> unknown index *)
+  n_caps : int;
+  n_inds : int;
+}
+
+let compile circuit =
+  let node_tbl = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace node_tbl n i) (Circuit.node_names circuit);
+  let n_nodes = Hashtbl.length node_tbl in
+  if n_nodes = 0 then invalid_arg "Mna.compile: empty circuit";
+  let idx n = if Circuit.is_ground n then -1 else Hashtbl.find node_tbl n in
+  let branch_tbl = Hashtbl.create 8 in
+  let next_branch = ref 0 and next_cap = ref 0 and next_ind = ref 0 in
+  let insts =
+    List.map
+      (fun (d : Device.t) ->
+        match d with
+        | Resistor { n1; n2; r; _ } ->
+          if r = 0.0 then invalid_arg "Mna.compile: zero-ohm resistor";
+          IR { i1 = idx n1; i2 = idx n2; g = 1.0 /. r }
+        | Capacitor { n1; n2; c; ic; _ } ->
+          let si = !next_cap in
+          incr next_cap;
+          IC { i1 = idx n1; i2 = idx n2; c; ic; si }
+        | Inductor { name; n1; n2; l; ic } ->
+          let br = n_nodes + !next_branch in
+          incr next_branch;
+          Hashtbl.replace branch_tbl name br;
+          let si = !next_ind in
+          incr next_ind;
+          IL { i1 = idx n1; i2 = idx n2; l; ic; br; si }
+        | Vsource { name; np; nn; wave } ->
+          let br = n_nodes + !next_branch in
+          incr next_branch;
+          Hashtbl.replace branch_tbl name br;
+          IV { ip = idx np; inn = idx nn; wave; br }
+        | Isource { np; nn; wave; _ } -> II { ip = idx np; inn = idx nn; wave }
+        | Diode { np; nn; p; _ } -> ID { ip = idx np; inn = idx nn; p }
+        | Bjt { nc; nb; ne; p; _ } -> IQ { nc = idx nc; nb = idx nb; ne = idx ne; p }
+        | Tunnel_diode { np; nn; p; _ } -> ITD { ip = idx np; inn = idx nn; p }
+        | Mosfet { nd; ng; ns; p; _ } -> IM { nd = idx nd; ng = idx ng; ns = idx ns; p }
+        | Nonlinear_cs { np; nn; f; df; _ } -> INL { ip = idx np; inn = idx nn; f; df })
+      (Circuit.devices circuit)
+  in
+  {
+    n_nodes;
+    n_branches = !next_branch;
+    insts = Array.of_list insts;
+    node_tbl;
+    branch_tbl;
+    n_caps = !next_cap;
+    n_inds = !next_ind;
+  }
+
+let size c = c.n_nodes + c.n_branches
+let n_nodes c = c.n_nodes
+
+let node_index c name =
+  if Circuit.is_ground name then -1 else Hashtbl.find c.node_tbl name
+
+let branch_index c name = Hashtbl.find c.branch_tbl name
+
+let node_voltage c x name =
+  let i = node_index c name in
+  if i < 0 then 0.0 else x.(i)
+
+type integ = Trap | Backward_euler
+
+type state = {
+  cap_v : float array;
+  cap_i : float array;
+  ind_v : float array;
+  ind_i : float array;
+}
+
+let v_at x i = if i < 0 then 0.0 else x.(i)
+
+let init_state c ~use_ic ~x =
+  let cap_v = Array.make (max c.n_caps 1) 0.0 in
+  let cap_i = Array.make (max c.n_caps 1) 0.0 in
+  let ind_v = Array.make (max c.n_inds 1) 0.0 in
+  let ind_i = Array.make (max c.n_inds 1) 0.0 in
+  Array.iter
+    (fun inst ->
+      match inst with
+      | IC { i1; i2; ic; si; _ } ->
+        let from_x = v_at x i1 -. v_at x i2 in
+        cap_v.(si) <- (match ic with Some v when use_ic -> v | _ -> from_x)
+      | IL { i1; i2; ic; si; br; _ } ->
+        ind_v.(si) <- v_at x i1 -. v_at x i2;
+        ind_i.(si) <- (match ic with Some i when use_ic -> i | _ -> x.(br))
+      | IR _ | IV _ | II _ | ID _ | IQ _ | ITD _ | IM _ | INL _ -> ())
+    c.insts;
+  { cap_v; cap_i; ind_v; ind_i }
+
+let update_state c ~integ ~h ~prev ~x =
+  let cap_v = Array.copy prev.cap_v in
+  let cap_i = Array.copy prev.cap_i in
+  let ind_v = Array.copy prev.ind_v in
+  let ind_i = Array.copy prev.ind_i in
+  Array.iter
+    (fun inst ->
+      match inst with
+      | IC { i1; i2; c = cval; si; _ } ->
+        let v_new = v_at x i1 -. v_at x i2 in
+        let i_new =
+          match integ with
+          | Trap ->
+            (2.0 *. cval /. h *. (v_new -. prev.cap_v.(si))) -. prev.cap_i.(si)
+          | Backward_euler -> cval /. h *. (v_new -. prev.cap_v.(si))
+        in
+        cap_v.(si) <- v_new;
+        cap_i.(si) <- i_new
+      | IL { i1; i2; si; br; _ } ->
+        ind_v.(si) <- v_at x i1 -. v_at x i2;
+        ind_i.(si) <- x.(br)
+      | IR _ | IV _ | II _ | ID _ | IQ _ | ITD _ | IM _ | INL _ -> ())
+    c.insts;
+  { cap_v; cap_i; ind_v; ind_i }
+
+type mode =
+  | Dc of { gmin : float; source_scale : float }
+  | Tran of { t : float; h : float; integ : integ; state : state; gmin : float }
+
+let assemble c ~mode ~x ~jac ~res =
+  let n = size c in
+  for r = 0 to n - 1 do
+    res.(r) <- 0.0;
+    let row = jac.(r) in
+    for cc = 0 to n - 1 do
+      row.(cc) <- 0.0
+    done
+  done;
+  (* helpers that ignore the ground index (-1) *)
+  let add_res i v = if i >= 0 then res.(i) <- res.(i) +. v in
+  let add_jac r cidx v = if r >= 0 && cidx >= 0 then jac.(r).(cidx) <- jac.(r).(cidx) +. v in
+  let gmin, src_scale, time =
+    match mode with
+    | Dc { gmin; source_scale } -> (gmin, source_scale, 0.0)
+    | Tran { gmin; t; _ } -> (gmin, 1.0, t)
+  in
+  (* gmin leak on every node keeps the matrix regular with floating caps *)
+  if gmin > 0.0 then
+    for k = 0 to c.n_nodes - 1 do
+      res.(k) <- res.(k) +. (gmin *. x.(k));
+      jac.(k).(k) <- jac.(k).(k) +. gmin
+    done;
+  let src_value wave =
+    match mode with
+    | Dc _ -> src_scale *. Wave.dc_value wave
+    | Tran _ -> Wave.value wave time
+  in
+  let stamp_conductance i1 i2 g i0 =
+    (* current i = g*(v1-v2) + i0 flowing i1 -> i2 *)
+    let v = v_at x i1 -. v_at x i2 in
+    let i = (g *. v) +. i0 in
+    add_res i1 i;
+    add_res i2 (-.i);
+    add_jac i1 i1 g;
+    add_jac i1 i2 (-.g);
+    add_jac i2 i1 (-.g);
+    add_jac i2 i2 g
+  in
+  let stamp_nonlinear i1 i2 i g =
+    (* device current i (already evaluated at x) with slope g *)
+    add_res i1 i;
+    add_res i2 (-.i);
+    add_jac i1 i1 g;
+    add_jac i1 i2 (-.g);
+    add_jac i2 i1 (-.g);
+    add_jac i2 i2 g
+  in
+  Array.iter
+    (fun inst ->
+      match inst with
+      | IR { i1; i2; g } -> stamp_conductance i1 i2 g 0.0
+      | IC { i1; i2; c = cval; si; _ } -> begin
+        match mode with
+        | Dc _ -> () (* open circuit *)
+        | Tran { h; integ; state; _ } ->
+          let geq, ieq =
+            match integ with
+            | Trap ->
+              let geq = 2.0 *. cval /. h in
+              (geq, (-.geq *. state.cap_v.(si)) -. state.cap_i.(si))
+            | Backward_euler ->
+              let geq = cval /. h in
+              (geq, -.geq *. state.cap_v.(si))
+          in
+          stamp_conductance i1 i2 geq ieq
+      end
+      | IL { i1; i2; l; br; si; _ } -> begin
+        (* KCL: branch current leaves i1, enters i2 *)
+        let ibr = x.(br) in
+        add_res i1 ibr;
+        add_res i2 (-.ibr);
+        add_jac i1 br 1.0;
+        add_jac i2 br (-1.0);
+        (* branch equation:
+           trap: v_new = (2L/h)(i_new - i_prev) - v_prev
+           BE:   v_new = (L/h)(i_new - i_prev) *)
+        match mode with
+        | Dc _ ->
+          res.(br) <- v_at x i1 -. v_at x i2;
+          add_jac br i1 1.0;
+          add_jac br i2 (-1.0)
+        | Tran { h; integ; state; _ } ->
+          let v = v_at x i1 -. v_at x i2 in
+          let k, v_prev_term =
+            match integ with
+            | Trap -> (2.0 *. l /. h, state.ind_v.(si))
+            | Backward_euler -> (l /. h, 0.0)
+          in
+          res.(br) <- v -. (k *. (ibr -. state.ind_i.(si))) +. v_prev_term;
+          add_jac br i1 1.0;
+          add_jac br i2 (-1.0);
+          jac.(br).(br) <- jac.(br).(br) -. k
+      end
+      | IV { ip; inn; wave; br } ->
+        let ibr = x.(br) in
+        add_res ip ibr;
+        add_res inn (-.ibr);
+        add_jac ip br 1.0;
+        add_jac inn br (-1.0);
+        res.(br) <- v_at x ip -. v_at x inn -. src_value wave;
+        add_jac br ip 1.0;
+        add_jac br inn (-1.0)
+      | II { ip; inn; wave } ->
+        let i = src_value wave in
+        add_res ip i;
+        add_res inn (-.i)
+      | ID { ip; inn; p } ->
+        let v = v_at x ip -. v_at x inn in
+        let i, g = Device.diode_iv p v in
+        stamp_nonlinear ip inn i g
+      | ITD { ip; inn; p } ->
+        let v = v_at x ip -. v_at x inn in
+        let i, g = Device.tunnel_iv p v in
+        stamp_nonlinear ip inn i g
+      | INL { ip; inn; f; df } ->
+        let v = v_at x ip -. v_at x inn in
+        let i = f v in
+        let g =
+          match df with
+          | Some df -> df v
+          | None ->
+            let h = 1e-6 *. (1.0 +. Float.abs v) in
+            (f (v +. h) -. f (v -. h)) /. (2.0 *. h)
+        in
+        stamp_nonlinear ip inn i g
+      | IM { nd; ng; ns; p } ->
+        let vg = v_at x ng and vd = v_at x nd and vs = v_at x ns in
+        let lin = Device.mos_iv p ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+        (* drain current enters the drain terminal and leaves the source *)
+        add_res nd lin.id;
+        add_res ns (-.lin.id);
+        (* d id: vgs = vg - vs, vds = vd - vs *)
+        add_jac nd ng lin.gm;
+        add_jac nd nd lin.gds;
+        add_jac nd ns (-.(lin.gm +. lin.gds));
+        add_jac ns ng (-.lin.gm);
+        add_jac ns nd (-.lin.gds);
+        add_jac ns ns (lin.gm +. lin.gds)
+      | IQ { nc; nb; ne; p } ->
+        let vb = v_at x nb and vc = v_at x nc and ve = v_at x ne in
+        let lin = Device.bjt_iv p ~vbe:(vb -. ve) ~vbc:(vb -. vc) in
+        let ie = -.(lin.ic +. lin.ib) in
+        add_res nc lin.ic;
+        add_res nb lin.ib;
+        add_res ne ie;
+        (* chain rule: vbe = vb - ve, vbc = vb - vc *)
+        let dic_dvb = lin.dic_dvbe +. lin.dic_dvbc in
+        let dic_dvc = -.lin.dic_dvbc in
+        let dic_dve = -.lin.dic_dvbe in
+        let dib_dvb = lin.dib_dvbe +. lin.dib_dvbc in
+        let dib_dvc = -.lin.dib_dvbc in
+        let dib_dve = -.lin.dib_dvbe in
+        add_jac nc nb dic_dvb;
+        add_jac nc nc dic_dvc;
+        add_jac nc ne dic_dve;
+        add_jac nb nb dib_dvb;
+        add_jac nb nc dib_dvc;
+        add_jac nb ne dib_dve;
+        add_jac ne nb (-.(dic_dvb +. dib_dvb));
+        add_jac ne nc (-.(dic_dvc +. dib_dvc));
+        add_jac ne ne (-.(dic_dve +. dib_dve)))
+    c.insts
+
+let cap_count c = c.n_caps
+let ind_count c = c.n_inds

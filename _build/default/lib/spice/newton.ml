@@ -1,0 +1,62 @@
+module Linalg = Numerics.Linalg
+
+type options = {
+  max_iter : int;
+  vtol_abs : float;
+  vtol_rel : float;
+  res_tol : float;
+  step_limit : float;
+}
+
+let defaults =
+  { max_iter = 250; vtol_abs = 1e-9; vtol_rel = 1e-6; res_tol = 1e-9;
+    step_limit = 2.0 }
+
+type outcome = Converged of { iterations : int } | Diverged of string
+
+let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
+  let clamp_upto = match clamp_upto with Some k -> k | None -> size in
+  let x = Array.copy x0 in
+  let jac = Linalg.create size size in
+  let res = Array.make size 0.0 in
+  let outcome = ref None in
+  let iter = ref 0 in
+  while !outcome = None && !iter < options.max_iter do
+    incr iter;
+    assemble ~x ~jac ~res;
+    let res_norm = Linalg.norm_inf res in
+    (match Linalg.lu_factor jac with
+    | exception Linalg.Singular -> outcome := Some (Diverged "singular Jacobian")
+    | f ->
+      let dx = Linalg.lu_solve f res in
+      (* clamp the per-component update: junction exponentials explode
+         without it *)
+      let clamped = ref false in
+      Array.iteri
+        (fun k d ->
+          if k < clamp_upto && Float.abs d > options.step_limit then begin
+            dx.(k) <- Float.copy_sign options.step_limit d;
+            clamped := true
+          end)
+        dx;
+      let dx_norm = Linalg.norm_inf dx in
+      Array.iteri (fun k d -> x.(k) <- x.(k) -. d) dx;
+      if Array.exists (fun v -> not (Float.is_finite v)) x then
+        outcome := Some (Diverged "non-finite iterate")
+      else begin
+        let x_norm = Linalg.norm_inf x in
+        if
+          (not !clamped)
+          && dx_norm <= options.vtol_abs +. (options.vtol_rel *. x_norm)
+          && res_norm <= options.res_tol *. 10.0
+          (* the residual was evaluated before the step; accept when the
+             last step is negligible and the entering residual small *)
+        then outcome := Some (Converged { iterations = !iter })
+      end)
+  done;
+  let out =
+    match !outcome with
+    | Some o -> o
+    | None -> Diverged (Printf.sprintf "no convergence in %d iterations" options.max_iter)
+  in
+  (x, out)

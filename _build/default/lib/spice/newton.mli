@@ -1,0 +1,24 @@
+(** Damped Newton–Raphson on assembled MNA systems. *)
+
+type options = {
+  max_iter : int;  (** default 250 *)
+  vtol_abs : float;  (** absolute step tolerance, default 1e-9 *)
+  vtol_rel : float;  (** relative step tolerance, default 1e-6 *)
+  res_tol : float;  (** residual (current) tolerance, default 1e-9 *)
+  step_limit : float;  (** per-unknown update clamp, default 2.0 (V/A) *)
+}
+
+val defaults : options
+
+type outcome = Converged of { iterations : int } | Diverged of string
+
+val solve :
+  ?options:options -> ?clamp_upto:int -> size:int ->
+  assemble:(x:float array -> jac:Numerics.Linalg.mat -> res:float array -> unit) ->
+  x0:float array -> unit -> float array * outcome
+(** [solve ~size ~assemble ~x0 ()] iterates from [x0]; clamps each update
+    of the first [clamp_upto] unknowns (default all; pass the node count
+    so branch currents stay unclamped — they are linear and may
+    legitimately move by enormous amounts) componentwise to [step_limit]
+    (crucial for exponential junctions) and returns the final iterate
+    together with the outcome. The input [x0] is not modified. *)

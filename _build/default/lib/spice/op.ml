@@ -1,0 +1,66 @@
+type t = { compiled : Mna.compiled; x : float array }
+
+exception No_convergence of string
+
+let attempt ?newton compiled ~gmin ~source_scale ~x0 =
+  let size = Mna.size compiled in
+  let assemble ~x ~jac ~res =
+    Mna.assemble compiled ~mode:(Mna.Dc { gmin; source_scale }) ~x ~jac ~res
+  in
+  let x, outcome =
+    Newton.solve ?options:newton ~clamp_upto:(Mna.n_nodes compiled) ~size
+      ~assemble ~x0 ()
+  in
+  match outcome with
+  | Newton.Converged _ -> Ok x
+  | Newton.Diverged msg -> Error msg
+
+let run ?newton ?x0 circuit =
+  let compiled = Mna.compile circuit in
+  let size = Mna.size compiled in
+  let x0 = match x0 with Some x -> x | None -> Array.make size 0.0 in
+  let direct = attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0 in
+  match direct with
+  | Ok x -> { compiled; x }
+  | Error _ ->
+    (* gmin stepping: solve with a heavy leak, then relax it *)
+    let rec gmin_steps x = function
+      | [] -> Ok x
+      | g :: rest -> begin
+        match attempt ?newton compiled ~gmin:g ~source_scale:1.0 ~x0:x with
+        | Ok x' -> gmin_steps x' rest
+        | Error e -> Error e
+      end
+    in
+    let gmins = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; 1e-12 ] in
+    (match gmin_steps (Array.make size 0.0) gmins with
+    | Ok x -> { compiled; x }
+    | Error _ ->
+      (* source stepping with a mild gmin *)
+      let rec src_steps x = function
+        | [] -> Ok x
+        | s :: rest -> begin
+          match attempt ?newton compiled ~gmin:1e-9 ~source_scale:s ~x0:x with
+          | Ok x' -> src_steps x' rest
+          | Error e -> Error e
+        end
+      in
+      let scales = [ 0.1; 0.2; 0.4; 0.6; 0.8; 0.9; 1.0 ] in
+      (match src_steps (Array.make size 0.0) scales with
+      | Ok x -> begin
+        (* polish without the stepping gmin *)
+        match attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0:x with
+        | Ok x' -> { compiled; x = x' }
+        | Error _ -> { compiled; x }
+      end
+      | Error e -> raise (No_convergence e)))
+
+let voltage t name = Mna.node_voltage t.compiled t.x name
+let current t name = t.x.(Mna.branch_index t.compiled name)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>operating point (%d unknowns):@,%a@]"
+    (Array.length t.x)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_space (fun ppf v ->
+         Format.fprintf ppf "%.6g" v))
+    t.x

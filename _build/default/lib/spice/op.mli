@@ -1,0 +1,22 @@
+(** DC operating-point analysis. *)
+
+type t = {
+  compiled : Mna.compiled;
+  x : float array;  (** converged solution: node voltages then branch currents *)
+}
+
+exception No_convergence of string
+
+val run : ?newton:Newton.options -> ?x0:float array -> Circuit.t -> t
+(** Finds the DC operating point. Strategy: plain Newton with a small
+    [gmin]; on failure, gmin stepping ([1e-2] down to [1e-12] in decades);
+    on failure, source stepping (ramping all independent sources from 10%%
+    to 100%%). Raises {!No_convergence} when everything fails. *)
+
+val voltage : t -> string -> float
+(** Node voltage; raises [Not_found] on unknown node names. *)
+
+val current : t -> string -> float
+(** Branch current of a voltage source or inductor. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,216 @@
+type probe = Node of string | Diff of string * string | Branch of string
+
+type step_control =
+  | Fixed
+  | Adaptive of { lte_tol : float; dt_min : float; dt_max : float }
+
+type options = {
+  dt : float;
+  t_stop : float;
+  t_start : float;
+  integ : Mna.integ;
+  use_ic : bool;
+  record_stride : int;
+  newton : Newton.options;
+  gmin : float;
+  step_control : step_control;
+}
+
+let default_options ~dt ~t_stop =
+  {
+    dt;
+    t_stop;
+    t_start = 0.0;
+    integ = Mna.Trap;
+    use_ic = false;
+    record_stride = 1;
+    newton = Newton.defaults;
+    gmin = 1e-12;
+    step_control = Fixed;
+  }
+
+let adaptive ?(lte_tol = 1e-4) opts =
+  {
+    opts with
+    step_control =
+      Adaptive { lte_tol; dt_min = opts.dt /. 1000.0; dt_max = 10.0 *. opts.dt };
+  }
+
+type result = { times : float array; signals : (probe * float array) list }
+
+exception Step_failure of { t : float; msg : string }
+
+let probe_reader compiled probe =
+  match probe with
+  | Node n ->
+    let i = Mna.node_index compiled n in
+    fun (x : float array) -> if i < 0 then 0.0 else x.(i)
+  | Diff (a, b) ->
+    let ia = Mna.node_index compiled a and ib = Mna.node_index compiled b in
+    fun x ->
+      (if ia < 0 then 0.0 else x.(ia)) -. if ib < 0 then 0.0 else x.(ib)
+  | Branch name ->
+    let i = Mna.branch_index compiled name in
+    fun x -> x.(i)
+
+let run circuit ~probes opts =
+  if opts.dt <= 0.0 || opts.t_stop <= 0.0 then
+    invalid_arg "Transient.run: dt and t_stop must be positive";
+  let compiled = Mna.compile circuit in
+  let size = Mna.size compiled in
+  (* initial solution; with use_ic, solve a DC problem where IC'd
+     capacitors become voltage sources and IC'd inductors current
+     sources, then map the node voltages back by name *)
+  let x0 =
+    if opts.use_ic then begin
+      let ic_circuit =
+        Circuit.of_devices
+          (List.map
+             (fun (d : Device.t) ->
+               match d with
+               | Capacitor { name; n1; n2; ic; _ } ->
+                 (* UIC: unspecified initial conditions are zero *)
+                 let v = Option.value ic ~default:0.0 in
+                 Device.Vsource { name; np = n1; nn = n2; wave = Wave.Dc v }
+               | Inductor { name; n1; n2; ic; _ } ->
+                 let i = Option.value ic ~default:0.0 in
+                 Device.Isource { name; np = n1; nn = n2; wave = Wave.Dc i }
+               | d -> d)
+             (Circuit.devices circuit))
+      in
+      let op = Op.run ic_circuit in
+      let x = Array.make size 0.0 in
+      List.iter
+        (fun (d : Device.t) ->
+          List.iter
+            (fun n ->
+              if not (Circuit.is_ground n) then begin
+                let i = Mna.node_index compiled n in
+                if i >= 0 then x.(i) <- Op.voltage op n
+              end)
+            (Device.nodes d))
+        (Circuit.devices circuit);
+      (* branch currents: inductors take their IC (or the solved DC
+         current); voltage sources take the solved branch current *)
+      List.iter
+        (fun (d : Device.t) ->
+          match d with
+          | Inductor { name; ic; _ } ->
+            let br = Mna.branch_index compiled name in
+            x.(br) <- Option.value ic ~default:0.0
+          | Vsource { name; _ } ->
+            let br = Mna.branch_index compiled name in
+            x.(br) <- (try Op.current op name with Not_found -> 0.0)
+          | Resistor _ | Capacitor _ | Isource _ | Diode _ | Bjt _
+          | Tunnel_diode _ | Mosfet _ | Nonlinear_cs _ -> ())
+        (Circuit.devices circuit);
+      x
+    end
+    else begin
+      let op = Op.run circuit in
+      op.Op.x
+    end
+  in
+  let state = ref (Mna.init_state compiled ~use_ic:opts.use_ic ~x:x0) in
+  let readers = List.map (fun p -> (p, probe_reader compiled p)) probes in
+  let times = ref [] in
+  let buffers = List.map (fun p -> (p, ref [])) probes in
+  let record t x =
+    times := t :: !times;
+    List.iter2
+      (fun (_, reader) (_, buf) -> buf := reader x :: !buf)
+      readers buffers
+  in
+  let x = ref (Array.copy x0) in
+  if opts.t_start <= 0.0 then record 0.0 !x;
+  (* one Newton step of the implicit method: returns Ok x' or Error msg *)
+  let solve_step ~t ~h ~integ ~state x_guess =
+    let assemble ~x ~jac ~res =
+      Mna.assemble compiled
+        ~mode:(Mna.Tran { t; h; integ; state; gmin = opts.gmin })
+        ~x ~jac ~res
+    in
+    let x', outcome =
+      Newton.solve ~options:opts.newton ~clamp_upto:(Mna.n_nodes compiled)
+        ~size ~assemble ~x0:x_guess ()
+    in
+    match outcome with
+    | Newton.Converged _ -> Ok x'
+    | Newton.Diverged msg -> Error msg
+  in
+  (* advance from t by h, subdividing on failure *)
+  let rec advance ~t ~h ~integ ~depth =
+    match solve_step ~t:(t +. h) ~h ~integ ~state:!state !x with
+    | Ok x' ->
+      state := Mna.update_state compiled ~integ ~h ~prev:!state ~x:x';
+      x := x'
+    | Error msg ->
+      if depth >= 8 then raise (Step_failure { t = t +. h; msg })
+      else begin
+        let h2 = h /. 2.0 in
+        advance ~t ~h:h2 ~integ ~depth:(depth + 1);
+        advance ~t:(t +. h2) ~h:h2 ~integ ~depth:(depth + 1)
+      end
+  in
+  let stride = max 1 opts.record_stride in
+  (match opts.step_control with
+  | Fixed ->
+    let n_steps = int_of_float (Float.ceil ((opts.t_stop /. opts.dt) -. 1e-9)) in
+    for k = 0 to n_steps - 1 do
+      let t = float_of_int k *. opts.dt in
+      let h = Float.min opts.dt (opts.t_stop -. t) in
+      (* bootstrap the trapezoidal state with one BE step *)
+      let integ = if k = 0 then Mna.Backward_euler else opts.integ in
+      advance ~t ~h ~integ ~depth:0;
+      let t' = t +. h in
+      if t' >= opts.t_start -. 1e-15 && (k + 1) mod stride = 0 then record t' !x
+    done
+  | Adaptive { lte_tol; dt_min; dt_max } ->
+    (* step doubling: compare one h-step against two h/2-steps; the
+       trapezoidal rule is 2nd order, so err ~ |x_h - x_h/2| / 3 *)
+    let t = ref 0.0 and h = ref opts.dt and k = ref 0 in
+    (* tiny BE bootstrap step: backward Euler is only first order, so keep
+       its contribution to the global error negligible *)
+    let h0 = Float.min (!h /. 64.0) (opts.t_stop -. !t) in
+    advance ~t:!t ~h:h0 ~integ:Mna.Backward_euler ~depth:0;
+    t := !t +. h0;
+    if !t >= opts.t_start -. 1e-15 then record !t !x;
+    while !t < opts.t_stop -. 1e-15 *. Float.max 1.0 opts.t_stop do
+      let hs = Float.min !h (opts.t_stop -. !t) in
+      let x_save = Array.copy !x and state_save = !state in
+      (* full step *)
+      advance ~t:!t ~h:hs ~integ:opts.integ ~depth:0;
+      let x_full = Array.copy !x in
+      (* two half steps from the saved state *)
+      x := x_save;
+      state := state_save;
+      advance ~t:!t ~h:(hs /. 2.0) ~integ:opts.integ ~depth:0;
+      advance ~t:(!t +. (hs /. 2.0)) ~h:(hs /. 2.0) ~integ:opts.integ ~depth:0;
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          let scale = 1e-6 +. Float.max (Float.abs v) (Float.abs x_full.(i)) in
+          err := Float.max !err (Float.abs (v -. x_full.(i)) /. (3.0 *. scale)))
+        !x;
+      if !err <= lte_tol || hs <= dt_min *. 1.000001 then begin
+        (* accept the (more accurate) half-step result *)
+        t := !t +. hs;
+        incr k;
+        if !t >= opts.t_start -. 1e-15 && !k mod stride = 0 then record !t !x;
+        let grow = 0.9 *. sqrt (lte_tol /. Float.max !err 1e-30) in
+        h := Float.min dt_max (Float.max dt_min (hs *. Float.min 2.0 grow))
+      end
+      else begin
+        (* reject: restore and retry smaller *)
+        x := x_save;
+        state := state_save;
+        h := Float.max dt_min (hs /. 2.0)
+      end
+    done);
+  {
+    times = Array.of_list (List.rev !times);
+    signals =
+      List.map (fun (p, buf) -> (p, Array.of_list (List.rev !buf))) buffers;
+  }
+
+let signal r probe = List.assoc probe r.signals

@@ -1,0 +1,53 @@
+(** Transient analysis: fixed-step trapezoidal (default) or backward-Euler
+    integration with a full Newton solve per step.
+
+    On a Newton failure at a step, the step is retried with up to 8 binary
+    subdivisions before giving up. *)
+
+type probe =
+  | Node of string  (** node voltage *)
+  | Diff of string * string  (** differential voltage [v a - v b] *)
+  | Branch of string  (** branch current of a V source or inductor *)
+
+type step_control =
+  | Fixed  (** constant [dt] (the last step lands on [t_stop]) *)
+  | Adaptive of { lte_tol : float; dt_min : float; dt_max : float }
+      (** step-doubling local-truncation-error control: each step is also
+          taken as two half steps; the Richardson error estimate must stay
+          below [lte_tol] (relative, with a 1 uV/uA floor) or the step is
+          retried at half size. [dt] becomes the initial step. *)
+
+type options = {
+  dt : float;  (** time step, s *)
+  t_stop : float;
+  t_start : float;  (** recording starts here (simulation always starts at 0) *)
+  integ : Mna.integ;
+  use_ic : bool;  (** start from device ICs instead of the DC operating point *)
+  record_stride : int;  (** keep every k-th accepted step (>= 1) *)
+  newton : Newton.options;
+  gmin : float;
+  step_control : step_control;
+}
+
+val default_options : dt:float -> t_stop:float -> options
+(** Trapezoidal, [t_start = 0.], OP start, stride 1, default Newton
+    options, [gmin = 1e-12], [Fixed] stepping. *)
+
+val adaptive : ?lte_tol:float -> options -> options
+(** Switches the options to adaptive stepping ([lte_tol] default 1e-4;
+    [dt_min = dt / 1000], [dt_max = 10 dt]). *)
+
+type result = {
+  times : float array;
+  signals : (probe * float array) list;  (** in the order requested *)
+}
+
+exception Step_failure of { t : float; msg : string }
+
+val run : Circuit.t -> probes:probe list -> options -> result
+(** Runs the analysis, recording the probes on [[t_start, t_stop]]. The
+    very first step uses backward Euler to bootstrap the trapezoidal
+    state. *)
+
+val signal : result -> probe -> float array
+(** Raises [Not_found] when the probe was not recorded. *)

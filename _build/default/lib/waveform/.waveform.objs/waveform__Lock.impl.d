@@ -1,0 +1,1 @@
+lib/waveform/lock.ml: Array Float Measure Numerics Signal

@@ -1,0 +1,1 @@
+lib/waveform/lock.mli: Signal

@@ -1,0 +1,1 @@
+lib/waveform/measure.ml: Array Float List Numerics Signal

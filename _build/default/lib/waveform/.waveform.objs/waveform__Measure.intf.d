@@ -1,0 +1,1 @@
+lib/waveform/measure.mli: Numerics Signal

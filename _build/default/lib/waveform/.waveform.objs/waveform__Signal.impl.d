@@ -1,0 +1,1 @@
+lib/waveform/signal.ml: Array

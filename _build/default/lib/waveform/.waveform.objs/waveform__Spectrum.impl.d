@@ -1,0 +1,1 @@
+lib/waveform/spectrum.ml: Array Float Numerics Signal

@@ -1,0 +1,1 @@
+lib/waveform/spectrum.mli: Signal

@@ -1,0 +1,35 @@
+(** Waveform measurements: crossings, frequency, amplitude, steady state. *)
+
+val rising_crossings : ?level:float -> Signal.t -> float array
+(** Times of rising crossings through [level] (default the signal's
+    time-weighted mean), located by linear interpolation. *)
+
+val frequency : ?level:float -> Signal.t -> float
+(** Mean frequency from the first to the last rising crossing. Raises
+    [Failure] with an explanatory message when fewer than two crossings
+    exist (no oscillation). *)
+
+val frequency_opt : ?level:float -> Signal.t -> float option
+
+val amplitude : Signal.t -> float
+(** Half the peak-to-peak excursion — the [A] of the paper's sinusoidal
+    steady state. *)
+
+val peaks : Signal.t -> (float * float) array
+(** Local maxima [(time, value)] found by three-point comparison with
+    parabolic refinement. *)
+
+val is_steady : ?window_fraction:float -> ?rel_tol:float -> Signal.t -> bool
+(** Compares the amplitude over the last window against the previous one:
+    steady when they differ by less than [rel_tol] (default 1%%,
+    [window_fraction] default 0.15). *)
+
+val fundamental : Signal.t -> freq:float -> Numerics.Cx.t
+(** One-sided phasor of the component at [freq]: the real waveform
+    [2|X| cos(2 pi f t + arg X)] matches the signal's component. Uses an
+    integer number of periods from the tail of the signal. *)
+
+val phase_vs_reference : Signal.t -> freq:float -> windows:int -> float array
+(** Splits the signal into [windows] equal spans and returns the phase (in
+    radians, unwrapped) of the [freq] component in each — a locked
+    oscillator shows a flat profile, an unlocked one a steady drift. *)

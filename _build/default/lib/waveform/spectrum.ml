@@ -1,0 +1,67 @@
+module Fft = Numerics.Fft
+
+type t = { freqs : float array; mags : float array }
+
+let compute ?(hann = true) (s : Signal.t) =
+  let n_raw = Signal.length s in
+  let n = Fft.next_power_of_two n_raw in
+  let t0 = s.times.(0) and t1 = s.times.(n_raw - 1) in
+  let xs =
+    Array.init n (fun k ->
+        let t = t0 +. ((t1 -. t0) *. float_of_int k /. float_of_int (n - 1)) in
+        Signal.value_at s t)
+  in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let coherent_gain = ref 0.0 in
+  let windowed =
+    Array.mapi
+      (fun k x ->
+        let w =
+          if hann then
+            0.5 *. (1.0 -. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int (n - 1)))
+          else 1.0
+        in
+        coherent_gain := !coherent_gain +. w;
+        (x -. mean) *. w)
+      xs
+  in
+  let spec = Fft.rdft windowed in
+  let half = n / 2 in
+  let dt = (t1 -. t0) /. float_of_int (n - 1) in
+  let df = 1.0 /. (float_of_int n *. dt) in
+  let norm = 2.0 /. !coherent_gain in
+  {
+    freqs = Array.init half (fun k -> float_of_int k *. df);
+    mags = Array.init half (fun k -> norm *. Numerics.Cx.abs spec.(k));
+  }
+
+let dominant t =
+  let n = Array.length t.mags in
+  let best = ref 1 in
+  for k = 2 to n - 1 do
+    if t.mags.(k) > t.mags.(!best) then best := k
+  done;
+  let k = !best in
+  if k > 0 && k < n - 1 then begin
+    (* parabolic interpolation of the log-magnitude around the peak *)
+    let la = log (Float.max t.mags.(k - 1) 1e-300) in
+    let lb = log (Float.max t.mags.(k) 1e-300) in
+    let lc = log (Float.max t.mags.(k + 1) 1e-300) in
+    let denom = la -. (2.0 *. lb) +. lc in
+    let delta = if Float.abs denom < 1e-300 then 0.0 else 0.5 *. (la -. lc) /. denom in
+    let df = t.freqs.(1) -. t.freqs.(0) in
+    (t.freqs.(k) +. (delta *. df), t.mags.(k))
+  end
+  else (t.freqs.(k), t.mags.(k))
+
+let magnitude_at t f =
+  let n = Array.length t.freqs in
+  if f <= t.freqs.(0) then t.mags.(0)
+  else if f >= t.freqs.(n - 1) then t.mags.(n - 1)
+  else begin
+    let df = t.freqs.(1) -. t.freqs.(0) in
+    let k = int_of_float (f /. df) in
+    let k = min (n - 2) (max 0 k) in
+    let frac = (f -. t.freqs.(k)) /. df in
+    t.mags.(k) +. (frac *. (t.mags.(k + 1) -. t.mags.(k)))
+  end

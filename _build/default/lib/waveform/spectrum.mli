@@ -1,0 +1,19 @@
+(** FFT-based spectrum estimation. *)
+
+type t = {
+  freqs : float array;  (** one-sided frequency bins, Hz *)
+  mags : float array;  (** amplitude-normalised magnitudes *)
+}
+
+val compute : ?hann:bool -> Signal.t -> t
+(** Resamples the signal uniformly onto the next power-of-two grid (the
+    transient mesh is already uniform in practice), optionally applies a
+    Hann window (default true), and returns the one-sided amplitude
+    spectrum (coherent-gain corrected). *)
+
+val dominant : t -> float * float
+(** [(frequency, magnitude)] of the largest non-DC bin, with parabolic
+    interpolation between bins. *)
+
+val magnitude_at : t -> float -> float
+(** Linear interpolation of the magnitude at a frequency. *)

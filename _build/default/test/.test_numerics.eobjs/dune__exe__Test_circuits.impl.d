@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Float Lazy List QCheck QCheck_alcotest Shil Spice

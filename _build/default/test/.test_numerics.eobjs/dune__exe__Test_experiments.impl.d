@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Circuits Experiments Filename Float Format List Plotkit Printf String Sys

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Angle Array Cx Fft Float Fourier Interp Linalg List Numerics Ode Printf QCheck QCheck_alcotest Quad Roots Stats String

@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Ascii_render Fig Filename Float List Plotkit QCheck QCheck_alcotest Scale String Svg_render Sys

@@ -1,0 +1,1 @@
+test/test_ppv.ml: Alcotest Array Float Lazy Numerics Ppv Shil

@@ -1,0 +1,1 @@
+test/test_spice.ml: Ac Alcotest Array Circuit Dc_sweep Device Float List Mna Netlist Numerics Op Printf QCheck QCheck_alcotest Result Shil Spice Transient Wave Waveform

@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Array Float Numerics QCheck QCheck_alcotest Waveform

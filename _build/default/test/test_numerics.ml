@@ -1,0 +1,573 @@
+(* Unit and property tests for the numerics substrate. *)
+
+open Numerics
+
+let check_float ?(eps = 1e-9) msg expected got =
+  Alcotest.(check (float eps)) msg expected got
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Angle *)
+
+let test_wrap_ranges () =
+  List.iter
+    (fun a ->
+      let w2 = Angle.wrap_two_pi a in
+      Alcotest.(check bool) "wrap_two_pi in [0, 2pi)" true (w2 >= 0.0 && w2 < Angle.two_pi);
+      let wp = Angle.wrap_pi a in
+      Alcotest.(check bool) "wrap_pi in (-pi, pi]" true (wp > -.Angle.pi -. 1e-12 && wp <= Angle.pi +. 1e-12))
+    [ 0.0; 1.0; -1.0; 7.0; -7.0; 100.0; -100.0; Angle.pi; -.Angle.pi; 2.0 *. Angle.pi ]
+
+let test_wrap_identity () =
+  check_float "wrap of 0.3" 0.3 (Angle.wrap_pi 0.3);
+  check_float "wrap of 0.3 + 2pi" 0.3 (Angle.wrap_pi (0.3 +. Angle.two_pi));
+  check_float "wrap of 0.3 - 4pi" 0.3 (Angle.wrap_pi (0.3 -. (2.0 *. Angle.two_pi)))
+
+let test_unwrap () =
+  (* a steadily increasing phase, wrapped, must unwrap to itself *)
+  let truth = Array.init 50 (fun k -> 0.3 *. float_of_int k) in
+  let wrapped = Array.map Angle.wrap_pi truth in
+  let un = Angle.unwrap wrapped in
+  Array.iteri
+    (fun k v -> check_float ~eps:1e-9 "unwrap" (truth.(k) -. truth.(0) +. un.(0)) v)
+    un
+
+let test_dist () =
+  check_float "dist symmetric wrap" 0.2 (Angle.dist 0.1 (-0.1));
+  check_float "dist across seam" 0.2 (Angle.dist (Angle.pi -. 0.1) (-.Angle.pi +. 0.1))
+
+let prop_wrap_dist_bounded =
+  qtest "wrap: dist <= pi" QCheck.(pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0))
+    (fun (a, b) -> Angle.dist a b <= Angle.pi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Cx *)
+
+let test_cx_polar () =
+  let z = Cx.polar 2.0 0.7 in
+  check_float "polar abs" 2.0 (Cx.abs z);
+  check_float "polar arg" 0.7 (Cx.arg z)
+
+let test_cx_exp_j () =
+  let z = Cx.exp_j (Float.pi /. 2.0) in
+  check_float ~eps:1e-12 "exp_j re" 0.0 (Cx.re z);
+  check_float ~eps:1e-12 "exp_j im" 1.0 (Cx.im z)
+
+let prop_cx_mul_abs =
+  qtest "cx: |ab| = |a||b|"
+    QCheck.(quad (float_bound_exclusive 10.0) (float_bound_exclusive 6.0)
+              (float_bound_exclusive 10.0) (float_bound_exclusive 6.0))
+    (fun (r1, t1, r2, t2) ->
+      let a = Cx.polar r1 t1 and b = Cx.polar r2 t2 in
+      Float.abs (Cx.abs (Cx.mul a b) -. (r1 *. r2)) < 1e-9 *. (1.0 +. (r1 *. r2)))
+
+let prop_cx_conj_involution =
+  qtest "cx: conj (conj z) = z"
+    QCheck.(pair (float_range (-100.) 100.) (float_range (-100.) 100.))
+    (fun (re, im) ->
+      let z = Cx.make re im in
+      Cx.approx_equal (Cx.conj (Cx.conj z)) z)
+
+(* ------------------------------------------------------------------ *)
+(* Linalg *)
+
+let random_system rng n =
+  let a =
+    Array.init n (fun _ ->
+        Array.init n (fun _ -> QCheck.Gen.float_range (-5.0) 5.0 rng))
+  in
+  (* diagonal dominance keeps it well conditioned *)
+  for k = 0 to n - 1 do
+    a.(k).(k) <- a.(k).(k) +. (10.0 *. float_of_int n)
+  done;
+  let x = Array.init n (fun _ -> QCheck.Gen.float_range (-5.0) 5.0 rng) in
+  (a, x)
+
+let prop_lu_solve =
+  let gen =
+    QCheck.make
+      ~print:(fun (n, _) -> Printf.sprintf "n=%d" n)
+      (fun st ->
+        let n = QCheck.Gen.int_range 1 12 st in
+        (n, random_system st n))
+  in
+  qtest ~count:100 "linalg: solve recovers x" gen (fun (_, (a, x)) ->
+      let b = Linalg.mat_vec a x in
+      let x' = Linalg.solve a b in
+      Linalg.norm_inf (Linalg.vec_sub x x') < 1e-8)
+
+let test_lu_det () =
+  let a = [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  check_float "det diag" 6.0 (Linalg.lu_det (Linalg.lu_factor a));
+  let b = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  check_float "det swap" (-1.0) (Linalg.lu_det (Linalg.lu_factor b))
+
+let test_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular raises" Linalg.Singular (fun () ->
+      ignore (Linalg.solve a [| 1.0; 1.0 |]))
+
+let test_identity_solve () =
+  let x = Linalg.solve (Linalg.identity 4) [| 1.0; 2.0; 3.0; 4.0 |] in
+  Array.iteri (fun k v -> check_float "identity" (float_of_int (k + 1)) v) x
+
+let test_mat_mul_assoc () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = [| [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let c = [| [| 2.0; 0.0 |]; [| 0.0; 2.0 |] |] in
+  let left = Linalg.mat_mul (Linalg.mat_mul a b) c in
+  let right = Linalg.mat_mul a (Linalg.mat_mul b c) in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j v -> check_float "assoc" right.(i).(j) v) row)
+    left
+
+let test_complex_solve () =
+  (* (1 + j) x = 2 -> x = 1 - j *)
+  let a = [| [| Cx.make 1.0 1.0 |] |] in
+  let b = [| Cx.make 2.0 0.0 |] in
+  let x = Linalg.solve_complex a b in
+  check_float ~eps:1e-12 "re" 1.0 (Cx.re x.(0));
+  check_float ~eps:1e-12 "im" (-1.0) (Cx.im x.(0))
+
+let test_complex_solve_2x2 () =
+  let j = Cx.i in
+  let a = [| [| Cx.one; j |]; [| j; Cx.one |] |] in
+  let x_true = [| Cx.make 1.0 2.0; Cx.make (-1.0) 0.5 |] in
+  let b =
+    Array.init 2 (fun r ->
+        Cx.add (Cx.mul a.(r).(0) x_true.(0)) (Cx.mul a.(r).(1) x_true.(1)))
+  in
+  let x = Linalg.solve_complex a b in
+  Array.iteri
+    (fun k z -> Alcotest.(check bool) "complex 2x2" true (Cx.approx_equal ~tol:1e-10 z x_true.(k)))
+    x
+
+(* ------------------------------------------------------------------ *)
+(* Quad *)
+
+let test_trapezoid_linear () =
+  check_float "trap on line" 0.5 (Quad.trapezoid ~f:(fun x -> x) ~a:0.0 ~b:1.0 ~n:1)
+
+let test_simpson_cubic () =
+  (* Simpson integrates cubics exactly *)
+  check_float ~eps:1e-12 "simpson cubic" 0.25
+    (Quad.simpson ~f:(fun x -> x ** 3.0) ~a:0.0 ~b:1.0 ~n:2)
+
+let test_periodic_spectral () =
+  (* integral of cos^2 over a period = pi; 16 points nail it *)
+  let v = Quad.periodic ~f:(fun t -> cos t ** 2.0) ~period:(2.0 *. Float.pi) ~n:16 in
+  check_float ~eps:1e-12 "periodic cos^2" Float.pi v
+
+let test_adaptive_exp () =
+  let v = Quad.adaptive_simpson ~f:exp ~a:0.0 ~b:1.0 () in
+  check_float ~eps:1e-9 "adaptive e^x" (exp 1.0 -. 1.0) v
+
+let test_romberg () =
+  let v = Quad.romberg ~f:(fun x -> 1.0 /. (1.0 +. (x *. x))) ~a:0.0 ~b:1.0 () in
+  check_float ~eps:1e-10 "romberg atan" (Float.pi /. 4.0) v
+
+let prop_quad_agree =
+  qtest ~count:50 "quad: simpson ~ adaptive on smooth f"
+    QCheck.(pair (float_range 0.2 3.0) (float_range 0.2 3.0))
+    (fun (w1, w2) ->
+      let f x = sin (w1 *. x) *. cos (w2 *. x) +. x in
+      let s = Quad.simpson ~f ~a:0.0 ~b:2.0 ~n:2000 in
+      let a = Quad.adaptive_simpson ~f ~a:0.0 ~b:2.0 () in
+      Float.abs (s -. a) < 1e-7)
+
+(* ------------------------------------------------------------------ *)
+(* Fft *)
+
+let complex_array_gen n =
+  QCheck.Gen.(
+    array_size (return n)
+      (map (fun (re, im) -> Cx.make re im)
+         (pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))))
+
+let prop_fft_roundtrip =
+  let gen =
+    QCheck.make
+      ~print:(fun a -> Printf.sprintf "len=%d" (Array.length a))
+      QCheck.Gen.(int_range 1 64 >>= complex_array_gen)
+  in
+  qtest ~count:100 "fft: idft (dft x) = x" gen (fun x ->
+      let y = Fft.idft (Fft.dft x) in
+      Array.for_all2 (fun a b -> Cx.approx_equal ~tol:1e-8 a b) x y)
+
+let test_fft_delta () =
+  let x = Array.make 8 Cx.zero in
+  x.(0) <- Cx.one;
+  let y = Fft.dft x in
+  Array.iter (fun z -> check_float ~eps:1e-12 "delta flat" 1.0 (Cx.abs z)) y
+
+let test_fft_sine_bin () =
+  let n = 64 in
+  let x =
+    Array.init n (fun k ->
+        Cx.of_float (cos (2.0 *. Float.pi *. 5.0 *. float_of_int k /. float_of_int n)))
+  in
+  let y = Fft.dft x in
+  check_float ~eps:1e-9 "bin 5 magnitude" (float_of_int n /. 2.0) (Cx.abs y.(5));
+  check_float ~eps:1e-9 "bin 6 empty" 0.0 (Cx.abs y.(6))
+
+let test_fft_bluestein_matches_naive () =
+  (* length 12 (non power of two) against the O(n^2) definition *)
+  let n = 12 in
+  let x = Array.init n (fun k -> Cx.make (float_of_int k) (float_of_int (k * k))) in
+  let y = Fft.dft x in
+  for k = 0 to n - 1 do
+    let acc = ref Cx.zero in
+    for s = 0 to n - 1 do
+      let theta = -2.0 *. Float.pi *. float_of_int (k * s) /. float_of_int n in
+      acc := Cx.add !acc (Cx.mul x.(s) (Cx.exp_j theta))
+    done;
+    Alcotest.(check bool) "bluestein vs naive" true (Cx.approx_equal ~tol:1e-7 !acc y.(k))
+  done
+
+let test_next_power_of_two () =
+  Alcotest.(check int) "npot 1" 1 (Fft.next_power_of_two 1);
+  Alcotest.(check int) "npot 5" 8 (Fft.next_power_of_two 5);
+  Alcotest.(check int) "npot 8" 8 (Fft.next_power_of_two 8);
+  Alcotest.(check bool) "ispot" true (Fft.is_power_of_two 64);
+  Alcotest.(check bool) "not pot" false (Fft.is_power_of_two 48)
+
+(* ------------------------------------------------------------------ *)
+(* Fourier *)
+
+let test_fourier_cos () =
+  (* x = cos theta -> X_1 = 1/2 *)
+  let c = Fourier.coeff ~f:cos ~k:1 () in
+  check_float ~eps:1e-12 "X1 re" 0.5 (Cx.re c);
+  check_float ~eps:1e-12 "X1 im" 0.0 (Cx.im c)
+
+let test_fourier_odd_function () =
+  (* tanh(cos theta) has no even harmonics *)
+  let f theta = tanh (2.0 *. cos theta) in
+  let c2 = Fourier.coeff ~f ~k:2 () in
+  check_float ~eps:1e-12 "even harmonic vanishes" 0.0 (Cx.abs c2);
+  let c3 = Fourier.coeff ~f ~k:3 () in
+  Alcotest.(check bool) "odd harmonic present" true (Cx.abs c3 > 1e-4)
+
+let test_fourier_coeffs_consistent () =
+  let f theta = exp (cos theta) in
+  let cs = Fourier.coeffs ~f ~kmax:5 () in
+  for k = 0 to 5 do
+    let single = Fourier.coeff ~f ~k () in
+    Alcotest.(check bool) "coeffs = coeff" true (Cx.approx_equal ~tol:1e-10 cs.(k) single)
+  done
+
+let test_fourier_reconstruct () =
+  let f theta = 1.0 +. (2.0 *. cos theta) +. (0.5 *. cos (3.0 *. theta)) in
+  let cs = Fourier.coeffs ~f ~kmax:4 () in
+  List.iter
+    (fun theta ->
+      check_float ~eps:1e-9 "reconstruct" (f theta) (Fourier.reconstruct cs ~theta))
+    [ 0.0; 0.7; 2.0; 4.5 ]
+
+let test_fourier_time_series () =
+  let freq = 3.0 in
+  let n = 3000 in
+  let t = Array.init n (fun k -> float_of_int k /. float_of_int (n - 1)) in
+  (* exactly 3 periods over [0, 1]; phasor of 2*0.4*cos(2 pi f t + 0.9) is
+     0.4 e^{j 0.9} *)
+  let x = Array.map (fun ti -> 0.8 *. cos ((2.0 *. Float.pi *. freq *. ti) +. 0.9)) t in
+  let c = Fourier.of_time_series ~t ~x ~freq ~k:1 in
+  check_float ~eps:1e-4 "ts abs" 0.4 (Cx.abs c);
+  check_float ~eps:1e-3 "ts arg" 0.9 (Cx.arg c)
+
+let prop_fourier_linearity =
+  qtest ~count:50 "fourier: coeff is linear"
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0))
+    (fun (a, b) ->
+      let f1 theta = cos theta and f2 theta = cos (2.0 *. theta) in
+      let combo theta = (a *. f1 theta) +. (b *. f2 theta) in
+      let c = Fourier.coeff ~f:combo ~k:1 () in
+      let c1 = Fourier.coeff ~f:f1 ~k:1 () in
+      Cx.approx_equal ~tol:1e-9 c (Cx.scale a c1))
+
+(* ------------------------------------------------------------------ *)
+(* Roots *)
+
+let test_bisect_sqrt2 () =
+  let r = Roots.bisect ~f:(fun x -> (x *. x) -. 2.0) ~a:0.0 ~b:2.0 () in
+  check_float ~eps:1e-9 "bisect sqrt2" (sqrt 2.0) r
+
+let test_brent_cos () =
+  let r = Roots.brent ~f:cos ~a:1.0 ~b:2.0 () in
+  check_float ~eps:1e-9 "brent pi/2" (Float.pi /. 2.0) r
+
+let test_newton_cbrt () =
+  let r = Roots.newton ~f:(fun x -> (x ** 3.0) -. 8.0) ~df:(fun x -> 3.0 *. x *. x) ~x0:3.0 () in
+  check_float ~eps:1e-9 "newton cbrt 8" 2.0 r
+
+let test_secant () =
+  let r = Roots.secant ~f:(fun x -> exp x -. 3.0) ~x0:0.5 ~x1:1.5 () in
+  check_float ~eps:1e-8 "secant ln 3" (log 3.0) r
+
+let test_no_bracket () =
+  Alcotest.check_raises "no bracket" Roots.No_bracket (fun () ->
+      ignore (Roots.bisect ~f:(fun x -> (x *. x) +. 1.0) ~a:(-1.0) ~b:1.0 ()))
+
+let test_find_all_sin () =
+  let roots = Roots.find_all ~f:sin ~a:0.5 ~b:10.0 ~n:200 () in
+  Alcotest.(check int) "sin roots in (0.5, 10)" 3 (List.length roots);
+  List.iteri
+    (fun k r -> check_float ~eps:1e-9 "k pi" (float_of_int (k + 1) *. Float.pi) r)
+    roots
+
+let test_newton2d () =
+  (* intersection of circle x^2+y^2=4 and line y=x: (sqrt 2, sqrt 2) *)
+  let f (x, y) = ((x *. x) +. (y *. y) -. 4.0, y -. x) in
+  let x, y = Roots.newton2d ~f ~x0:(1.0, 1.2) () in
+  check_float ~eps:1e-8 "2d x" (sqrt 2.0) x;
+  check_float ~eps:1e-8 "2d y" (sqrt 2.0) y
+
+let prop_brent_polynomial =
+  qtest ~count:100 "brent: root of (x-r)(x+r+1)"
+    QCheck.(float_range 0.1 5.0)
+    (fun r ->
+      let f x = (x -. r) *. (x +. r +. 1.0) in
+      let found = Roots.brent ~f ~a:0.0 ~b:6.0 () in
+      Float.abs (found -. r) < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Interp *)
+
+let test_linear_exact () =
+  let itp = Interp.linear ~xs:[| 0.0; 1.0; 2.0 |] ~ys:[| 0.0; 2.0; 4.0 |] in
+  check_float "linear mid" 1.0 (Interp.eval itp 0.5);
+  check_float "linear deriv" 2.0 (Interp.eval_deriv itp 0.5);
+  check_float "linear extrapolate" 6.0 (Interp.eval itp 3.0)
+
+let test_spline_reproduces_knots () =
+  let xs = [| 0.0; 0.5; 1.1; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> sin x) xs in
+  let itp = Interp.cubic_spline ~xs ~ys in
+  Array.iteri (fun k x -> check_float ~eps:1e-12 "spline knot" ys.(k) (Interp.eval itp x)) xs
+
+let test_spline_accuracy () =
+  let n = 30 in
+  let xs = Array.init n (fun k -> float_of_int k /. float_of_int (n - 1) *. 3.0) in
+  let ys = Array.map sin xs in
+  let itp = Interp.cubic_spline ~xs ~ys in
+  List.iter
+    (fun x -> check_float ~eps:1e-4 "spline vs sin" (sin x) (Interp.eval itp x))
+    [ 0.31; 1.17; 2.53 ]
+
+let test_pchip_knots () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = [| 0.0; 1.0; 1.0; 2.0 |] in
+  let itp = Interp.pchip ~xs ~ys in
+  Array.iteri (fun k x -> check_float ~eps:1e-12 "pchip knot" ys.(k) (Interp.eval itp x)) xs
+
+let prop_pchip_monotone =
+  (* pchip must preserve monotonicity of the data *)
+  let gen =
+    QCheck.make
+      ~print:(fun a -> String.concat "," (List.map string_of_float (Array.to_list a)))
+      QCheck.Gen.(
+        array_size (int_range 3 12) (float_range 0.01 2.0) >|= fun steps ->
+        let acc = ref 0.0 in
+        Array.map
+          (fun s ->
+            acc := !acc +. s;
+            !acc)
+          steps)
+  in
+  qtest ~count:100 "pchip: monotone data -> monotone interpolant" gen (fun ys ->
+      let n = Array.length ys in
+      let xs = Array.init n float_of_int in
+      let itp = Interp.pchip ~xs ~ys in
+      let ok = ref true in
+      for k = 0 to (10 * (n - 1)) - 1 do
+        let x1 = float_of_int k /. 10.0 in
+        let x2 = x1 +. 0.1 in
+        if Interp.eval itp x2 < Interp.eval itp x1 -. 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_shift_x () =
+  let itp = Interp.linear ~xs:[| 0.0; 1.0 |] ~ys:[| 0.0; 1.0 |] in
+  let shifted = Interp.shift_x itp 0.5 in
+  check_float "shift" 0.75 (Interp.eval shifted 0.25)
+
+let test_interp_deriv_fd () =
+  let xs = Array.init 20 (fun k -> float_of_int k /. 5.0) in
+  let ys = Array.map (fun x -> (x *. x) +. x) xs in
+  let itp = Interp.cubic_spline ~xs ~ys in
+  let x = 1.37 in
+  let h = 1e-6 in
+  let fd = (Interp.eval itp (x +. h) -. Interp.eval itp (x -. h)) /. (2.0 *. h) in
+  check_float ~eps:1e-5 "deriv vs fd" fd (Interp.eval_deriv itp x)
+
+let test_interp_invalid () =
+  Alcotest.check_raises "non-monotone knots"
+    (Invalid_argument "Interp: abscissae must be strictly increasing") (fun () ->
+      ignore (Interp.linear ~xs:[| 0.0; 0.0 |] ~ys:[| 1.0; 2.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Ode *)
+
+let test_rk4_exponential () =
+  let f _ y = [| -.y.(0) |] in
+  let y = Ode.rk4_final f ~t0:0.0 ~t1:1.0 ~dt:0.01 ~y0:[| 1.0 |] in
+  check_float ~eps:1e-8 "rk4 e^-1" (exp (-1.0)) y.(0)
+
+let test_rk4_order () =
+  (* halving dt should reduce the error ~16x *)
+  let f _ y = [| y.(0) *. cos y.(0) |] in
+  let solve dt = (Ode.rk4_final f ~t0:0.0 ~t1:1.0 ~dt ~y0:[| 0.5 |]).(0) in
+  let fine = solve 1e-4 in
+  let e1 = Float.abs (solve 0.02 -. fine) in
+  let e2 = Float.abs (solve 0.01 -. fine) in
+  Alcotest.(check bool) "order ~4" true (e1 /. e2 > 10.0)
+
+let test_rk4_harmonic_energy () =
+  let f _ y = [| y.(1); -.y.(0) |] in
+  let times, states = Ode.rk4 f ~t0:0.0 ~t1:(4.0 *. Float.pi) ~dt:0.001 ~y0:[| 1.0; 0.0 |] in
+  ignore times;
+  let last = states.(Array.length states - 1) in
+  let energy = (last.(0) *. last.(0)) +. (last.(1) *. last.(1)) in
+  check_float ~eps:1e-8 "energy conserved" 1.0 energy
+
+let test_dopri5 () =
+  let f t _ = [| cos t |] in
+  let _, states, stats = Ode.dopri5 ~rtol:1e-10 ~atol:1e-12 f ~t0:0.0 ~t1:2.0 ~y0:[| 0.0 |] in
+  let last = states.(Array.length states - 1) in
+  check_float ~eps:1e-8 "dopri5 sin 2" (sin 2.0) last.(0);
+  Alcotest.(check bool) "used adaptive steps" true (stats.steps > 5)
+
+let test_dopri5_stiffish () =
+  let f _ y = [| -50.0 *. (y.(0) -. cos 0.0) |] in
+  let _, states, _ = Ode.dopri5 f ~t0:0.0 ~t1:1.0 ~y0:[| 0.0 |] in
+  let last = states.(Array.length states - 1) in
+  check_float ~eps:1e-4 "relaxes to 1" 1.0 last.(0)
+
+let prop_rk4_linear_exact_slope =
+  qtest ~count:50 "ode: rk4 exact for dy/dt = a"
+    QCheck.(float_range (-5.0) 5.0)
+    (fun a ->
+      let f _ _ = [| a |] in
+      let y = Ode.rk4_final f ~t0:0.0 ~t1:2.0 ~dt:0.1 ~y0:[| 1.0 |] in
+      Float.abs (y.(0) -. (1.0 +. (2.0 *. a))) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean x);
+  check_float "variance" 1.25 (Stats.variance x);
+  check_float "median even" 2.5 (Stats.median x);
+  check_float "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  let lo, hi = Stats.min_max x in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi;
+  check_float "rms" (sqrt 7.5) (Stats.rms x)
+
+let prop_linear_fit_exact =
+  qtest ~count:100 "stats: fit recovers line"
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+    (fun (m, b) ->
+      let xs = Array.init 10 float_of_int in
+      let ys = Array.map (fun x -> (m *. x) +. b) xs in
+      let m', b' = Stats.linear_fit ~xs ~ys in
+      Float.abs (m -. m') < 1e-9 && Float.abs (b -. b') < 1e-8)
+
+let test_max_abs_dev () =
+  check_float "mad" 2.0 (Stats.max_abs_dev [| 1.0; 3.0; 5.0 |])
+
+let () =
+  Alcotest.run "numerics"
+    [
+      ( "angle",
+        [
+          Alcotest.test_case "wrap ranges" `Quick test_wrap_ranges;
+          Alcotest.test_case "wrap identity" `Quick test_wrap_identity;
+          Alcotest.test_case "unwrap" `Quick test_unwrap;
+          Alcotest.test_case "dist" `Quick test_dist;
+          prop_wrap_dist_bounded;
+        ] );
+      ( "cx",
+        [
+          Alcotest.test_case "polar" `Quick test_cx_polar;
+          Alcotest.test_case "exp_j" `Quick test_cx_exp_j;
+          prop_cx_mul_abs;
+          prop_cx_conj_involution;
+        ] );
+      ( "linalg",
+        [
+          prop_lu_solve;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "singular" `Quick test_singular;
+          Alcotest.test_case "identity" `Quick test_identity_solve;
+          Alcotest.test_case "mat_mul assoc" `Quick test_mat_mul_assoc;
+          Alcotest.test_case "complex 1x1" `Quick test_complex_solve;
+          Alcotest.test_case "complex 2x2" `Quick test_complex_solve_2x2;
+        ] );
+      ( "quad",
+        [
+          Alcotest.test_case "trapezoid line" `Quick test_trapezoid_linear;
+          Alcotest.test_case "simpson cubic" `Quick test_simpson_cubic;
+          Alcotest.test_case "periodic spectral" `Quick test_periodic_spectral;
+          Alcotest.test_case "adaptive exp" `Quick test_adaptive_exp;
+          Alcotest.test_case "romberg" `Quick test_romberg;
+          prop_quad_agree;
+        ] );
+      ( "fft",
+        [
+          prop_fft_roundtrip;
+          Alcotest.test_case "delta" `Quick test_fft_delta;
+          Alcotest.test_case "sine bin" `Quick test_fft_sine_bin;
+          Alcotest.test_case "bluestein vs naive" `Quick test_fft_bluestein_matches_naive;
+          Alcotest.test_case "powers of two" `Quick test_next_power_of_two;
+        ] );
+      ( "fourier",
+        [
+          Alcotest.test_case "cos coefficient" `Quick test_fourier_cos;
+          Alcotest.test_case "odd function" `Quick test_fourier_odd_function;
+          Alcotest.test_case "coeffs consistent" `Quick test_fourier_coeffs_consistent;
+          Alcotest.test_case "reconstruct" `Quick test_fourier_reconstruct;
+          Alcotest.test_case "time series" `Quick test_fourier_time_series;
+          prop_fourier_linearity;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "bisect" `Quick test_bisect_sqrt2;
+          Alcotest.test_case "brent" `Quick test_brent_cos;
+          Alcotest.test_case "newton" `Quick test_newton_cbrt;
+          Alcotest.test_case "secant" `Quick test_secant;
+          Alcotest.test_case "no bracket" `Quick test_no_bracket;
+          Alcotest.test_case "find_all sin" `Quick test_find_all_sin;
+          Alcotest.test_case "newton2d" `Quick test_newton2d;
+          prop_brent_polynomial;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "linear" `Quick test_linear_exact;
+          Alcotest.test_case "spline knots" `Quick test_spline_reproduces_knots;
+          Alcotest.test_case "spline accuracy" `Quick test_spline_accuracy;
+          Alcotest.test_case "pchip knots" `Quick test_pchip_knots;
+          prop_pchip_monotone;
+          Alcotest.test_case "shift_x" `Quick test_shift_x;
+          Alcotest.test_case "deriv vs fd" `Quick test_interp_deriv_fd;
+          Alcotest.test_case "invalid knots" `Quick test_interp_invalid;
+        ] );
+      ( "ode",
+        [
+          Alcotest.test_case "rk4 exponential" `Quick test_rk4_exponential;
+          Alcotest.test_case "rk4 order" `Quick test_rk4_order;
+          Alcotest.test_case "harmonic energy" `Quick test_rk4_harmonic_energy;
+          Alcotest.test_case "dopri5" `Quick test_dopri5;
+          Alcotest.test_case "dopri5 stiffish" `Quick test_dopri5_stiffish;
+          prop_rk4_linear_exact_slope;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          prop_linear_fit_exact;
+          Alcotest.test_case "max abs dev" `Quick test_max_abs_dev;
+        ] );
+    ]

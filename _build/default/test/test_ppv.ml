@@ -1,0 +1,181 @@
+(* Tests for the PPV baseline library (orbit finding, adjoint phase
+   sensitivity, generalized-Adler lock range). *)
+
+let check_float ?(eps = 1e-9) msg expected got =
+  Alcotest.(check (float eps)) msg expected got
+
+(* canonical fixture: the tanh LC oscillator used across the test suites *)
+let nl = Shil.Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3
+let tank =
+  let wc = 2.0 *. Float.pi *. 1e6 in
+  Shil.Tank.make ~r:1e3 ~l:(100.0 /. wc) ~c:(1.0 /. (100.0 *. wc))
+
+let f_sys =
+  let { Shil.Tank.r; l; c } = tank in
+  fun _t (y : float array) ->
+    let v = y.(0) and il = y.(1) in
+    [| ((-.v /. r) -. il -. Shil.Nonlinearity.eval nl v) /. c; v /. l |]
+
+let orbit = lazy
+  (Ppv.Orbit.from_transient ~f:f_sys ~x_start:[| 1e-3; 0.0 |]
+     ~period_estimate:1e-6 ())
+
+(* Orbit *)
+
+let test_orbit_period () =
+  let orb = Lazy.force orbit in
+  (* period ~ 1/fc (small Groszkowski shift allowed) *)
+  check_float ~eps:2e-9 "period near 1 us" 1e-6 orb.period
+
+let test_orbit_amplitude () =
+  let orb = Lazy.force orbit in
+  let vmax =
+    Array.fold_left (fun acc s -> Float.max acc s.(0)) neg_infinity orb.states
+  in
+  (* matches the describing-function amplitude *)
+  check_float ~eps:3e-3 "orbit amplitude" 1.1582 vmax
+
+let test_orbit_closure () =
+  let orb = Lazy.force orbit in
+  let x_end =
+    Numerics.Ode.rk4_final f_sys ~t0:0.0 ~t1:orb.period
+      ~dt:(orb.period /. 4000.0) ~y0:orb.x0
+  in
+  check_float ~eps:1e-6 "closure v" orb.x0.(0) x_end.(0);
+  check_float ~eps:1e-6 "closure il" (orb.x0.(1) *. 1e3) (x_end.(1) *. 1e3)
+
+let test_orbit_anchor () =
+  (* phase pin: dv/dt = 0 at t = 0 *)
+  let orb = Lazy.force orbit in
+  let fx = f_sys 0.0 orb.x0 in
+  Alcotest.(check bool) "v at extremum" true
+    (Float.abs fx.(0) < 1e-4 *. Float.abs fx.(1))
+
+let test_orbit_state_at_periodicity () =
+  let orb = Lazy.force orbit in
+  let a = Ppv.Orbit.state_at orb 0.3e-6 in
+  let b = Ppv.Orbit.state_at orb (0.3e-6 +. orb.period) in
+  check_float ~eps:1e-12 "periodic interp v" a.(0) b.(0);
+  check_float ~eps:1e-12 "periodic interp il" a.(1) b.(1)
+
+(* Sensitivity (PPV) *)
+
+let ppv = lazy (Ppv.Sensitivity.compute ~f:f_sys (Lazy.force orbit))
+
+let test_ppv_normalization () =
+  let p = Lazy.force ppv in
+  Alcotest.(check bool) "v1 . xdot = 1 everywhere" true
+    (Ppv.Sensitivity.normalization_error p < 0.02)
+
+let test_ppv_floquet_stable () =
+  let p = Lazy.force ppv in
+  Alcotest.(check bool) "second multiplier inside unit circle" true
+    (Float.abs p.floquet_mu < 1.0 && p.floquet_mu > 0.0)
+
+let test_ppv_periodicity () =
+  let p = Lazy.force ppv in
+  let a = Ppv.Sensitivity.at p 0.0 in
+  let orb = Lazy.force orbit in
+  let b = Ppv.Sensitivity.at p orb.period in
+  (* adjoint solution with the unit multiplier must close on itself *)
+  check_float ~eps:(1e-3 *. Float.abs a.(0)) "ppv closes (v)" a.(0) b.(0)
+
+let test_ppv_fundamental_dominates () =
+  let p = Lazy.force ppv in
+  let v1 = Ppv.Sensitivity.fourier_component p ~component:0 ~k:1 in
+  let v3 = Ppv.Sensitivity.fourier_component p ~component:0 ~k:3 in
+  Alcotest.(check bool) "V1 > V3 for a mildly nonlinear oscillator" true
+    (Numerics.Cx.abs v1 > Numerics.Cx.abs v3)
+
+(* Lock baseline *)
+
+let test_baseline_matches_rigorous_weak () =
+  let baseline = Ppv.Lock_baseline.predict nl ~tank ~n:3 ~vi:0.01 in
+  let report = Shil.Analysis.run { nl; tank } ~n:3 ~vi:0.01 in
+  let rel =
+    Float.abs (baseline.delta_f_inj -. report.lock_range.delta_f_inj)
+    /. report.lock_range.delta_f_inj
+  in
+  Alcotest.(check bool) "weak injection: PPV within 2% of rigorous" true (rel < 0.02)
+
+let test_baseline_linear_in_vi () =
+  let b1 = Ppv.Lock_baseline.predict nl ~tank ~n:3 ~vi:0.01 in
+  let b2 = Ppv.Lock_baseline.predict nl ~tank ~n:3 ~vi:0.02 in
+  check_float ~eps:1e-3 "first-order theory scales linearly" 2.0
+    (b2.delta_f_inj /. b1.delta_f_inj)
+
+let test_baseline_overestimates_strong () =
+  (* the documented failure mode of the first-order baseline, and the
+     rigorous method's advantage (paper §I) *)
+  let baseline = Ppv.Lock_baseline.predict nl ~tank ~n:3 ~vi:0.2 in
+  let report = Shil.Analysis.run { nl; tank } ~n:3 ~vi:0.2 in
+  Alcotest.(check bool) "strong injection: PPV drifts above rigorous" true
+    (baseline.delta_f_inj > 1.04 *. report.lock_range.delta_f_inj)
+
+
+(* Refined (orbit-recentred) predictions *)
+
+let test_refined_f0_close_to_fc_for_odd_cell () =
+  (* odd-symmetric tanh: tiny Groszkowski shift *)
+  let f0 = Ppv.Refined.free_running_frequency nl ~tank in
+  Alcotest.(check bool) "within 0.1% of fc" true
+    (Float.abs (f0 -. 1e6) /. 1e6 < 1e-3)
+
+let test_refined_recenter_scales () =
+  let report = Shil.Analysis.run { nl; tank } ~n:3 ~vi:0.05 in
+  let lr = report.lock_range in
+  let rc = Ppv.Refined.recenter lr ~f0:1.01e6 ~tank in
+  check_float ~eps:1.0 "low edge scaled" (lr.f_inj_low *. 1.01) rc.f_inj_low;
+  check_float ~eps:1.0 "width scaled" (lr.delta_f_inj *. 1.01) rc.delta_f_inj
+
+let test_refined_fixes_asymmetric_cell () =
+  (* the asymmetric clipped cell: the recentred band must sit below the
+     plain band (negative Groszkowski shift), by several kHz *)
+  let f v =
+    let core = (-.2e-3 *. v) +. (0.6e-3 *. v *. v *. v) in
+    let clip = if v > 0.8 then 5e-3 *. ((v -. 0.8) ** 2.0) else 0.0 in
+    core +. clip
+  in
+  let nl2 = Shil.Nonlinearity.make ~name:"asym" f in
+  let tank2 =
+    let wc = 2.0 *. Float.pi *. 2e6 in
+    Shil.Tank.make ~r:1.2e3 ~l:(150.0 /. wc) ~c:(1.0 /. (150.0 *. wc))
+  in
+  let f0 = Ppv.Refined.free_running_frequency nl2 ~tank:tank2 in
+  Alcotest.(check bool) "f0 below fc" true (f0 < 2e6 -. 5e3);
+  let rc = Ppv.Refined.lock_range nl2 ~tank:tank2 ~n:2 ~vi:0.06 in
+  let report = Shil.Analysis.run { nl = nl2; tank = tank2 } ~n:2 ~vi:0.06 in
+  Alcotest.(check bool) "recentred band sits lower" true
+    (rc.f_inj_low < report.lock_range.f_inj_low -. 5e3)
+
+let () =
+  Alcotest.run "ppv"
+    [
+      ( "orbit",
+        [
+          Alcotest.test_case "period" `Quick test_orbit_period;
+          Alcotest.test_case "amplitude" `Quick test_orbit_amplitude;
+          Alcotest.test_case "closure" `Quick test_orbit_closure;
+          Alcotest.test_case "anchor" `Quick test_orbit_anchor;
+          Alcotest.test_case "state_at periodic" `Quick test_orbit_state_at_periodicity;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "normalization" `Quick test_ppv_normalization;
+          Alcotest.test_case "floquet stable" `Quick test_ppv_floquet_stable;
+          Alcotest.test_case "periodicity" `Quick test_ppv_periodicity;
+          Alcotest.test_case "fundamental dominates" `Quick test_ppv_fundamental_dominates;
+        ] );
+      ( "refined",
+        [
+          Alcotest.test_case "f0 near fc (odd cell)" `Quick test_refined_f0_close_to_fc_for_odd_cell;
+          Alcotest.test_case "recenter scales" `Slow test_refined_recenter_scales;
+          Alcotest.test_case "fixes asymmetric cell" `Slow test_refined_fixes_asymmetric_cell;
+        ] );
+      ( "lock_baseline",
+        [
+          Alcotest.test_case "matches rigorous (weak)" `Slow test_baseline_matches_rigorous_weak;
+          Alcotest.test_case "linear in vi" `Quick test_baseline_linear_in_vi;
+          Alcotest.test_case "overestimates (strong)" `Slow test_baseline_overestimates_strong;
+        ] );
+    ]

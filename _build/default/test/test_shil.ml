@@ -1,0 +1,848 @@
+(* Tests for the core SHIL theory library. *)
+
+open Shil
+module Cx = Numerics.Cx
+module Angle = Numerics.Angle
+
+let check_float ?(eps = 1e-9) msg expected got =
+  Alcotest.(check (float eps)) msg expected got
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Shared fixtures: the paper's illustration oscillator (negative tanh). *)
+let tanh_nl = Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3
+let fixture_r = 1000.0
+let fixture_tank =
+  let fc = 1e6 in
+  let wc = 2.0 *. Float.pi *. fc in
+  let z0 = 100.0 in
+  Tank.make ~r:fixture_r ~l:(z0 /. wc) ~c:(1.0 /. (z0 *. wc))
+
+let fixture_grid =
+  lazy
+    (Grid.sample tanh_nl ~n:3 ~r:fixture_r ~vi:0.05 ~a_range:(0.3, 1.45) ())
+
+(* ------------------------------------------------------------------ *)
+(* Nonlinearity *)
+
+let test_neg_tanh () =
+  check_float "f(0)" 0.0 (Nonlinearity.eval tanh_nl 0.0);
+  check_float ~eps:1e-12 "f'(0) = -g0" (-2e-3) (Nonlinearity.deriv tanh_nl 0.0);
+  check_float ~eps:1e-6 "saturates to -isat" (-1e-3) (Nonlinearity.eval tanh_nl 100.0)
+
+let test_cubic () =
+  let nl = Nonlinearity.cubic ~g1:1e-3 ~g3:1e-4 in
+  check_float ~eps:1e-15 "cubic value" ((-.1e-3 *. 2.0) +. (1e-4 *. 8.0))
+    (Nonlinearity.eval nl 2.0);
+  check_float ~eps:1e-15 "cubic deriv" (-.1e-3 +. (3.0 *. 1e-4 *. 4.0))
+    (Nonlinearity.deriv nl 2.0)
+
+let prop_numeric_df =
+  qtest "nonlinearity: default df matches analytic"
+    QCheck.(float_range (-2.0) 2.0)
+    (fun v ->
+      let f x = sin (3.0 *. x) in
+      let nl = Nonlinearity.make f in
+      Float.abs (Nonlinearity.deriv nl v -. (3.0 *. cos (3.0 *. v))) < 1e-5)
+
+let prop_table_matches_function =
+  qtest ~count:50 "nonlinearity: of_table reproduces tanh"
+    QCheck.(float_range (-0.9) 0.9)
+    (fun v ->
+      let vs = Array.init 201 (fun k -> -1.0 +. (float_of_int k /. 100.0)) in
+      let is = Array.map (Nonlinearity.eval tanh_nl) vs in
+      let table = Nonlinearity.of_table ~vs ~is () in
+      Float.abs (Nonlinearity.eval table v -. Nonlinearity.eval tanh_nl v) < 1e-6)
+
+let test_shift_bias () =
+  let nl = Nonlinearity.make (fun v -> v *. v) in
+  let sh = Nonlinearity.shift_bias nl 1.0 in
+  check_float "shifted zero" 0.0 (Nonlinearity.eval sh 0.0);
+  check_float "shifted value" 3.0 (Nonlinearity.eval sh 1.0)
+
+let test_scale_current () =
+  let nl = Nonlinearity.scale_current tanh_nl (-2.0) in
+  check_float ~eps:1e-15 "scaled"
+    (-2.0 *. Nonlinearity.eval tanh_nl 0.3)
+    (Nonlinearity.eval nl 0.3)
+
+let test_tunnel_nl_negative_resistance () =
+  let nl = Nonlinearity.tunnel_diode ~bias:0.25 () in
+  check_float "f(0) = 0 after bias shift" 0.0 (Nonlinearity.eval nl 0.0);
+  Alcotest.(check bool) "negative slope at bias" true (Nonlinearity.deriv nl 0.0 < 0.0)
+
+let test_tunnel_nl_matches_spice_device () =
+  let nl = Nonlinearity.tunnel_diode ~bias:0.0 () in
+  List.iter
+    (fun v ->
+      let i_spice, _ = Spice.Device.tunnel_iv Spice.Device.paper_tunnel v in
+      check_float ~eps:1e-15 "shil vs spice tunnel model" i_spice
+        (Nonlinearity.eval nl v))
+    [ 0.05; 0.15; 0.25; 0.4; 0.55 ]
+
+let test_sample () =
+  let vs, is = Nonlinearity.sample tanh_nl ~v_min:(-1.0) ~v_max:1.0 ~n:21 in
+  Alcotest.(check int) "n points" 21 (Array.length vs);
+  check_float "first" (-1.0) vs.(0);
+  check_float "last" 1.0 vs.(20);
+  check_float ~eps:1e-15 "value" (Nonlinearity.eval tanh_nl vs.(7)) is.(7)
+
+(* ------------------------------------------------------------------ *)
+(* Tank *)
+
+let test_tank_basics () =
+  check_float ~eps:1e-6 "fc" 1e6 (Tank.f_c fixture_tank);
+  check_float ~eps:1e-9 "q" 10.0 (Tank.q fixture_tank);
+  check_float ~eps:1e-12 "phase at wc" 0.0
+    (Tank.phase fixture_tank ~omega:(Tank.omega_c fixture_tank));
+  check_float ~eps:1e-9 "peak gain R" fixture_r
+    (Tank.mag fixture_tank ~omega:(Tank.omega_c fixture_tank))
+
+let test_tank_phase_sign () =
+  let wc = Tank.omega_c fixture_tank in
+  Alcotest.(check bool) "below resonance: positive phase" true
+    (Tank.phase fixture_tank ~omega:(0.95 *. wc) > 0.0);
+  Alcotest.(check bool) "above resonance: negative phase" true
+    (Tank.phase fixture_tank ~omega:(1.05 *. wc) < 0.0)
+
+let prop_tank_circle_identity =
+  (* circle property: |H(jw)| = R cos(phi_d(w)) for every w *)
+  qtest "tank: |H| = R cos phi_d"
+    QCheck.(float_range 0.3 3.0)
+    (fun ratio ->
+      let omega = ratio *. Tank.omega_c fixture_tank in
+      let mag = Tank.mag fixture_tank ~omega in
+      let phi_d = Tank.phase fixture_tank ~omega in
+      Float.abs (mag -. (fixture_r *. cos phi_d)) < 1e-9 *. fixture_r)
+
+let prop_tank_phase_roundtrip =
+  qtest "tank: omega_of_phase inverts phase"
+    QCheck.(float_range (-1.5) 1.5)
+    (fun phi_d ->
+      let omega = Tank.omega_of_phase fixture_tank ~phi_d in
+      Float.abs (Tank.phase fixture_tank ~omega -. phi_d) < 1e-9)
+
+let test_tank_circle_point () =
+  let b = Cx.make 2.0 0.0 in
+  let p = Tank.circle_point fixture_tank ~b_center:b ~phi_d:0.5 in
+  check_float ~eps:1e-12 "projection magnitude" (2.0 *. cos 0.5) (Cx.abs p);
+  check_float ~eps:1e-12 "projection angle" 0.5 (Cx.arg p)
+
+let test_tank_circle_locus () =
+  (* every point of the locus lies on the circle with diameter b_center *)
+  let b = Cx.make 1.0 1.0 in
+  let centre = Cx.scale 0.5 b in
+  let radius = 0.5 *. Cx.abs b in
+  let pts = Tank.circle_locus fixture_tank ~b_center:b ~n:64 in
+  Array.iter
+    (fun p ->
+      check_float ~eps:1e-9 "on circle" radius (Cx.abs (Cx.sub p centre)))
+    pts
+
+let test_tank_validation () =
+  Alcotest.check_raises "negative R"
+    (Invalid_argument "Tank.make: r, l, c must be positive") (fun () ->
+      ignore (Tank.make ~r:(-1.0) ~l:1.0 ~c:1.0))
+
+let test_tank_h_formula () =
+  (* H = R / (1 + jQ(w/wc - wc/w)) checked against an explicit admittance
+     computation 1/(1/R + jwC + 1/(jwL)) *)
+  let omega = 1.23 *. Tank.omega_c fixture_tank in
+  let h = Tank.h fixture_tank ~omega in
+  let { Tank.r; l; c } = fixture_tank in
+  let y =
+    Cx.add
+      (Cx.add (Cx.of_float (1.0 /. r)) (Cx.make 0.0 (omega *. c)))
+      (Cx.div Cx.one (Cx.make 0.0 (omega *. l)))
+  in
+  let expected = Cx.div Cx.one y in
+  Alcotest.(check bool) "h = 1/Y" true (Cx.abs (Cx.sub h expected) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Describing functions *)
+
+let prop_df_linear_i1 =
+  (* for f = g v: I1(A) = g A / 2 *)
+  qtest ~count:50 "df: linear nonlinearity"
+    QCheck.(pair (float_range (-5e-3) 5e-3) (float_range 0.1 3.0))
+    (fun (g, a) ->
+      let nl = Nonlinearity.make (fun v -> g *. v) in
+      Float.abs (Describing_function.i1 nl ~a -. (g *. a /. 2.0)) < 1e-12)
+
+let prop_df_cubic_closed_form =
+  (* f = -g1 v + g3 v^3: I1(A) = (-g1 A + 3/4 g3 A^3) / 2 *)
+  qtest ~count:50 "df: cubic closed form"
+    QCheck.(pair (float_range 1e-4 5e-3) (float_range 0.1 2.0))
+    (fun (g1, a) ->
+      let g3 = 1e-3 in
+      let nl = Nonlinearity.cubic ~g1 ~g3 in
+      let expected = ((-.g1 *. a) +. (0.75 *. g3 *. (a ** 3.0))) /. 2.0 in
+      Float.abs (Describing_function.i1 nl ~a -. expected) < 1e-12)
+
+let test_df_even_harmonics_vanish () =
+  (* odd f: even harmonics of f(A cos) vanish *)
+  let i2 = Describing_function.ik tanh_nl ~a:1.0 ~k:2 in
+  check_float ~eps:1e-12 "I2 = 0" 0.0 (Cx.abs i2);
+  let i3 = Describing_function.ik tanh_nl ~a:1.0 ~k:3 in
+  Alcotest.(check bool) "I3 nonzero" true (Cx.abs i3 > 1e-6)
+
+let prop_df_two_tone_reduces_to_single =
+  qtest ~count:30 "df: vi = 0 reduces to single tone"
+    QCheck.(pair (float_range 0.2 2.0) (float_range 0.0 6.2))
+    (fun (a, phi) ->
+      let two = Describing_function.i1_two_tone tanh_nl ~n:3 ~a ~vi:0.0 ~phi in
+      let one = Describing_function.i1 tanh_nl ~a in
+      Cx.abs (Cx.sub two (Cx.of_float one)) < 1e-12)
+
+let prop_df_two_tone_linear_no_leak =
+  (* a linear f cannot mix the n-th harmonic down to the fundamental *)
+  qtest ~count:30 "df: linear f has no intermodulation"
+    QCheck.(pair (float_range 0.1 2.0) (float_range 0.0 6.2))
+    (fun (a, phi) ->
+      let nl = Nonlinearity.make (fun v -> 2e-3 *. v) in
+      let i1 = Describing_function.i1_two_tone nl ~n:3 ~a ~vi:0.2 ~phi in
+      Cx.abs (Cx.sub i1 (Cx.of_float (2e-3 *. a /. 2.0))) < 1e-12)
+
+let prop_df_phi_periodicity =
+  qtest ~count:30 "df: 2pi-periodic in phi"
+    QCheck.(pair (float_range 0.3 1.4) (float_range 0.0 6.2))
+    (fun (a, phi) ->
+      let f p = Describing_function.i1_two_tone tanh_nl ~n:3 ~a ~vi:0.05 ~phi:p in
+      Cx.abs (Cx.sub (f phi) (f (phi +. (2.0 *. Float.pi)))) < 1e-10)
+
+let prop_df_conjugate_symmetry =
+  (* time reversal: I1(A, Vi, -phi) = conj I1(A, Vi, phi) for real f *)
+  qtest ~count:30 "df: conjugate symmetry in phi"
+    QCheck.(pair (float_range 0.3 1.4) (float_range 0.0 6.2))
+    (fun (a, phi) ->
+      let ip = Describing_function.i1_two_tone tanh_nl ~n:3 ~a ~vi:0.05 ~phi in
+      let im = Describing_function.i1_two_tone tanh_nl ~n:3 ~a ~vi:0.05 ~phi:(-.phi) in
+      Cx.abs (Cx.sub im (Cx.conj ip)) < 1e-10)
+
+let prop_df_rotation_identity =
+  (* with the fundamental at phase psi, I1 = e^{j psi} g(phi - n psi):
+     the lock equations depend only on the relative phase chi (section
+     VI-B4's n-states argument) *)
+  qtest ~count:30 "df: fundamental-phase rotation identity"
+    QCheck.(pair (float_range 0.0 6.2) (float_range 0.0 6.2))
+    (fun (psi, phi) ->
+      let n = 3 and a = 1.0 and vi = 0.05 in
+      let f_shifted theta =
+        Nonlinearity.eval tanh_nl
+          ((a *. cos (theta +. psi))
+          +. (2.0 *. vi *. cos ((float_of_int n *. theta) +. phi)))
+      in
+      let lhs = Numerics.Fourier.coeff ~f:f_shifted ~k:1 () in
+      let rhs =
+        Cx.mul (Cx.exp_j psi)
+          (Describing_function.i1_two_tone tanh_nl ~n ~a ~vi
+             ~phi:(phi -. (float_of_int n *. psi)))
+      in
+      Cx.abs (Cx.sub lhs rhs) < 1e-9)
+
+let test_df_t_f_free_small_signal () =
+  (* T_f(A -> 0) = -R f'(0) *)
+  let tf = Describing_function.t_f_free tanh_nl ~r:fixture_r ~a:1e-5 in
+  check_float ~eps:1e-5 "small signal loop gain" 2.0 tf
+
+let test_df_t_f_requires_positive_a () =
+  Alcotest.check_raises "a > 0"
+    (Invalid_argument "Describing_function.t_f_free: a must be > 0") (fun () ->
+      ignore (Describing_function.t_f_free tanh_nl ~r:fixture_r ~a:0.0))
+
+let test_df_t_cap_f_vs_t_f_on_solution () =
+  (* on the phase condition, T_F = |T_f| *)
+  let a = 1.0 and phi = 2.0 and vi = 0.05 in
+  let i1 = Describing_function.i1_two_tone tanh_nl ~n:3 ~a ~vi ~phi in
+  let phi_d = -.Cx.arg (Cx.neg i1) in
+  let tf = Describing_function.t_f tanh_nl ~n:3 ~r:fixture_r ~a ~vi ~phi in
+  let tcf =
+    Describing_function.t_cap_f tanh_nl ~n:3 ~r:fixture_r ~a ~vi ~phi ~phi_d
+  in
+  check_float ~eps:1e-9 "T_F = |T_f| on eq. 4" (Float.abs tf) tcf
+
+let test_df_quadrature_convergence () =
+  (* 256 points already agree with 4096 to near machine precision *)
+  let coarse = Describing_function.i1_two_tone ~points:256 tanh_nl ~n:3 ~a:1.1 ~vi:0.05 ~phi:1.0 in
+  let fine = Describing_function.i1_two_tone ~points:4096 tanh_nl ~n:3 ~a:1.1 ~vi:0.05 ~phi:1.0 in
+  Alcotest.(check bool) "spectral convergence" true (Cx.abs (Cx.sub coarse fine) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Natural oscillation *)
+
+let test_natural_tanh () =
+  match Natural.solve tanh_nl ~r:fixture_r with
+  | [ s ] ->
+    Alcotest.(check bool) "stable" true s.stable;
+    (* golden value validated against time-domain simulation *)
+    check_float ~eps:1e-3 "tanh natural amplitude" 1.1582 s.a
+  | sols -> Alcotest.failf "expected 1 solution, got %d" (List.length sols)
+
+let prop_natural_cubic_closed_form =
+  (* van der Pol: A = sqrt(4 (g1 - 1/R) / (3 g3)) *)
+  qtest ~count:30 "natural: cubic closed form"
+    QCheck.(float_range 1.5e-3 8e-3)
+    (fun g1 ->
+      let g3 = 1e-3 in
+      let r = 1000.0 in
+      let nl = Nonlinearity.cubic ~g1 ~g3 in
+      let expected = sqrt (4.0 *. (g1 -. (1.0 /. r)) /. (3.0 *. g3)) in
+      match Natural.predicted_amplitude nl ~r with
+      | Some a -> Float.abs (a -. expected) < 1e-6 *. expected
+      | None -> false)
+
+let test_natural_no_oscillation () =
+  (* loop gain below 1: no solutions *)
+  let sols = Natural.solve tanh_nl ~r:400.0 in
+  Alcotest.(check int) "no oscillation" 0 (List.length sols);
+  Alcotest.(check bool) "oscillates predicate" false (Natural.oscillates tanh_nl ~r:400.0)
+
+let test_small_signal_gain () =
+  check_float ~eps:1e-12 "-R f'(0)" 2.0 (Natural.small_signal_gain tanh_nl ~r:fixture_r)
+
+(* ------------------------------------------------------------------ *)
+(* Contour *)
+
+let circle_field xs ys radius =
+  Array.map (fun x -> Array.map (fun y -> (x *. x) +. (y *. y) -. (radius *. radius)) ys) xs
+
+let linspace a b n =
+  Array.init n (fun k -> a +. ((b -. a) *. float_of_int k /. float_of_int (n - 1)))
+
+let test_contour_circle () =
+  let xs = linspace (-2.0) 2.0 81 and ys = linspace (-2.0) 2.0 81 in
+  let field = circle_field xs ys 1.0 in
+  let segs = Contour.segments ~xs ~ys ~field ~level:0.0 in
+  Alcotest.(check bool) "many segments" true (List.length segs > 20);
+  (* every crossing point lies on the unit circle to grid accuracy *)
+  List.iter
+    (fun (s : Contour.segment) ->
+      let r1 = sqrt ((s.x1 *. s.x1) +. (s.y1 *. s.y1)) in
+      check_float ~eps:2e-3 "on circle" 1.0 r1)
+    segs;
+  (* total length approximates the circumference *)
+  let len =
+    List.fold_left
+      (fun acc (s : Contour.segment) ->
+        acc +. sqrt (((s.x2 -. s.x1) ** 2.0) +. ((s.y2 -. s.y1) ** 2.0)))
+      0.0 segs
+  in
+  check_float ~eps:0.02 "circumference" (2.0 *. Float.pi) len
+
+let test_contour_polyline_closed () =
+  let xs = linspace (-2.0) 2.0 81 and ys = linspace (-2.0) 2.0 81 in
+  (* radius chosen off the grid nodes so the loop is non-degenerate *)
+  let field = circle_field xs ys 0.997 in
+  match Contour.polylines ~xs ~ys ~field ~level:0.0 with
+  | [ (cx, cy) ] ->
+    let m = Array.length cx in
+    Alcotest.(check bool) "rich polyline" true (m > 30);
+    (* closed: endpoints coincide *)
+    check_float ~eps:1e-6 "closed x" cx.(0) cx.(m - 1);
+    check_float ~eps:1e-6 "closed y" cy.(0) cy.(m - 1)
+  | ls -> Alcotest.failf "expected a single closed polyline, got %d" (List.length ls)
+
+let test_contour_line () =
+  (* field x - y: the contour is the diagonal *)
+  let xs = linspace 0.0 1.0 11 and ys = linspace 0.0 1.0 11 in
+  let field = Array.map (fun x -> Array.map (fun y -> x -. y) ys) xs in
+  let segs = Contour.segments ~xs ~ys ~field ~level:0.0 in
+  List.iter
+    (fun (s : Contour.segment) ->
+      check_float ~eps:1e-9 "on diagonal 1" s.x1 s.y1;
+      check_float ~eps:1e-9 "on diagonal 2" s.x2 s.y2)
+    segs
+
+let test_contour_filter () =
+  let segs =
+    [ { Contour.x1 = 0.0; y1 = 0.0; x2 = 1.0; y2 = 0.0 };
+      { Contour.x1 = 0.0; y1 = 2.0; x2 = 1.0; y2 = 2.0 } ]
+  in
+  let kept = Contour.filter_segments (fun (_, y) -> y < 1.0) segs in
+  Alcotest.(check int) "filtered" 1 (List.length kept)
+
+let test_contour_nan_skipped () =
+  let xs = linspace 0.0 1.0 5 and ys = linspace 0.0 1.0 5 in
+  let field = Array.map (fun x -> Array.map (fun y -> x +. y -. 1.0) ys) xs in
+  field.(2).(2) <- Float.nan;
+  (* must not raise *)
+  ignore (Contour.segments ~xs ~ys ~field ~level:0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Grid *)
+
+let test_grid_t_f_field_consistency () =
+  let g = Lazy.force fixture_grid in
+  let field = Grid.t_f_field g in
+  (* compare a few grid nodes against the direct evaluation *)
+  List.iter
+    (fun (i, j) ->
+      let direct =
+        Describing_function.t_f ~points:512 tanh_nl ~n:3 ~r:fixture_r
+          ~a:g.amps.(j) ~vi:0.05 ~phi:g.phis.(i)
+        -. 1.0
+      in
+      check_float ~eps:1e-9 "grid vs direct" direct field.(i).(j))
+    [ (0, 0); (5, 7); (60, 50); (120, 100) ]
+
+let prop_grid_interp_accuracy =
+  qtest ~count:30 "grid: bilinear interp close to direct I1"
+    QCheck.(pair (float_range 0.0 6.28) (float_range 0.35 1.4))
+    (fun (phi, a) ->
+      let g = Lazy.force fixture_grid in
+      let interp = Grid.interp_i1 g ~phi ~a in
+      let direct =
+        Describing_function.i1_two_tone ~points:512 tanh_nl ~n:3 ~a ~vi:0.05 ~phi
+      in
+      Cx.abs (Cx.sub interp direct) < 5e-3 *. (Cx.abs direct +. 1e-6))
+
+let test_grid_curves_nonempty () =
+  let g = Lazy.force fixture_grid in
+  Alcotest.(check bool) "T_f curve exists" true (Grid.t_f_curve g <> []);
+  Alcotest.(check bool) "phase curve exists" true (Grid.phase_curve g ~phi_d:0.0 <> [])
+
+let test_grid_validation () =
+  Alcotest.check_raises "bad a_range" (Invalid_argument "Grid.sample: bad a_range")
+    (fun () ->
+      ignore (Grid.sample tanh_nl ~n:3 ~r:1.0 ~vi:0.0 ~a_range:(1.0, 0.5) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Solutions *)
+
+let test_solutions_at_center () =
+  let g = Lazy.force fixture_grid in
+  match Solutions.find g ~phi_d:0.0 with
+  | [ s1; s2 ] ->
+    (* phi = 0 unstable, phi = pi stable for the odd tanh (Fig. 7) *)
+    check_float ~eps:1e-3 "unstable at phi=0" 0.0 s1.phi;
+    Alcotest.(check bool) "s1 unstable" false s1.stable;
+    check_float ~eps:1e-3 "stable at phi=pi" Float.pi s2.phi;
+    Alcotest.(check bool) "s2 stable" true s2.stable;
+    Alcotest.(check bool) "amplitudes near natural" true
+      (Float.abs (s1.a -. 1.1582) < 0.1 && Float.abs (s2.a -. 1.1582) < 0.1)
+  | sols -> Alcotest.failf "expected 2 locks, got %d" (List.length sols)
+
+let test_solutions_residuals_vanish () =
+  let g = Lazy.force fixture_grid in
+  List.iter
+    (fun (s : Solutions.point) ->
+      let r1, r2 =
+        Solutions.residuals tanh_nl ~n:3 ~r:fixture_r ~vi:0.05 ~phi_d:0.03
+          (s.phi, s.a)
+      in
+      check_float ~eps:1e-7 "residual 1" 0.0 r1;
+      check_float ~eps:1e-7 "residual 2" 0.0 r2)
+    (Solutions.find g ~phi_d:0.03)
+
+let test_solutions_mirror_symmetry () =
+  (* (phi_s, A_s) at phi_d <-> (-phi_s, A_s) at -phi_d (§VI-B3) *)
+  let g2 =
+    Grid.sample tanh_nl ~n:3 ~r:fixture_r ~vi:0.05
+      ~phi_range:(-.Float.pi, Float.pi) ~a_range:(0.3, 1.45) ()
+  in
+  let plus = Solutions.find g2 ~phi_d:0.02 in
+  let minus = Solutions.find g2 ~phi_d:(-0.02) in
+  Alcotest.(check int) "same count" (List.length plus) (List.length minus);
+  List.iter
+    (fun (p : Solutions.point) ->
+      let mirrored =
+        List.exists
+          (fun (m : Solutions.point) ->
+            Angle.dist m.phi (-.p.phi) < 1e-4
+            && Float.abs (m.a -. p.a) < 1e-6
+            && m.stable = p.stable)
+          minus
+      in
+      Alcotest.(check bool) "mirror exists" true mirrored)
+    plus
+
+let test_solutions_disappear_past_boundary () =
+  let g = Lazy.force fixture_grid in
+  Alcotest.(check bool) "stable inside" true (Solutions.stable_exists g ~phi_d:0.045);
+  Alcotest.(check bool) "gone outside" false (Solutions.stable_exists g ~phi_d:0.06)
+
+let test_n_states () =
+  let p = { Solutions.phi = 1.2; a = 1.0; stable = true; trace = -1.0; det = 1.0 } in
+  let states = Solutions.n_states p ~n:3 in
+  Alcotest.(check int) "three states" 3 (List.length states);
+  (match states with
+  | (psi0, _) :: rest ->
+    List.iteri
+      (fun k (psi, a) ->
+        check_float ~eps:1e-12 "spacing 2pi/3"
+          (Angle.wrap_two_pi (psi0 +. (2.0 *. Float.pi *. float_of_int (k + 1) /. 3.0)))
+          psi;
+        check_float "amplitude preserved" 1.0 a)
+      rest
+  | [] -> Alcotest.fail "empty states")
+
+(* ------------------------------------------------------------------ *)
+(* Lock range *)
+
+let test_lock_range_tanh_golden () =
+  let g = Lazy.force fixture_grid in
+  let boundary = Lock_range.phi_d_boundary g in
+  (* golden value; validated against time-domain simulation in
+     test_simulate below and bin/scratch experiments *)
+  check_float ~eps:2e-3 "phi_d boundary" 0.0500 boundary
+
+let test_lock_range_predict () =
+  let g = Lazy.force fixture_grid in
+  let lr = Lock_range.predict g ~tank:fixture_tank in
+  Alcotest.(check bool) "band straddles 3 fc" true
+    (lr.f_inj_low < 3e6 && 3e6 < lr.f_inj_high);
+  (* delta identity: delta_f_osc = fc tan(phi_max) / Q *)
+  let expected_delta =
+    3.0 *. Tank.f_c fixture_tank *. tan lr.phi_d_max /. Tank.q fixture_tank
+  in
+  check_float ~eps:(expected_delta *. 1e-9) "delta identity" expected_delta
+    lr.delta_f_inj;
+  Alcotest.(check bool) "has locks at centre" true (lr.at_center <> [])
+
+let test_lock_range_r_mismatch () =
+  let g = Lazy.force fixture_grid in
+  let tank = Tank.make ~r:999.0 ~l:1e-5 ~c:1e-9 in
+  Alcotest.check_raises "R mismatch"
+    (Invalid_argument "Lock_range.predict: grid and tank R differ") (fun () ->
+      ignore (Lock_range.predict g ~tank))
+
+let test_lock_range_no_lock () =
+  (* absurdly small injection at coarse grid: boundary ~ small but > 0;
+     zero injection has marginal lock: check it does not crash and is finite *)
+  let g = Grid.sample tanh_nl ~n:3 ~r:fixture_r ~vi:1e-6 ~a_range:(0.9, 1.4) () in
+  let b = Lock_range.phi_d_boundary ~tol:1e-4 g in
+  Alcotest.(check bool) "tiny injection -> tiny range" true (b < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* FHIL / Adler baseline *)
+
+let test_fhil_matches_adler_weak_injection () =
+  (* for weak injection the rigorous n=1 lock range approaches Adler *)
+  let vi = 0.01 in
+  let a_nat = 1.1582 in
+  let g = Fhil.grid tanh_nl ~r:fixture_r ~vi ~a_range:(0.9, 1.4) in
+  let lr = Lock_range.predict g ~tank:fixture_tank in
+  let f_lo, f_hi = Fhil.adler_range ~tank:fixture_tank ~a:a_nat ~vi in
+  let adler_delta = f_hi -. f_lo in
+  Alcotest.(check bool) "within 15% of Adler" true
+    (Float.abs (lr.delta_f_inj -. adler_delta) /. adler_delta < 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Simulate (reduced model, time domain) *)
+
+let test_simulate_free_run_amplitude () =
+  let res = Simulate.free_run tanh_nl ~tank:fixture_tank in
+  let tail = Waveform.Signal.tail_fraction res.signal 0.2 in
+  check_float ~eps:2e-3 "ODE amplitude matches DF" 1.1582
+    (Waveform.Measure.amplitude tail);
+  check_float ~eps:(1e6 *. 1e-3) "ODE frequency is fc" 1e6
+    (Waveform.Measure.frequency tail)
+
+let test_simulate_locks_inside_band () =
+  let inj = { Simulate.vi = 0.05; n = 3; f_inj = 3.0e6; phase = 0.0 } in
+  Alcotest.(check bool) "locks at centre" true
+    (Simulate.locked ~cycles:400.0 tanh_nl ~tank:fixture_tank ~injection:inj)
+
+let test_simulate_unlocked_outside_band () =
+  let inj = { Simulate.vi = 0.05; n = 3; f_inj = 3.06e6; phase = 0.0 } in
+  Alcotest.(check bool) "does not lock far out" false
+    (Simulate.locked ~cycles:400.0 tanh_nl ~tank:fixture_tank ~injection:inj)
+
+let test_injection_current () =
+  let inj = { Simulate.vi = 0.05; n = 3; f_inj = 3.0e6; phase = 0.0 } in
+  let im = Simulate.injection_current ~tank:fixture_tank inj in
+  let h = Tank.mag fixture_tank ~omega:(2.0 *. Float.pi *. 3.0e6) in
+  check_float ~eps:1e-12 "I = 2 vi / |H|" (2.0 *. 0.05 /. h) im
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let test_analysis_run () =
+  let report = Analysis.run { nl = tanh_nl; tank = fixture_tank } ~n:3 ~vi:0.05 in
+  (match report.natural_amplitude with
+  | Some a -> check_float ~eps:1e-3 "natural amplitude" 1.1582 a
+  | None -> Alcotest.fail "no natural oscillation");
+  Alcotest.(check int) "two locks at centre" 2 (List.length report.locks_at_center);
+  Alcotest.(check bool) "positive lock range" true
+    (report.lock_range.delta_f_inj > 0.0)
+
+let test_analysis_locks_at () =
+  let report = Analysis.run { nl = tanh_nl; tank = fixture_tank } ~n:3 ~vi:0.05 in
+  let inside = Analysis.locks_at report ~f_inj:3.0e6 in
+  Alcotest.(check bool) "locks at centre frequency" true
+    (List.exists (fun (p : Solutions.point) -> p.stable) inside);
+  let outside = Analysis.locks_at report ~f_inj:3.1e6 in
+  Alcotest.(check bool) "no stable lock far away" false
+    (List.exists (fun (p : Solutions.point) -> p.stable) outside)
+
+let test_analysis_requires_oscillation () =
+  let dead = Nonlinearity.neg_tanh ~g0:1e-4 ~isat:1e-3 in
+  Alcotest.(check bool) "raises without a_range" true
+    (try
+       ignore (Analysis.run { nl = dead; tank = fixture_tank } ~n:3 ~vi:0.05);
+       false
+     with Failure _ -> true)
+
+
+(* ------------------------------------------------------------------ *)
+(* Harmonic balance *)
+
+let test_hb_tanh_matches_df () =
+  let hb = Harmonic_balance.solve tanh_nl ~tank:fixture_tank in
+  (* fundamental amplitude agrees with the describing function *)
+  check_float ~eps:1e-4 "HB amplitude ~ DF" 1.1582 (Harmonic_balance.amplitude hb);
+  (* tiny converged residual *)
+  Alcotest.(check bool) "residual" true (hb.residual < 1e-10)
+
+let test_hb_predicts_groszkowski_shift () =
+  (* golden value: the long ODE run measures f0 = 999773.0 Hz for this
+     cell; the DF predicts exactly 1 MHz. HB must recover the shift. *)
+  let hb = Harmonic_balance.solve tanh_nl ~tank:fixture_tank in
+  check_float ~eps:1.0 "HB frequency = ODE truth" 999773.1
+    (Harmonic_balance.frequency hb)
+
+let test_hb_k1_equals_df () =
+  (* with a single harmonic, HB IS the describing-function analysis *)
+  let hb = Harmonic_balance.solve ~k_max:1 tanh_nl ~tank:fixture_tank in
+  check_float ~eps:1e-6 "K=1 amplitude = DF" 1.1581719 (Harmonic_balance.amplitude hb);
+  check_float ~eps:1e-3 "K=1 frequency = fc" 1e6 (Harmonic_balance.frequency hb)
+
+let test_hb_waveform_consistency () =
+  let hb = Harmonic_balance.solve tanh_nl ~tank:fixture_tank in
+  (* the reconstructed waveform peak matches the amplitude for a nearly
+     sinusoidal cell *)
+  let peak = ref 0.0 in
+  for s = 0 to 499 do
+    let theta = 2.0 *. Float.pi *. float_of_int s /. 500.0 in
+    peak := Float.max !peak (Harmonic_balance.waveform hb ~theta)
+  done;
+  Alcotest.(check bool) "peak ~ amplitude" true
+    (Float.abs (!peak -. Harmonic_balance.amplitude hb) < 0.02)
+
+let test_hb_odd_cell_has_no_even_harmonics () =
+  let hb = Harmonic_balance.solve tanh_nl ~tank:fixture_tank in
+  Alcotest.(check bool) "V2 ~ 0 for odd f" true
+    (Cx.abs hb.coeffs.(2) < 1e-9 *. Cx.abs hb.coeffs.(1));
+  Alcotest.(check bool) "V3 finite" true
+    (Cx.abs hb.coeffs.(3) > 1e-5 *. Cx.abs hb.coeffs.(1))
+
+let test_hb_asymmetric_k_convergence () =
+  (* golden: orbit truth for the asymmetric demo cell is 1991777 Hz *)
+  let f v =
+    let core = (-.2e-3 *. v) +. (0.6e-3 *. v *. v *. v) in
+    let clip = if v > 0.8 then 5e-3 *. ((v -. 0.8) ** 2.0) else 0.0 in
+    core +. clip
+  in
+  let nl2 = Nonlinearity.make ~name:"asym" f in
+  let tank2 =
+    let wc = 2.0 *. Float.pi *. 2e6 in
+    Tank.make ~r:1.2e3 ~l:(150.0 /. wc) ~c:(1.0 /. (150.0 *. wc))
+  in
+  let f5 = Harmonic_balance.frequency (Harmonic_balance.solve ~k_max:5 nl2 ~tank:tank2) in
+  let f11 = Harmonic_balance.frequency (Harmonic_balance.solve ~k_max:11 nl2 ~tank:tank2) in
+  check_float ~eps:50.0 "K=5 near truth" 1991777.0 f5;
+  check_float ~eps:5.0 "K=11 at truth" 1991777.0 f11;
+  Alcotest.(check bool) "monotone convergence" true
+    (Float.abs (f11 -. 1991777.0) <= Float.abs (f5 -. 1991777.0) +. 1.0)
+
+let test_hb_no_oscillation_raises () =
+  Alcotest.(check bool) "dead cell raises" true
+    (try
+       ignore (Harmonic_balance.solve tanh_nl ~tank:(Tank.with_r fixture_tank 400.0));
+       false
+     with Harmonic_balance.No_convergence _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Self-consistent harmonic extension *)
+
+let test_sc_effective_v_weak_feedback () =
+  (* with a tank that kills the n-th harmonic, V_eff = V_inj *)
+  let v_inj = Cx.polar 0.05 0.7 in
+  let v =
+    Self_consistent.effective_v tanh_nl ~n:3 ~a:1.0 ~v_inj ~h_n:Cx.zero
+  in
+  Alcotest.(check bool) "no feedback: V = Vinj" true
+    (Cx.abs (Cx.sub v v_inj) < 1e-12)
+
+let test_sc_matches_plain_for_odd_cell () =
+  (* odd-symmetric tanh at n = 3: the self-harmonic is small, so the
+     self-consistent locks are close to the plain ones *)
+  let omega_i = Tank.omega_c fixture_tank in
+  let pts =
+    Self_consistent.find tanh_nl ~tank:fixture_tank ~n:3 ~vi:0.05 ~omega_i
+  in
+  let plain = Solutions.find (Lazy.force fixture_grid) ~phi_d:0.0 in
+  Alcotest.(check int) "same lock count" (List.length plain) (List.length pts);
+  let stable_sc = List.find (fun (p : Self_consistent.point) -> p.stable) pts in
+  let stable_plain = List.find (fun (p : Solutions.point) -> p.stable) plain in
+  Alcotest.(check bool) "amplitudes agree within 1%" true
+    (Float.abs (stable_sc.a -. stable_plain.a) /. stable_plain.a < 0.01)
+
+let test_sc_shifts_asymmetric_band_down () =
+  let f v =
+    let core = (-.2e-3 *. v) +. (0.6e-3 *. v *. v *. v) in
+    let clip = if v > 0.8 then 5e-3 *. ((v -. 0.8) ** 2.0) else 0.0 in
+    core +. clip
+  in
+  let nl2 = Nonlinearity.make ~name:"asym" f in
+  let tank2 =
+    let wc = 2.0 *. Float.pi *. 2e6 in
+    Tank.make ~r:1.2e3 ~l:(150.0 /. wc) ~c:(1.0 /. (150.0 *. wc))
+  in
+  let sc = Self_consistent.lock_range ~points:256 ~tol:1e-3 nl2 ~tank:tank2 ~n:2 ~vi:0.06 in
+  let report = Analysis.run { nl = nl2; tank = tank2 } ~n:2 ~vi:0.06 in
+  Alcotest.(check bool) "SC band below plain band" true
+    (sc.f_inj_low < report.lock_range.f_inj_low
+    && sc.f_inj_high < report.lock_range.f_inj_high);
+  Alcotest.(check bool) "width roughly preserved" true
+    (Float.abs (sc.delta_f_inj -. report.lock_range.delta_f_inj)
+     /. report.lock_range.delta_f_inj
+    < 0.1)
+
+
+(* ------------------------------------------------------------------ *)
+(* Injection pulling *)
+
+let test_pulling_zero_inside_band () =
+  let report = Analysis.run { nl = tanh_nl; tank = fixture_tank } ~n:3 ~vi:0.05 in
+  let lr = report.lock_range in
+  let centre = 0.5 *. (lr.f_inj_low +. lr.f_inj_high) in
+  check_float "no beat inside" 0.0
+    (Pulling.beat_frequency ~lock_range:lr ~n:3 ~f_inj:centre)
+
+let test_pulling_sqrt_law () =
+  let report = Analysis.run { nl = tanh_nl; tank = fixture_tank } ~n:3 ~vi:0.05 in
+  let lr = report.lock_range in
+  let half = 0.5 *. lr.delta_f_inj /. 3.0 in
+  (* at delta = 2 wL the beat is sqrt(3) wL *)
+  let centre = 0.5 *. (lr.f_inj_low +. lr.f_inj_high) in
+  let f_inj = centre +. (3.0 *. (2.0 *. half)) in
+  check_float ~eps:(half *. 1e-6) "sqrt(3) wL"
+    (sqrt 3.0 *. half)
+    (Pulling.beat_frequency ~lock_range:lr ~n:3 ~f_inj)
+
+let test_pulling_measured_tracks_prediction () =
+  let report = Analysis.run { nl = tanh_nl; tank = fixture_tank } ~n:3 ~vi:0.05 in
+  let lr = report.lock_range in
+  let f_inj = lr.f_inj_high +. lr.delta_f_inj in
+  let pred = Pulling.beat_frequency ~lock_range:lr ~n:3 ~f_inj in
+  let meas = Pulling.measure_beat tanh_nl ~tank:fixture_tank ~vi:0.05 ~n:3 ~f_inj in
+  Alcotest.(check bool) "within 10%" true (Float.abs (meas -. pred) /. pred < 0.1)
+
+let () =
+  Alcotest.run "shil"
+    [
+      ( "nonlinearity",
+        [
+          Alcotest.test_case "neg_tanh" `Quick test_neg_tanh;
+          Alcotest.test_case "cubic" `Quick test_cubic;
+          prop_numeric_df;
+          prop_table_matches_function;
+          Alcotest.test_case "shift_bias" `Quick test_shift_bias;
+          Alcotest.test_case "scale_current" `Quick test_scale_current;
+          Alcotest.test_case "tunnel negative resistance" `Quick test_tunnel_nl_negative_resistance;
+          Alcotest.test_case "tunnel matches spice" `Quick test_tunnel_nl_matches_spice_device;
+          Alcotest.test_case "sample" `Quick test_sample;
+        ] );
+      ( "tank",
+        [
+          Alcotest.test_case "basics" `Quick test_tank_basics;
+          Alcotest.test_case "phase sign" `Quick test_tank_phase_sign;
+          prop_tank_circle_identity;
+          prop_tank_phase_roundtrip;
+          Alcotest.test_case "circle point" `Quick test_tank_circle_point;
+          Alcotest.test_case "circle locus" `Quick test_tank_circle_locus;
+          Alcotest.test_case "validation" `Quick test_tank_validation;
+          Alcotest.test_case "h formula" `Quick test_tank_h_formula;
+        ] );
+      ( "describing_function",
+        [
+          prop_df_linear_i1;
+          prop_df_cubic_closed_form;
+          Alcotest.test_case "even harmonics vanish" `Quick test_df_even_harmonics_vanish;
+          prop_df_two_tone_reduces_to_single;
+          prop_df_two_tone_linear_no_leak;
+          prop_df_phi_periodicity;
+          prop_df_conjugate_symmetry;
+          prop_df_rotation_identity;
+          Alcotest.test_case "small signal T_f" `Quick test_df_t_f_free_small_signal;
+          Alcotest.test_case "a > 0 required" `Quick test_df_t_f_requires_positive_a;
+          Alcotest.test_case "T_F vs T_f" `Quick test_df_t_cap_f_vs_t_f_on_solution;
+          Alcotest.test_case "quadrature convergence" `Quick test_df_quadrature_convergence;
+        ] );
+      ( "natural",
+        [
+          Alcotest.test_case "tanh amplitude" `Quick test_natural_tanh;
+          prop_natural_cubic_closed_form;
+          Alcotest.test_case "no oscillation" `Quick test_natural_no_oscillation;
+          Alcotest.test_case "small signal gain" `Quick test_small_signal_gain;
+        ] );
+      ( "contour",
+        [
+          Alcotest.test_case "circle" `Quick test_contour_circle;
+          Alcotest.test_case "closed polyline" `Quick test_contour_polyline_closed;
+          Alcotest.test_case "line" `Quick test_contour_line;
+          Alcotest.test_case "filter" `Quick test_contour_filter;
+          Alcotest.test_case "nan skipped" `Quick test_contour_nan_skipped;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "t_f field" `Quick test_grid_t_f_field_consistency;
+          prop_grid_interp_accuracy;
+          Alcotest.test_case "curves nonempty" `Quick test_grid_curves_nonempty;
+          Alcotest.test_case "validation" `Quick test_grid_validation;
+        ] );
+      ( "solutions",
+        [
+          Alcotest.test_case "centre locks" `Quick test_solutions_at_center;
+          Alcotest.test_case "residuals vanish" `Quick test_solutions_residuals_vanish;
+          Alcotest.test_case "mirror symmetry" `Quick test_solutions_mirror_symmetry;
+          Alcotest.test_case "boundary" `Quick test_solutions_disappear_past_boundary;
+          Alcotest.test_case "n states" `Quick test_n_states;
+        ] );
+      ( "lock_range",
+        [
+          Alcotest.test_case "tanh golden boundary" `Quick test_lock_range_tanh_golden;
+          Alcotest.test_case "predict" `Quick test_lock_range_predict;
+          Alcotest.test_case "r mismatch" `Quick test_lock_range_r_mismatch;
+          Alcotest.test_case "tiny injection" `Quick test_lock_range_no_lock;
+        ] );
+      ( "harmonic_balance",
+        [
+          Alcotest.test_case "matches DF" `Quick test_hb_tanh_matches_df;
+          Alcotest.test_case "groszkowski shift" `Quick test_hb_predicts_groszkowski_shift;
+          Alcotest.test_case "K=1 is the DF" `Quick test_hb_k1_equals_df;
+          Alcotest.test_case "waveform" `Quick test_hb_waveform_consistency;
+          Alcotest.test_case "odd cell harmonics" `Quick test_hb_odd_cell_has_no_even_harmonics;
+          Alcotest.test_case "K convergence (asym)" `Slow test_hb_asymmetric_k_convergence;
+          Alcotest.test_case "dead cell" `Quick test_hb_no_oscillation_raises;
+        ] );
+      ( "self_consistent",
+        [
+          Alcotest.test_case "no feedback identity" `Quick test_sc_effective_v_weak_feedback;
+          Alcotest.test_case "odd cell matches plain" `Slow test_sc_matches_plain_for_odd_cell;
+          Alcotest.test_case "asym band shifts down" `Slow test_sc_shifts_asymmetric_band_down;
+        ] );
+      ( "fhil",
+        [ Alcotest.test_case "adler agreement" `Quick test_fhil_matches_adler_weak_injection ] );
+      ( "pulling",
+        [
+          Alcotest.test_case "zero inside band" `Quick test_pulling_zero_inside_band;
+          Alcotest.test_case "sqrt law" `Quick test_pulling_sqrt_law;
+          Alcotest.test_case "measured tracks prediction" `Slow test_pulling_measured_tracks_prediction;
+        ] );
+      ( "simulate",
+        [
+          Alcotest.test_case "free run amplitude" `Slow test_simulate_free_run_amplitude;
+          Alcotest.test_case "locks inside band" `Slow test_simulate_locks_inside_band;
+          Alcotest.test_case "unlocked outside band" `Slow test_simulate_unlocked_outside_band;
+          Alcotest.test_case "injection current" `Quick test_injection_current;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "run" `Slow test_analysis_run;
+          Alcotest.test_case "locks_at" `Slow test_analysis_locks_at;
+          Alcotest.test_case "requires oscillation" `Quick test_analysis_requires_oscillation;
+        ] );
+    ]

@@ -1,0 +1,865 @@
+(* Unit, integration and property tests for the MNA circuit simulator. *)
+
+open Spice
+
+let check_float ?(eps = 1e-9) msg expected got =
+  Alcotest.(check (float eps)) msg expected got
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Wave *)
+
+let test_wave_dc () =
+  check_float "dc" 3.0 (Wave.value (Wave.Dc 3.0) 12.0);
+  check_float "dc_value" 3.0 (Wave.dc_value (Wave.Dc 3.0))
+
+let test_wave_sine () =
+  let w = Wave.Sine { offset = 1.0; ampl = 2.0; freq = 10.0; phase = 0.0; delay = 0.0 } in
+  check_float "sine t=0" 1.0 (Wave.value w 0.0);
+  check_float ~eps:1e-9 "sine quarter" 3.0 (Wave.value w 0.025);
+  check_float "sine dc" 1.0 (Wave.dc_value w)
+
+let test_wave_sine_delay () =
+  let w = Wave.Sine { offset = 0.0; ampl = 1.0; freq = 1.0; phase = 0.0; delay = 2.0 } in
+  check_float "before delay" 0.0 (Wave.value w 1.0);
+  check_float ~eps:1e-9 "after delay" (sin (2.0 *. Float.pi *. 0.25)) (Wave.value w 2.25)
+
+let test_wave_pulse () =
+  let w =
+    Wave.Pulse
+      { v1 = 0.0; v2 = 5.0; delay = 1.0; rise = 1.0; fall = 1.0; width = 2.0; period = 0.0 }
+  in
+  check_float "before" 0.0 (Wave.value w 0.5);
+  check_float "mid rise" 2.5 (Wave.value w 1.5);
+  check_float "top" 5.0 (Wave.value w 3.0);
+  check_float "mid fall" 2.5 (Wave.value w 4.5);
+  check_float "after" 0.0 (Wave.value w 6.0)
+
+let test_wave_pulse_periodic () =
+  let w =
+    Wave.Pulse
+      { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 0.0; fall = 0.0; width = 1.0; period = 2.0 }
+  in
+  check_float "first high" 1.0 (Wave.value w 0.5);
+  check_float "first low" 0.0 (Wave.value w 1.5);
+  check_float "second high" 1.0 (Wave.value w 2.5)
+
+let test_wave_pwl () =
+  let w = Wave.Pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, 2.0); (4.0, 0.0) ] in
+  check_float "pwl interp" 1.0 (Wave.value w 0.5);
+  check_float "pwl plateau" 2.0 (Wave.value w 2.0);
+  check_float "pwl end" 0.0 (Wave.value w 10.0);
+  check_float "pwl before" 0.0 (Wave.value w (-1.0))
+
+let prop_wave_scale =
+  qtest "wave: scale is multiplicative"
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range 0.0 1.0))
+    (fun (k, t) ->
+      let w = Wave.Sine { offset = 0.5; ampl = 1.5; freq = 3.0; phase = 0.3; delay = 0.0 } in
+      Float.abs (Wave.value (Wave.scale w k) t -. (k *. Wave.value w t)) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Device models *)
+
+let test_diode_iv () =
+  let p = Device.default_diode in
+  let i0, g0 = Device.diode_iv p 0.0 in
+  check_float "diode i(0)" 0.0 i0;
+  check_float ~eps:1e-16 "diode g(0)" (p.is /. (p.n *. p.vt)) g0;
+  let i, _ = Device.diode_iv p 0.6 in
+  check_float ~eps:1e-10 "diode i(0.6)" (p.is *. (exp (0.6 /. 0.025) -. 1.0)) i
+
+let prop_diode_g_is_derivative =
+  qtest ~count:100 "diode: g = di/dv"
+    QCheck.(float_range (-0.5) 0.8)
+    (fun v ->
+      let p = Device.default_diode in
+      let _, g = Device.diode_iv p v in
+      let h = 1e-7 in
+      let ip, _ = Device.diode_iv p (v +. h) in
+      let im, _ = Device.diode_iv p (v -. h) in
+      let fd = (ip -. im) /. (2.0 *. h) in
+      Float.abs (g -. fd) <= 1e-4 *. (Float.abs fd +. 1e-12))
+
+let test_tunnel_iv_peak () =
+  let p = Device.paper_tunnel in
+  let v_peak = p.v0 /. sqrt 2.0 in
+  let _, g = Device.tunnel_iv p v_peak in
+  Alcotest.(check bool) "slope tiny at peak" true (Float.abs g < 1e-4);
+  let _, g_neg = Device.tunnel_iv p 0.25 in
+  Alcotest.(check bool) "negative resistance at 0.25" true (g_neg < 0.0)
+
+let test_tunnel_matches_paper_formula () =
+  let p = Device.paper_tunnel in
+  let v = 0.31 in
+  let i, _ = Device.tunnel_iv p v in
+  let i_tunnel = v /. p.r0 *. exp (-.((v /. p.v0) ** p.m)) in
+  let i_diode = p.is *. (exp (v /. (p.eta *. p.vth)) -. 1.0) in
+  check_float ~eps:1e-12 "paper eq 11-13" (i_tunnel +. i_diode) i
+
+let prop_bjt_iv_consistent =
+  qtest ~count:200 "bjt: bjt_iv agrees with bjt_currents"
+    QCheck.(pair (float_range (-0.8) 0.8) (float_range (-0.8) 0.8))
+    (fun (vbe, vbc) ->
+      let ic, ib = Device.bjt_currents Device.default_npn ~vbe ~vbc in
+      let lin = Device.bjt_iv Device.default_npn ~vbe ~vbc in
+      Float.abs (lin.ic -. ic) < 1e-15 +. (1e-12 *. Float.abs ic)
+      && Float.abs (lin.ib -. ib) < 1e-15 +. (1e-12 *. Float.abs ib))
+
+let prop_bjt_partials =
+  qtest ~count:100 "bjt: analytic partials match finite differences"
+    QCheck.(pair (float_range (-0.5) 0.7) (float_range (-0.5) 0.7))
+    (fun (vbe, vbc) ->
+      let p = Device.default_npn in
+      let lin = Device.bjt_iv p ~vbe ~vbc in
+      let ic0, _ = Device.bjt_currents p ~vbe ~vbc in
+      let h = 1e-6 in
+      let icp, _ = Device.bjt_currents p ~vbe:(vbe +. h) ~vbc in
+      let icm, _ = Device.bjt_currents p ~vbe:(vbe -. h) ~vbc in
+      let fd = (icp -. icm) /. (2.0 *. h) in
+      (* the FD uncertainty is ~ eps |ic| / h: account for cancellation *)
+      let tol = (1e-3 *. Float.abs fd) +. (1e-8 *. Float.abs ic0 /. h) +. 1e-15 in
+      Float.abs (lin.dic_dvbe -. fd) <= tol)
+
+let test_bjt_active_region () =
+  let p = Device.default_npn in
+  let ic, ib = Device.bjt_currents p ~vbe:0.65 ~vbc:(-2.0) in
+  check_float ~eps:0.01 "beta" p.beta_f (ic /. ib)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit *)
+
+let r name n1 n2 rv = Device.Resistor { name; n1; n2; r = rv }
+
+let test_circuit_duplicate () =
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Circuit.add: duplicate device \"R1\"") (fun () ->
+      ignore (Circuit.of_devices [ r "R1" "a" "0" 1.0; r "R1" "b" "0" 2.0 ]))
+
+let test_circuit_nodes () =
+  let c = Circuit.of_devices [ r "R1" "a" "gnd" 1.0; r "R2" "b" "0" 1.0; r "R3" "a" "b" 1.0 ] in
+  Alcotest.(check (list string)) "nodes" [ "a"; "b" ] (Circuit.node_names c)
+
+let test_circuit_replace () =
+  let c = Circuit.of_devices [ r "R1" "a" "0" 1.0 ] in
+  let c' = Circuit.replace c "R1" (r "R1" "a" "0" 5.0) in
+  match Circuit.find c' "R1" with
+  | Some (Device.Resistor { r = rv; _ }) -> check_float "replaced" 5.0 rv
+  | _ -> Alcotest.fail "device missing"
+
+let test_circuit_ground_aliases () =
+  Alcotest.(check bool) "0" true (Circuit.is_ground "0");
+  Alcotest.(check bool) "gnd" true (Circuit.is_ground "GND");
+  Alcotest.(check bool) "other" false (Circuit.is_ground "out")
+
+(* ------------------------------------------------------------------ *)
+(* Operating point *)
+
+let test_op_divider () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 10.0 };
+        r "R1" "in" "mid" 1e3;
+        r "R2" "mid" "0" 3e3;
+      ]
+  in
+  let op = Op.run c in
+  check_float ~eps:1e-7 "divider" 7.5 (Op.voltage op "mid");
+  check_float ~eps:1e-10 "source current" (-2.5e-3) (Op.current op "V1")
+
+let test_op_current_source () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Isource { name = "I1"; np = "0"; nn = "out"; wave = Wave.Dc 1e-3 };
+        r "R1" "out" "0" 2e3;
+      ]
+  in
+  let op = Op.run c in
+  check_float ~eps:1e-7 "I into R" 2.0 (Op.voltage op "out")
+
+let test_op_diode_analytic () =
+  let p = Device.default_diode in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 5.0 };
+        r "R1" "in" "d" 1e3;
+        Device.Diode { name = "D1"; np = "d"; nn = "0"; p };
+      ]
+  in
+  let op = Op.run c in
+  let vd = Op.voltage op "d" in
+  let i_r = (5.0 -. vd) /. 1e3 in
+  let i_d, _ = Device.diode_iv p vd in
+  check_float ~eps:1e-9 "KCL at diode node" i_r i_d
+
+let test_op_wheatstone () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "top"; nn = "0"; wave = Wave.Dc 10.0 };
+        r "Ra" "top" "l" 1e3;
+        r "Rb" "top" "rn" 2e3;
+        r "Rc" "l" "0" 2e3;
+        r "Rd" "rn" "0" 4e3;
+        r "Rdet" "l" "rn" 5e2;
+      ]
+  in
+  let op = Op.run c in
+  check_float ~eps:1e-7 "balanced bridge" 0.0 (Op.voltage op "l" -. Op.voltage op "rn")
+
+let test_op_bjt_inverter () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "VCC"; np = "vcc"; nn = "0"; wave = Wave.Dc 5.0 };
+        Device.Vsource { name = "VB"; np = "b"; nn = "0"; wave = Wave.Dc 2.0 };
+        r "RB" "b" "base" 1e4;
+        r "RC" "vcc" "c" 1e3;
+        Device.Bjt { name = "Q1"; nc = "c"; nb = "base"; ne = "0"; p = Device.default_npn };
+      ]
+  in
+  let op = Op.run c in
+  Alcotest.(check bool) "collector pulled low" true (Op.voltage op "c" < 1.0);
+  Alcotest.(check bool) "base-emitter in diode range" true
+    (Op.voltage op "base" > 0.5 && Op.voltage op "base" < 0.9)
+
+let test_op_gmin_floating () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 1.0 };
+        Device.Capacitor { name = "C1"; n1 = "in"; n2 = "fl"; c = 1e-9; ic = None };
+        r "R1" "fl" "0" 1e30;
+      ]
+  in
+  let op = Op.run c in
+  Alcotest.(check bool) "floating node finite" true (Float.is_finite (Op.voltage op "fl"))
+
+let prop_op_divider_ratio =
+  qtest ~count:100 "op: divider ratio for random resistors"
+    QCheck.(pair (float_range 10.0 1e6) (float_range 10.0 1e6))
+    (fun (r1, r2) ->
+      let c =
+        Circuit.of_devices
+          [
+            Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 1.0 };
+            r "R1" "in" "mid" r1;
+            r "R2" "mid" "0" r2;
+          ]
+      in
+      let op = Op.run c in
+      Float.abs (Op.voltage op "mid" -. (r2 /. (r1 +. r2))) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* DC sweep *)
+
+let test_sweep_resistor_linear () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "VX"; np = "a"; nn = "0"; wave = Wave.Dc 0.0 };
+        r "R1" "a" "0" 2e3;
+      ]
+  in
+  let sw = Dc_sweep.run ~circuit:c ~source:"VX" ~start:(-1.0) ~stop:1.0 ~steps:10 () in
+  let vs = Dc_sweep.source_values sw in
+  let is = Dc_sweep.branch_currents sw "VX" in
+  Array.iteri (fun k v -> check_float ~eps:1e-9 "ohm" (-.v /. 2e3) is.(k)) vs
+
+let test_sweep_diode_monotone () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "VX"; np = "a"; nn = "0"; wave = Wave.Dc 0.0 };
+        Device.Diode { name = "D1"; np = "a"; nn = "0"; p = Device.default_diode };
+      ]
+  in
+  let sw = Dc_sweep.run ~circuit:c ~source:"VX" ~start:0.0 ~stop:0.7 ~steps:50 () in
+  let is = Dc_sweep.branch_currents sw "VX" in
+  let ok = ref true in
+  for k = 0 to Array.length is - 2 do
+    if is.(k + 1) > is.(k) +. 1e-15 then ok := false
+  done;
+  ignore !ok;
+  (* branch current of VX flows a -> 0 through the source; the diode pulls
+     current out of node a, so I(VX) becomes increasingly negative *)
+  Alcotest.(check bool) "diode current monotone decreasing" true !ok
+
+let test_sweep_bad_source () =
+  let c = Circuit.of_devices [ r "R1" "a" "0" 1.0 ] in
+  Alcotest.check_raises "unknown source"
+    (Invalid_argument "Dc_sweep: no device named \"VX\"") (fun () ->
+      ignore (Dc_sweep.run ~circuit:c ~source:"VX" ~start:0.0 ~stop:1.0 ~steps:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Transient *)
+
+let transient_signal circuit probe opts =
+  let res = Transient.run circuit ~probes:[ probe ] opts in
+  Waveform.Signal.make ~times:res.Transient.times
+    ~values:(Transient.signal res probe)
+
+let test_tran_rc_charge () =
+  let tau = 1e-3 in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 1.0 };
+        r "R1" "in" "out" 1e3;
+        Device.Capacitor { name = "C1"; n1 = "out"; n2 = "0"; c = 1e-6; ic = Some 0.0 };
+      ]
+  in
+  let opts =
+    { (Transient.default_options ~dt:(tau /. 500.0) ~t_stop:(3.0 *. tau)) with use_ic = true }
+  in
+  let s = transient_signal c (Transient.Node "out") opts in
+  List.iter
+    (fun t ->
+      let expected = 1.0 -. exp (-.t /. tau) in
+      check_float ~eps:1e-4 "rc charge" expected (Waveform.Signal.value_at s t))
+    [ 0.5 *. tau; tau; 2.0 *. tau ]
+
+let test_tran_rl_decay () =
+  let l = 1e-3 and rv = 10.0 and i0 = 1e-2 in
+  let tau = l /. rv in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Inductor { name = "L1"; n1 = "a"; n2 = "0"; l; ic = Some i0 };
+        r "R1" "a" "0" rv;
+      ]
+  in
+  let opts =
+    { (Transient.default_options ~dt:(tau /. 500.0) ~t_stop:(3.0 *. tau)) with use_ic = true }
+  in
+  let s = transient_signal c (Transient.Branch "L1") opts in
+  List.iter
+    (fun t ->
+      check_float ~eps:(i0 *. 1e-3) "rl decay" (i0 *. exp (-.t /. tau))
+        (Waveform.Signal.value_at s t))
+    [ 0.5 *. tau; tau; 2.0 *. tau ]
+
+let test_tran_lc_energy () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Capacitor { name = "C1"; n1 = "t"; n2 = "0"; c = 1e-9; ic = Some 1.0 };
+        Device.Inductor { name = "L1"; n1 = "t"; n2 = "0"; l = 1e-3; ic = None };
+      ]
+  in
+  let f0 = 1.0 /. (2.0 *. Float.pi *. sqrt (1e-3 *. 1e-9)) in
+  let opts =
+    {
+      (Transient.default_options ~dt:(1.0 /. (f0 *. 200.0)) ~t_stop:(50.0 /. f0)) with
+      use_ic = true;
+      gmin = 0.0;
+    }
+  in
+  let s = transient_signal c (Transient.Node "t") opts in
+  let tail = Waveform.Signal.tail_fraction s 0.1 in
+  check_float ~eps:1e-3 "LC amplitude conserved" 1.0 (Waveform.Measure.amplitude tail);
+  check_float ~eps:(f0 *. 1e-3) "LC frequency" f0 (Waveform.Measure.frequency s)
+
+let test_tran_rlc_decay_rate () =
+  let l = 1e-3 and cap = 1e-9 in
+  let w0 = 1.0 /. sqrt (l *. cap) in
+  let q = 50.0 in
+  let rv = q *. sqrt (l /. cap) in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Capacitor { name = "C1"; n1 = "t"; n2 = "0"; c = cap; ic = Some 1.0 };
+        Device.Inductor { name = "L1"; n1 = "t"; n2 = "0"; l; ic = None };
+        r "R1" "t" "0" rv;
+      ]
+  in
+  let f0 = w0 /. (2.0 *. Float.pi) in
+  let t_stop = 30.0 /. f0 in
+  let opts =
+    { (Transient.default_options ~dt:(1.0 /. (f0 *. 400.0)) ~t_stop) with use_ic = true }
+  in
+  let s = transient_signal c (Transient.Node "t") opts in
+  let tail = Waveform.Signal.tail_fraction s 0.05 in
+  (* the max excursion of the tail window tracks the envelope near the
+     window start *)
+  let expected = exp (-.w0 *. (0.95 *. t_stop) /. (2.0 *. q)) in
+  check_float ~eps:(expected *. 0.03) "ringdown envelope" expected
+    (Waveform.Measure.amplitude tail)
+
+let test_tran_sine_through_rc () =
+  let rv = 1e3 and cap = 1e-9 in
+  let fc = 1.0 /. (2.0 *. Float.pi *. rv *. cap) in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource
+          {
+            name = "V1";
+            np = "in";
+            nn = "0";
+            wave = Wave.Sine { offset = 0.0; ampl = 1.0; freq = fc; phase = 0.0; delay = 0.0 };
+          };
+        r "R1" "in" "out" rv;
+        Device.Capacitor { name = "C1"; n1 = "out"; n2 = "0"; c = cap; ic = None };
+      ]
+  in
+  let opts = Transient.default_options ~dt:(1.0 /. (fc *. 500.0)) ~t_stop:(20.0 /. fc) in
+  let s = transient_signal c (Transient.Node "out") opts in
+  let tail = Waveform.Signal.tail_fraction s 0.3 in
+  check_float ~eps:2e-3 "corner gain" (1.0 /. sqrt 2.0) (Waveform.Measure.amplitude tail)
+
+let test_tran_be_damps_lc () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Capacitor { name = "C1"; n1 = "t"; n2 = "0"; c = 1e-9; ic = Some 1.0 };
+        Device.Inductor { name = "L1"; n1 = "t"; n2 = "0"; l = 1e-3; ic = None };
+      ]
+  in
+  let f0 = 1.0 /. (2.0 *. Float.pi *. sqrt (1e-3 *. 1e-9)) in
+  let opts =
+    {
+      (Transient.default_options ~dt:(1.0 /. (f0 *. 100.0)) ~t_stop:(50.0 /. f0)) with
+      use_ic = true;
+      integ = Mna.Backward_euler;
+    }
+  in
+  let s = transient_signal c (Transient.Node "t") opts in
+  let tail = Waveform.Signal.tail_fraction s 0.1 in
+  Alcotest.(check bool) "BE decays" true (Waveform.Measure.amplitude tail < 0.6)
+
+let test_tran_record_window () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "a"; nn = "0"; wave = Wave.Dc 1.0 };
+        r "R1" "a" "0" 1.0;
+      ]
+  in
+  let opts = { (Transient.default_options ~dt:1e-3 ~t_stop:1.0) with t_start = 0.5 } in
+  let res = Transient.run c ~probes:[ Transient.Node "a" ] opts in
+  Alcotest.(check bool) "starts at t_start" true (res.Transient.times.(0) >= 0.5)
+
+let test_tran_stride () =
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "a"; nn = "0"; wave = Wave.Dc 1.0 };
+        r "R1" "a" "0" 1.0;
+      ]
+  in
+  let opts = { (Transient.default_options ~dt:1e-3 ~t_stop:0.1) with record_stride = 10 } in
+  let res = Transient.run c ~probes:[ Transient.Node "a" ] opts in
+  Alcotest.(check bool) "stride decimates" true (Array.length res.Transient.times <= 12)
+
+
+(* adaptive stepping *)
+
+let test_tran_adaptive_rc () =
+  (* adaptive run matches the analytic RC charge *)
+  let tau = 1e-3 in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 1.0 };
+        r "R1" "in" "out" 1e3;
+        Device.Capacitor { name = "C1"; n1 = "out"; n2 = "0"; c = 1e-6; ic = Some 0.0 };
+      ]
+  in
+  let opts =
+    Transient.adaptive ~lte_tol:1e-6
+      { (Transient.default_options ~dt:(tau /. 50.0) ~t_stop:(3.0 *. tau)) with use_ic = true }
+  in
+  let s = transient_signal c (Transient.Node "out") opts in
+  List.iter
+    (fun t ->
+      check_float ~eps:1e-4 "adaptive rc" (1.0 -. exp (-.t /. tau))
+        (Waveform.Signal.value_at s t))
+    [ 0.5 *. tau; tau; 2.0 *. tau ]
+
+let test_tran_adaptive_fewer_steps_when_quiet () =
+  (* a pulse followed by a long quiet plateau: the adaptive mesh must use
+     far fewer steps than the fixed one at comparable accuracy *)
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource
+          {
+            name = "V1";
+            np = "in";
+            nn = "0";
+            wave =
+              Wave.Pulse
+                { v1 = 0.0; v2 = 1.0; delay = 1e-5; rise = 1e-6; fall = 1e-6;
+                  width = 2e-5; period = 0.0 };
+          };
+        r "R1" "in" "out" 1e3;
+        Device.Capacitor { name = "C1"; n1 = "out"; n2 = "0"; c = 1e-9; ic = None };
+      ]
+  in
+  let fixed_opts = Transient.default_options ~dt:1e-7 ~t_stop:1e-3 in
+  let adaptive_opts = Transient.adaptive ~lte_tol:1e-5 fixed_opts in
+  let fixed = Transient.run c ~probes:[ Transient.Node "out" ] fixed_opts in
+  let adap = Transient.run c ~probes:[ Transient.Node "out" ] adaptive_opts in
+  Alcotest.(check bool) "adaptive uses fewer points" true
+    (Array.length adap.Transient.times < Array.length fixed.Transient.times / 2);
+  (* both agree on the final value *)
+  let last a = a.(Array.length a - 1) in
+  check_float ~eps:1e-6 "final value agrees"
+    (last (Transient.signal fixed (Transient.Node "out")))
+    (last (Transient.signal adap (Transient.Node "out")))
+
+let test_tran_adaptive_lc_frequency () =
+  (* adaptive trap on the lossless LC keeps the frequency *)
+  let c =
+    Circuit.of_devices
+      [
+        Device.Capacitor { name = "C1"; n1 = "t"; n2 = "0"; c = 1e-9; ic = Some 1.0 };
+        Device.Inductor { name = "L1"; n1 = "t"; n2 = "0"; l = 1e-3; ic = None };
+      ]
+  in
+  let f0 = 1.0 /. (2.0 *. Float.pi *. sqrt (1e-3 *. 1e-9)) in
+  let opts =
+    Transient.adaptive ~lte_tol:1e-6
+      {
+        (Transient.default_options ~dt:(1.0 /. (f0 *. 100.0)) ~t_stop:(30.0 /. f0)) with
+        use_ic = true;
+      }
+  in
+  let s = transient_signal c (Transient.Node "t") opts in
+  check_float ~eps:(f0 *. 2e-3) "adaptive LC frequency" f0 (Waveform.Measure.frequency s)
+
+(* ------------------------------------------------------------------ *)
+(* AC *)
+
+let test_ac_rc_lowpass () =
+  let rv = 1e3 and cap = 1e-9 in
+  let fc = 1.0 /. (2.0 *. Float.pi *. rv *. cap) in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "V1"; np = "in"; nn = "0"; wave = Wave.Dc 0.0 };
+        r "R1" "in" "out" rv;
+        Device.Capacitor { name = "C1"; n1 = "out"; n2 = "0"; c = cap; ic = None };
+      ]
+  in
+  let ac = Ac.run ~circuit:c ~source:"V1" ~freqs:[| fc /. 10.0; fc; fc *. 10.0 |] () in
+  let h = Ac.transfer ac "out" in
+  check_float ~eps:1e-2 "low freq gain" 1.0 (Numerics.Cx.abs h.(0));
+  check_float ~eps:1e-6 "corner gain" (1.0 /. sqrt 2.0) (Numerics.Cx.abs h.(1));
+  check_float ~eps:1e-6 "corner phase" (-.Float.pi /. 4.0) (Numerics.Cx.arg h.(1));
+  Alcotest.(check bool) "high freq attenuated" true (Numerics.Cx.abs h.(2) < 0.2)
+
+let test_ac_tank_matches_analytic () =
+  let rv = 1e3 and l = 1e-5 and cap = 1e-9 in
+  let tank = Shil.Tank.make ~r:rv ~l ~c:cap in
+  let c =
+    Circuit.of_devices
+      [
+        Device.Isource { name = "I1"; np = "0"; nn = "t"; wave = Wave.Dc 0.0 };
+        r "R1" "t" "0" rv;
+        Device.Inductor { name = "L1"; n1 = "t"; n2 = "0"; l; ic = None };
+        Device.Capacitor { name = "C1"; n1 = "t"; n2 = "0"; c = cap; ic = None };
+      ]
+  in
+  let fc = Shil.Tank.f_c tank in
+  let freqs = [| 0.8 *. fc; 0.95 *. fc; fc; 1.05 *. fc; 1.3 *. fc |] in
+  let ac = Ac.run ~circuit:c ~source:"I1" ~freqs () in
+  let h = Ac.transfer ac "t" in
+  Array.iteri
+    (fun k f ->
+      let expected = Shil.Tank.h tank ~omega:(2.0 *. Float.pi *. f) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tank Z at %.3g" f)
+        true
+        (Numerics.Cx.abs (Numerics.Cx.sub h.(k) expected) < 1e-6 *. rv))
+    freqs
+
+
+(* ------------------------------------------------------------------ *)
+(* Netlist parser *)
+
+let test_parse_value () =
+  let ok v s =
+    match Netlist.parse_value s with
+    | Ok x -> check_float ~eps:(1e-12 *. Float.abs v) s v x
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok 1e3 "1k";
+  ok 1e-4 "100u";
+  ok 2e6 "2meg";
+  ok 1.5e-9 "1.5n";
+  ok (-3e-12) "-3p";
+  ok 42.0 "42";
+  ok 1e9 "1g";
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Netlist.parse_value "abc"))
+
+let test_parse_simple_netlist () =
+  let src = {|
+* a voltage divider
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+|} in
+  match Netlist.parse_string src with
+  | Error e -> Alcotest.failf "line %d: %s" e.line e.message
+  | Ok c ->
+    let op = Op.run c in
+    check_float ~eps:1e-7 "parsed divider" 7.5 (Op.voltage op "mid")
+
+let test_parse_sources () =
+  let src = {|
+V1 a 0 SIN(0 2 1meg)
+V2 b 0 PULSE(0 5 1u 1n 1n 2u)
+V3 c 0 PWL(0 0 1m 1 2m 0)
+I1 0 d 1m
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+R4 d 0 1k
+|} in
+  match Netlist.parse_string src with
+  | Error e -> Alcotest.failf "line %d: %s" e.line e.message
+  | Ok c -> begin
+    (match Circuit.find c "V1" with
+    | Some (Device.Vsource { wave = Wave.Sine s; _ }) ->
+      check_float "sin ampl" 2.0 s.ampl;
+      check_float "sin freq" 1e6 s.freq
+    | _ -> Alcotest.fail "V1 not SIN");
+    (match Circuit.find c "V2" with
+    | Some (Device.Vsource { wave = Wave.Pulse p; _ }) ->
+      check_float "pulse v2" 5.0 p.v2;
+      check_float "pulse width" 2e-6 p.width
+    | _ -> Alcotest.fail "V2 not PULSE");
+    match Circuit.find c "V3" with
+    | Some (Device.Vsource { wave = Wave.Pwl [ _; (t, v); _ ]; _ }) ->
+      check_float "pwl t" 1e-3 t;
+      check_float "pwl v" 1.0 v
+    | _ -> Alcotest.fail "V3 not PWL"
+  end
+
+let test_parse_devices_with_params () =
+  let src = {|
+Q1 c b e IS=2e-12 BF=50
+D1 a 0 IS=1e-15 N=1.5
+TD1 t 0 R0=500 V0=0.3
+C1 a 0 1n IC=0.7
+L1 b 0 10u IC=1m
+R1 a b 1 ; keep nodes connected
+R2 c 0 1
+R3 e 0 1
+R4 t 0 1
+|} in
+  match Netlist.parse_string src with
+  | Error e -> Alcotest.failf "line %d: %s" e.line e.message
+  | Ok c -> begin
+    (match Circuit.find c "Q1" with
+    | Some (Device.Bjt { p; _ }) ->
+      check_float "bjt is" 2e-12 p.is;
+      check_float "bjt bf" 50.0 p.beta_f
+    | _ -> Alcotest.fail "Q1 missing");
+    (match Circuit.find c "TD1" with
+    | Some (Device.Tunnel_diode { p; _ }) ->
+      check_float "td r0" 500.0 p.r0;
+      check_float "td v0" 0.3 p.v0
+    | _ -> Alcotest.fail "TD1 missing");
+    match Circuit.find c "C1" with
+    | Some (Device.Capacitor { ic = Some v; _ }) -> check_float "cap ic" 0.7 v
+    | _ -> Alcotest.fail "C1 ic missing"
+  end
+
+let test_parse_errors_carry_line () =
+  let src = "R1 a 0 1k\nR2 a\n" in
+  match Netlist.parse_string src with
+  | Error e -> Alcotest.(check int) "error line" 2 e.line
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_netlist_roundtrip () =
+  let src = {|
+V1 in 0 DC 10
+R1 in mid 1k
+C1 mid 0 1n IC=0.5
+L1 mid 0 1m
+D1 mid 0
+|} in
+  match Netlist.parse_string src with
+  | Error e -> Alcotest.failf "line %d: %s" e.line e.message
+  | Ok c -> begin
+    let text = Netlist.to_string c in
+    match Netlist.parse_string text with
+    | Error e -> Alcotest.failf "roundtrip line %d: %s" e.line e.message
+    | Ok c2 ->
+      Alcotest.(check int) "same device count"
+        (List.length (Circuit.devices c))
+        (List.length (Circuit.devices c2))
+  end
+
+
+(* ------------------------------------------------------------------ *)
+(* MOSFET model *)
+
+let test_mos_regions () =
+  let p = Device.default_nmos in
+  (* cutoff *)
+  let lin = Device.mos_iv p ~vgs:0.3 ~vds:1.0 in
+  check_float "cutoff id" 0.0 lin.id;
+  (* saturation: id = kp/2 vov^2 (1 + lambda vds) *)
+  let lin = Device.mos_iv p ~vgs:1.0 ~vds:2.0 in
+  let expected = 0.5 *. p.kp *. 0.25 *. (1.0 +. (p.lambda *. 2.0)) in
+  check_float ~eps:1e-12 "sat id" expected lin.id;
+  (* triode *)
+  let lin = Device.mos_iv p ~vgs:1.5 ~vds:0.2 in
+  let vov = 1.0 in
+  let expected =
+    p.kp *. ((vov *. 0.2) -. (0.5 *. 0.2 *. 0.2)) *. (1.0 +. (p.lambda *. 0.2))
+  in
+  check_float ~eps:1e-12 "triode id" expected lin.id
+
+let test_mos_continuity_at_pinchoff () =
+  let p = Device.default_nmos in
+  let vgs = 1.2 in
+  let vov = vgs -. p.vth in
+  let below = Device.mos_iv p ~vgs ~vds:(vov -. 1e-9) in
+  let above = Device.mos_iv p ~vgs ~vds:(vov +. 1e-9) in
+  check_float ~eps:1e-9 "id continuous" below.id above.id;
+  check_float ~eps:1e-4 "gm continuous" below.gm above.gm
+
+let prop_mos_partials =
+  qtest ~count:200 "mos: gm/gds match finite differences"
+    QCheck.(pair (float_range 0.0 2.0) (float_range (-1.5) 2.0))
+    (fun (vgs, vds) ->
+      let p = Device.default_nmos in
+      let lin = Device.mos_iv p ~vgs ~vds in
+      let h = 1e-6 in
+      let fd_gm =
+        ((Device.mos_iv p ~vgs:(vgs +. h) ~vds).id
+        -. (Device.mos_iv p ~vgs:(vgs -. h) ~vds).id)
+        /. (2.0 *. h)
+      in
+      let fd_gds =
+        ((Device.mos_iv p ~vgs ~vds:(vds +. h)).id
+        -. (Device.mos_iv p ~vgs ~vds:(vds -. h)).id)
+        /. (2.0 *. h)
+      in
+      Float.abs (lin.gm -. fd_gm) <= 1e-4 *. (Float.abs fd_gm +. 1e-6)
+      && Float.abs (lin.gds -. fd_gds) <= 1e-4 *. (Float.abs fd_gds +. 1e-6))
+
+let prop_mos_antisymmetry =
+  (* drain/source swap: id(vgs, -vds) of the swapped device *)
+  qtest ~count:100 "mos: vds < 0 is the mirrored device"
+    QCheck.(pair (float_range 0.0 2.0) (float_range 0.0 2.0))
+    (fun (vgs, vds) ->
+      let p = Device.default_nmos in
+      let fwd = Device.mos_iv p ~vgs ~vds in
+      let rev = Device.mos_iv p ~vgs:(vgs -. vds) ~vds:(-.vds) in
+      Float.abs (fwd.id +. rev.id) < 1e-12)
+
+let test_mos_common_source_op () =
+  (* common-source stage in saturation *)
+  let c =
+    Circuit.of_devices
+      [
+        Device.Vsource { name = "VDD"; np = "vdd"; nn = "0"; wave = Wave.Dc 3.0 };
+        Device.Vsource { name = "VG"; np = "g"; nn = "0"; wave = Wave.Dc 1.0 };
+        r "RD" "vdd" "d" 5e3;
+        Device.Mosfet { name = "M1"; nd = "d"; ng = "g"; ns = "0"; p = Device.default_nmos };
+      ]
+  in
+  let op = Op.run c in
+  (* id = kp/2 (0.5)^2 (1 + lambda vd): solve consistently *)
+  let vd = Op.voltage op "d" in
+  let id = (3.0 -. vd) /. 5e3 in
+  let lin = Device.mos_iv Device.default_nmos ~vgs:1.0 ~vds:vd in
+  check_float ~eps:1e-9 "KCL at drain" id lin.id;
+  Alcotest.(check bool) "in saturation" true (vd > 0.5)
+
+let () =
+  Alcotest.run "spice"
+    [
+      ( "wave",
+        [
+          Alcotest.test_case "dc" `Quick test_wave_dc;
+          Alcotest.test_case "sine" `Quick test_wave_sine;
+          Alcotest.test_case "sine delay" `Quick test_wave_sine_delay;
+          Alcotest.test_case "pulse" `Quick test_wave_pulse;
+          Alcotest.test_case "pulse periodic" `Quick test_wave_pulse_periodic;
+          Alcotest.test_case "pwl" `Quick test_wave_pwl;
+          prop_wave_scale;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "diode iv" `Quick test_diode_iv;
+          prop_diode_g_is_derivative;
+          Alcotest.test_case "tunnel peak" `Quick test_tunnel_iv_peak;
+          Alcotest.test_case "tunnel paper formula" `Quick test_tunnel_matches_paper_formula;
+          prop_bjt_iv_consistent;
+          prop_bjt_partials;
+          Alcotest.test_case "bjt active" `Quick test_bjt_active_region;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "duplicate" `Quick test_circuit_duplicate;
+          Alcotest.test_case "nodes" `Quick test_circuit_nodes;
+          Alcotest.test_case "replace" `Quick test_circuit_replace;
+          Alcotest.test_case "ground aliases" `Quick test_circuit_ground_aliases;
+        ] );
+      ( "op",
+        [
+          Alcotest.test_case "divider" `Quick test_op_divider;
+          Alcotest.test_case "current source" `Quick test_op_current_source;
+          Alcotest.test_case "diode KCL" `Quick test_op_diode_analytic;
+          Alcotest.test_case "wheatstone" `Quick test_op_wheatstone;
+          Alcotest.test_case "bjt inverter" `Quick test_op_bjt_inverter;
+          Alcotest.test_case "gmin floating node" `Quick test_op_gmin_floating;
+          prop_op_divider_ratio;
+        ] );
+      ( "dc_sweep",
+        [
+          Alcotest.test_case "resistor linear" `Quick test_sweep_resistor_linear;
+          Alcotest.test_case "diode monotone" `Quick test_sweep_diode_monotone;
+          Alcotest.test_case "bad source" `Quick test_sweep_bad_source;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "rc charge" `Quick test_tran_rc_charge;
+          Alcotest.test_case "rl decay" `Quick test_tran_rl_decay;
+          Alcotest.test_case "lc energy" `Quick test_tran_lc_energy;
+          Alcotest.test_case "rlc decay rate" `Quick test_tran_rlc_decay_rate;
+          Alcotest.test_case "sine through rc" `Quick test_tran_sine_through_rc;
+          Alcotest.test_case "be damps lc" `Quick test_tran_be_damps_lc;
+          Alcotest.test_case "record window" `Quick test_tran_record_window;
+          Alcotest.test_case "stride" `Quick test_tran_stride;
+          Alcotest.test_case "adaptive rc" `Quick test_tran_adaptive_rc;
+          Alcotest.test_case "adaptive mesh economy" `Quick test_tran_adaptive_fewer_steps_when_quiet;
+          Alcotest.test_case "adaptive lc frequency" `Quick test_tran_adaptive_lc_frequency;
+        ] );
+      ( "mosfet",
+        [
+          Alcotest.test_case "regions" `Quick test_mos_regions;
+          Alcotest.test_case "pinchoff continuity" `Quick test_mos_continuity_at_pinchoff;
+          prop_mos_partials;
+          prop_mos_antisymmetry;
+          Alcotest.test_case "common source op" `Quick test_mos_common_source_op;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "values" `Quick test_parse_value;
+          Alcotest.test_case "divider" `Quick test_parse_simple_netlist;
+          Alcotest.test_case "sources" `Quick test_parse_sources;
+          Alcotest.test_case "device params" `Quick test_parse_devices_with_params;
+          Alcotest.test_case "error lines" `Quick test_parse_errors_carry_line;
+          Alcotest.test_case "roundtrip" `Quick test_netlist_roundtrip;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "rc lowpass" `Quick test_ac_rc_lowpass;
+          Alcotest.test_case "tank matches analytic" `Quick test_ac_tank_matches_analytic;
+        ] );
+    ]
