@@ -1,0 +1,29 @@
+# Convenience targets; everything here is a thin wrapper over dune.
+
+.PHONY: all test bench-smoke bench clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# CI smoke: build, run the tier-1 tests, then run the bench harness in
+# its fast configuration (--only-bench --skip-slow) and verify that the
+# emitted BENCH_*.json records parse.
+bench-smoke:
+	dune build
+	dune runtest
+	dune build @bench-smoke
+
+# Full tracked benchmarks: emits BENCH_grid.json / BENCH_lockrange.json
+# in the repository root and validates them. Set OSHIL_JOBS (or pass
+# JOBS=N) to control the pool size of the parallel kernels.
+JOBS ?=
+bench:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
+	./_build/default/bench/main.exe --check-json BENCH_grid.json BENCH_lockrange.json
+
+clean:
+	dune clean

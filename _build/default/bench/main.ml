@@ -1,17 +1,71 @@
 (* Experiment harness: regenerates every table and figure of the paper's
    evaluation (printed as rows; figures written as SVG under
-   out/figures/), then runs Bechamel timing benches - one Test.make per
+   out/figures/), then runs the tracked perf benches (emitting
+   BENCH_*.json) and Bechamel timing benches - one Test.make per
    experiment family.
 
    Flags:
      --fast          skip the transient binary searches (tables print the
                      prediction side plus the paper's reference numbers)
-     --skip-bench    skip the Bechamel micro-benchmarks
-     --only-bench    run only the Bechamel micro-benchmarks *)
+     --skip-bench    skip all benchmarks
+     --only-bench    run only the benchmarks
+     --skip-slow     small perf-bench problem sizes and no transient
+                     micro-benchmarks (the CI smoke configuration)
+     --jobs N        worker-pool size for the parallel kernels
+                     (overrides OSHIL_JOBS)
+     --check-json F...  parse previously emitted BENCH_*.json files and
+                     exit non-zero if any is malformed *)
 
-let fast = Array.exists (( = ) "--fast") Sys.argv
-let skip_bench = Array.exists (( = ) "--skip-bench") Sys.argv
-let only_bench = Array.exists (( = ) "--only-bench") Sys.argv
+type opts = {
+  fast : bool;
+  skip_bench : bool;
+  only_bench : bool;
+  skip_slow : bool;
+  jobs : int option;
+  check_json : string list;
+}
+
+let usage_lines =
+  [
+    "usage: bench/main.exe [OPTIONS]";
+    "  --fast             skip the slow transient lock searches";
+    "  --skip-bench       run experiments only, no benchmarks";
+    "  --only-bench       run benchmarks only, no experiments";
+    "  --skip-slow        small bench sizes, no transient micro-benches";
+    "  --jobs N           pool size for parallel kernels (>= 1)";
+    "  --check-json F...  validate emitted bench JSON files and exit";
+  ]
+
+let usage_error msg =
+  prerr_endline ("bench/main.exe: " ^ msg);
+  List.iter prerr_endline usage_lines;
+  exit 2
+
+let parse_args () =
+  let rec go o = function
+    | [] -> o
+    | "--fast" :: rest -> go { o with fast = true } rest
+    | "--skip-bench" :: rest -> go { o with skip_bench = true } rest
+    | "--only-bench" :: rest -> go { o with only_bench = true } rest
+    | "--skip-slow" :: rest -> go { o with skip_slow = true } rest
+    | "--jobs" :: v :: rest -> begin
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go { o with jobs = Some n } rest
+      | _ -> usage_error (Printf.sprintf "--jobs expects a positive integer, got %S" v)
+    end
+    | [ "--jobs" ] -> usage_error "--jobs expects an argument"
+    | "--check-json" :: rest ->
+      if rest = [] then usage_error "--check-json expects at least one file"
+      else { o with check_json = rest }
+    | ("--help" | "-h") :: _ ->
+      List.iter print_endline usage_lines;
+      exit 0
+    | arg :: _ -> usage_error (Printf.sprintf "unknown argument %S" arg)
+  in
+  go
+    { fast = false; skip_bench = false; only_bench = false; skip_slow = false;
+      jobs = None; check_json = [] }
+    (List.tl (Array.to_list Sys.argv))
 
 let figures_dir = "out/figures"
 
@@ -21,7 +75,7 @@ let show out =
   List.iter (Format.printf "  figure: %s@.") paths;
   Format.printf "@."
 
-let run_experiments () =
+let run_experiments ~fast () =
   Format.printf
     "oshil experiment harness - reproducing the tables and figures of@.\
      'A Rigorous Graphical Technique for Predicting Sub-harmonic Injection@.\
@@ -78,9 +132,91 @@ let run_experiments () =
     show (Experiments.Speedup.output s_td ~paper_speedup:50.0)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Tracked perf benches: the parallel kernels, timed sequential vs
+   pooled and written as machine-readable JSON so the perf trajectory
+   is comparable across PRs. *)
+
+let time_best ~repeats f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let emit_entry ~path (entry : Experiments.Bench_json.entry) =
+  Experiments.Bench_json.write ~path entry;
+  (* self-check: the file we just wrote must round-trip *)
+  let back = Experiments.Bench_json.read ~path in
+  assert (back.name = entry.name && back.jobs = entry.jobs);
+  Printf.printf "  wrote %s (jobs=%d, wall=%.4fs, speedup_vs_seq=%.2fx)\n%!"
+    path entry.jobs entry.wall_s entry.speedup_vs_seq
+
+let run_perf_benches ~skip_slow ~jobs () =
+  Printf.printf "=== tracked perf benches (parallel kernels; jobs=%d)\n%!" jobs;
+  let tanh_nl = Shil.Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3 in
+  let n_phi, n_amp, points, repeats =
+    if skip_slow then (31, 21, 256, 2) else (121, 101, 512, 3)
+  in
+  let sample () =
+    Shil.Grid.sample ~points ~n_phi ~n_amp tanh_nl ~n:3 ~r:1e3 ~vi:0.2
+      ~a_range:(0.3, 1.45) ()
+  in
+  (* warm the trig-table cache so neither side pays table construction *)
+  ignore (sample ());
+  Numerics.Pool.set_jobs 1;
+  let g_seq, seq_s = time_best ~repeats sample in
+  Numerics.Pool.set_jobs jobs;
+  let g_par, par_s = time_best ~repeats sample in
+  let identical = g_seq.Shil.Grid.i1 = g_par.Shil.Grid.i1 in
+  if not identical then
+    failwith "perf bench: parallel Grid.sample differs from sequential";
+  emit_entry ~path:"BENCH_grid.json"
+    {
+      name = Printf.sprintf "grid_sample_%dx%dx%d" n_phi n_amp points;
+      jobs;
+      wall_s = par_s;
+      speedup_vs_seq = seq_s /. par_s;
+      extra =
+        [
+          ("seq_wall_s", seq_s);
+          ("n_phi", float_of_int n_phi);
+          ("n_amp", float_of_int n_amp);
+          ("points", float_of_int points);
+          ("bit_identical_to_seq", if identical then 1.0 else 0.0);
+        ];
+    };
+  (* lock-range boundary search: Solutions.find stability scans dominate *)
+  let lr_grid =
+    if skip_slow then g_par
+    else
+      Shil.Grid.sample ~points:256 ~n_phi:61 ~n_amp:51 tanh_nl ~n:3 ~r:1e3
+        ~vi:0.2 ~a_range:(0.3, 1.45) ()
+  in
+  let boundary () = Shil.Lock_range.phi_d_boundary ~tol:1e-3 lr_grid in
+  ignore (boundary ());
+  Numerics.Pool.set_jobs 1;
+  let b_seq, seq_s = time_best ~repeats boundary in
+  Numerics.Pool.set_jobs jobs;
+  let b_par, par_s = time_best ~repeats boundary in
+  if b_seq <> b_par then
+    failwith "perf bench: parallel phi_d_boundary differs from sequential";
+  emit_entry ~path:"BENCH_lockrange.json"
+    {
+      name = "lock_range_phi_d_boundary";
+      jobs;
+      wall_s = par_s;
+      speedup_vs_seq = seq_s /. par_s;
+      extra = [ ("seq_wall_s", seq_s); ("phi_d_max", b_par); ("tol", 1e-3) ];
+    }
+
 (* Bechamel's full analysis pipeline is heavyweight; we use its sampler
    and report the OLS time-per-run estimate per test. *)
-let run_benchmarks () =
+let run_benchmarks ~skip_slow () =
   let open Bechamel in
   print_endline "=== Bechamel micro-benchmarks (one per experiment family)";
   let tanh_nl = Shil.Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3 in
@@ -104,73 +240,81 @@ let run_benchmarks () =
     let values = Array.map (fun t -> cos (2.0 *. Float.pi *. 5.033e5 *. t)) times in
     Waveform.Signal.make ~times ~values
   in
+  let fast_tests =
+    [
+      Test.make ~name:"fig3_natural_solve"
+        (Staged.stage (fun () ->
+             ignore (Shil.Natural.solve ~points:512 tanh_nl ~r:1e3)));
+      Test.make ~name:"fig6_tank_sweep_500pts"
+        (Staged.stage (fun () ->
+             let acc = ref 0.0 in
+             for k = 0 to 499 do
+               let f = 0.5e6 +. (2e3 *. float_of_int k) in
+               acc := !acc +. Shil.Tank.mag tanh_tank ~omega:(2.0 *. Float.pi *. f)
+             done;
+             ignore !acc));
+      Test.make ~name:"fig7_two_tone_i1"
+        (Staged.stage (fun () ->
+             ignore
+               (Shil.Describing_function.i1_two_tone ~points:512 tanh_nl ~n:3
+                  ~a:1.0 ~vi:0.2 ~phi:1.0)));
+      Test.make ~name:"fig7_lock_solutions"
+        (Staged.stage (fun () -> ignore (Shil.Solutions.find grid ~phi_d:0.05)));
+      Test.make ~name:"fig9_n_states"
+        (Staged.stage (fun () ->
+             let p =
+               { Shil.Solutions.phi = 1.0; a = 1.0; stable = true;
+                 trace = -1.0; det = 1.0 }
+             in
+             ignore (Shil.Solutions.n_states p ~n:3)));
+      Test.make ~name:"fig10_contours"
+        (Staged.stage (fun () -> ignore (Shil.Grid.t_f_curve grid)));
+      Test.make ~name:"fig10_phi_d_boundary"
+        (Staged.stage (fun () ->
+             ignore (Shil.Lock_range.phi_d_boundary ~tol:1e-3 grid)));
+    ]
+  in
+  let slow_tests =
+    [
+      Test.make ~name:"fig12a_diffpair_op"
+        (Staged.stage (fun () -> ignore (Spice.Op.run dp_circuit)));
+      Test.make ~name:"fig13_diffpair_tran_10cyc"
+        (Staged.stage (fun () ->
+             let dt = 1.0 /. (dp_fc *. 120.0) in
+             ignore
+               (Spice.Transient.run dp_circuit
+                  ~probes:[ Circuits.Diff_pair.osc_probe ]
+                  (Spice.Transient.default_options ~dt ~t_stop:(10.0 /. dp_fc)))));
+      Test.make ~name:"fig13_diffpair_tran_adaptive"
+        (Staged.stage (fun () ->
+             let dt = 1.0 /. (dp_fc *. 120.0) in
+             ignore
+               (Spice.Transient.run dp_circuit
+                  ~probes:[ Circuits.Diff_pair.osc_probe ]
+                  (Spice.Transient.adaptive ~lte_tol:1e-4
+                     (Spice.Transient.default_options ~dt
+                        ~t_stop:(10.0 /. dp_fc))))));
+      Test.make ~name:"fig16b_tunnel_op"
+        (Staged.stage (fun () -> ignore (Spice.Op.run td_circuit)));
+      Test.make ~name:"fig17_tunnel_tran_10cyc"
+        (Staged.stage (fun () ->
+             let dt = 1.0 /. (td_fc *. 120.0) in
+             ignore
+               (Spice.Transient.run td_circuit
+                  ~probes:[ Circuits.Tunnel_osc.osc_probe ]
+                  (Spice.Transient.default_options ~dt ~t_stop:(10.0 /. td_fc)))));
+      Test.make ~name:"fig15_lock_detection"
+        (Staged.stage (fun () ->
+             ignore (Waveform.Lock.analyze synth_signal ~f_target:5.033e5)));
+    ]
+  in
   let tests =
     Test.make_grouped ~name:"oshil"
-      [
-        Test.make ~name:"fig3_natural_solve"
-          (Staged.stage (fun () ->
-               ignore (Shil.Natural.solve ~points:512 tanh_nl ~r:1e3)));
-        Test.make ~name:"fig6_tank_sweep_500pts"
-          (Staged.stage (fun () ->
-               let acc = ref 0.0 in
-               for k = 0 to 499 do
-                 let f = 0.5e6 +. (2e3 *. float_of_int k) in
-                 acc := !acc +. Shil.Tank.mag tanh_tank ~omega:(2.0 *. Float.pi *. f)
-               done;
-               ignore !acc));
-        Test.make ~name:"fig7_two_tone_i1"
-          (Staged.stage (fun () ->
-               ignore
-                 (Shil.Describing_function.i1_two_tone ~points:512 tanh_nl ~n:3
-                    ~a:1.0 ~vi:0.2 ~phi:1.0)));
-        Test.make ~name:"fig7_lock_solutions"
-          (Staged.stage (fun () -> ignore (Shil.Solutions.find grid ~phi_d:0.05)));
-        Test.make ~name:"fig9_n_states"
-          (Staged.stage (fun () ->
-               let p =
-                 { Shil.Solutions.phi = 1.0; a = 1.0; stable = true;
-                   trace = -1.0; det = 1.0 }
-               in
-               ignore (Shil.Solutions.n_states p ~n:3)));
-        Test.make ~name:"fig10_contours"
-          (Staged.stage (fun () -> ignore (Shil.Grid.t_f_curve grid)));
-        Test.make ~name:"fig10_phi_d_boundary"
-          (Staged.stage (fun () ->
-               ignore (Shil.Lock_range.phi_d_boundary ~tol:1e-3 grid)));
-        Test.make ~name:"fig12a_diffpair_op"
-          (Staged.stage (fun () -> ignore (Spice.Op.run dp_circuit)));
-        Test.make ~name:"fig13_diffpair_tran_10cyc"
-          (Staged.stage (fun () ->
-               let dt = 1.0 /. (dp_fc *. 120.0) in
-               ignore
-                 (Spice.Transient.run dp_circuit
-                    ~probes:[ Circuits.Diff_pair.osc_probe ]
-                    (Spice.Transient.default_options ~dt ~t_stop:(10.0 /. dp_fc)))));
-        Test.make ~name:"fig13_diffpair_tran_adaptive"
-          (Staged.stage (fun () ->
-               let dt = 1.0 /. (dp_fc *. 120.0) in
-               ignore
-                 (Spice.Transient.run dp_circuit
-                    ~probes:[ Circuits.Diff_pair.osc_probe ]
-                    (Spice.Transient.adaptive ~lte_tol:1e-4
-                       (Spice.Transient.default_options ~dt
-                          ~t_stop:(10.0 /. dp_fc))))));
-        Test.make ~name:"fig16b_tunnel_op"
-          (Staged.stage (fun () -> ignore (Spice.Op.run td_circuit)));
-        Test.make ~name:"fig17_tunnel_tran_10cyc"
-          (Staged.stage (fun () ->
-               let dt = 1.0 /. (td_fc *. 120.0) in
-               ignore
-                 (Spice.Transient.run td_circuit
-                    ~probes:[ Circuits.Tunnel_osc.osc_probe ]
-                    (Spice.Transient.default_options ~dt ~t_stop:(10.0 /. td_fc)))));
-        Test.make ~name:"fig15_lock_detection"
-          (Staged.stage (fun () ->
-               ignore (Waveform.Lock.analyze synth_signal ~f_target:5.033e5)));
-      ]
+      (if skip_slow then fast_tests else fast_tests @ slow_tests)
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let quota = if skip_slow then Time.second 0.1 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota () in
   let raw_results = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -189,7 +333,35 @@ let run_benchmarks () =
       | None -> ())
     (List.sort compare names)
 
+let check_json files =
+  let ok = ref true in
+  List.iter
+    (fun path ->
+      match Experiments.Bench_json.read ~path with
+      | e ->
+        Printf.printf "%s: ok (name=%s jobs=%d wall_s=%g speedup_vs_seq=%g)\n"
+          path e.Experiments.Bench_json.name e.jobs e.wall_s e.speedup_vs_seq
+      | exception Experiments.Bench_json.Parse_error msg ->
+        Printf.eprintf "%s: PARSE ERROR: %s\n" path msg;
+        ok := false
+      | exception Sys_error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        ok := false)
+    files;
+  if not !ok then exit 1
+
 let () =
-  if not only_bench then run_experiments ();
-  if not skip_bench then run_benchmarks ();
-  print_endline "done."
+  let o = parse_args () in
+  if o.check_json <> [] then check_json o.check_json
+  else begin
+    Option.iter Numerics.Pool.set_jobs o.jobs;
+    let jobs =
+      match o.jobs with Some n -> n | None -> Numerics.Pool.default_size ()
+    in
+    if not o.only_bench then run_experiments ~fast:o.fast ();
+    if not o.skip_bench then begin
+      run_perf_benches ~skip_slow:o.skip_slow ~jobs ();
+      run_benchmarks ~skip_slow:o.skip_slow ()
+    end;
+    print_endline "done."
+  end

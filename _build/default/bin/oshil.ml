@@ -70,6 +70,21 @@ let resolve_oscillator choice (g0, isat, r, fc, q) : Shil.Analysis.oscillator =
   | Diffpair, _, _, _, _, _ -> Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
   | Tunnel, _, _, _, _, _ -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
 
+let jobs_arg =
+  let doc =
+    "Worker-pool size for the parallel kernels (grid sampling, sweeps, \
+     lock searches). Defaults to $(b,OSHIL_JOBS) or the number of cores; \
+     1 disables parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | Some n when n >= 1 -> Numerics.Pool.set_jobs n
+  | Some n ->
+    Format.eprintf "oshil: --jobs must be >= 1 (got %d)@." n;
+    exit 2
+  | None -> ()
+
 let vi_arg =
   Arg.(value & opt float 0.03
        & info [ "vi" ] ~docv:"V" ~doc:"Injection phasor magnitude $(docv).")
@@ -85,7 +100,8 @@ let ascii_arg =
 (* natural *)
 
 let natural_cmd =
-  let run choice custom ascii =
+  let run jobs choice custom ascii =
+    apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
     let r = (osc.tank : Shil.Tank.t).r in
     Format.printf "%a@." Shil.Tank.pp osc.tank;
@@ -118,7 +134,7 @@ let natural_cmd =
       Plotkit.Ascii_render.print fig
     end
   in
-  let term = Term.(const run $ osc_arg $ custom_args $ ascii_arg) in
+  let term = Term.(const run $ jobs_arg $ osc_arg $ custom_args $ ascii_arg) in
   Cmd.v (Cmd.info "natural" ~doc:"Predict natural oscillation amplitude (§II).") term
 
 (* ------------------------------------------------------------------ *)
@@ -130,7 +146,8 @@ let shil_cmd =
          & info [ "finj" ] ~docv:"HZ"
              ~doc:"Injection frequency; default n x f_c.")
   in
-  let run choice custom n vi finj ascii =
+  let run jobs choice custom n vi finj ascii =
+    apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
     let report = Shil.Analysis.run osc ~n ~vi in
     Format.printf "%a@." Shil.Analysis.pp report;
@@ -163,7 +180,8 @@ let shil_cmd =
     end
   in
   let term =
-    Term.(const run $ osc_arg $ custom_args $ n_arg $ vi_arg $ finj_arg $ ascii_arg)
+    Term.(const run $ jobs_arg $ osc_arg $ custom_args $ n_arg $ vi_arg
+          $ finj_arg $ ascii_arg)
   in
   Cmd.v
     (Cmd.info "shil" ~doc:"Full SHIL analysis: locks, stability, states, lock range (§III).")
@@ -178,7 +196,8 @@ let lockrange_cmd =
          & info [ "validate" ]
              ~doc:"Also binary-search the lock edges with transient simulation (slow).")
   in
-  let run choice custom n vi validate =
+  let run jobs choice custom n vi validate =
+    apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
     let report = Shil.Analysis.run osc ~n ~vi in
     Format.printf "%a@." Shil.Lock_range.pp report.lock_range;
@@ -215,7 +234,8 @@ let lockrange_cmd =
     end
   in
   let term =
-    Term.(const run $ osc_arg $ custom_args $ n_arg $ vi_arg $ validate_arg)
+    Term.(const run $ jobs_arg $ osc_arg $ custom_args $ n_arg $ vi_arg
+          $ validate_arg)
   in
   Cmd.v (Cmd.info "lockrange" ~doc:"Predict (and optionally validate) the SHIL lock range.") term
 
@@ -253,7 +273,8 @@ let transient_cmd =
     Arg.(value & opt (some float) None
          & info [ "finj" ] ~docv:"HZ" ~doc:"Add an injection tone at $(docv).")
   in
-  let run choice n vi cycles finj ascii =
+  let run jobs choice n vi cycles finj ascii =
+    apply_jobs jobs;
     let circuit, probe, fc =
       match choice with
       | Tanh ->
@@ -317,7 +338,8 @@ let transient_cmd =
     end
   in
   let term =
-    Term.(const run $ osc_arg $ n_arg $ vi_arg $ cycles_arg $ finj_arg $ ascii_arg)
+    Term.(const run $ jobs_arg $ osc_arg $ n_arg $ vi_arg $ cycles_arg
+          $ finj_arg $ ascii_arg)
   in
   Cmd.v
     (Cmd.info "transient" ~doc:"Device-level transient simulation (CSV or --ascii summary).")
@@ -440,7 +462,8 @@ let figures_cmd =
     Arg.(value & opt string "out/figures"
          & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run dir =
+  let run jobs dir =
+    apply_jobs jobs;
     let show out =
       let paths = Experiments.Output.write_figures ~dir out in
       List.iter (Printf.printf "wrote %s\n%!") paths
@@ -460,14 +483,15 @@ let figures_cmd =
     show (Experiments.Osc_experiments.fig_natural_prediction td);
     show (Experiments.Osc_experiments.fig_lock_range_curves td)
   in
-  let term = Term.(const run $ dir_arg) in
+  let term = Term.(const run $ jobs_arg $ dir_arg) in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures as SVG files.") term
 
 let experiments_cmd =
   let fast_arg =
     Arg.(value & flag & info [ "fast" ] ~doc:"Skip the slow transient searches.")
   in
-  let run fast =
+  let run jobs fast =
+    apply_jobs jobs;
     let show out = Format.printf "%a@.@." Experiments.Output.print out in
     let ts = Experiments.Tanh_experiments.default_setup in
     show (Experiments.Tanh_experiments.fig3_natural ts);
@@ -486,7 +510,7 @@ let experiments_cmd =
     show (Experiments.Osc_experiments.fig_transient td);
     show (fst (Experiments.Osc_experiments.table_lock_range ~predict_only:fast td))
   in
-  let term = Term.(const run $ fast_arg) in
+  let term = Term.(const run $ jobs_arg $ fast_arg) in
   Cmd.v (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.") term
 
 let () =

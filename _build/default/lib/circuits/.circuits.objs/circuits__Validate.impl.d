@@ -1,1 +1,1 @@
-lib/circuits/validate.ml: Float Format List Numerics Shil Spice Waveform
+lib/circuits/validate.ml: Array Float Format List Numerics Shil Spice Waveform

@@ -81,8 +81,17 @@ let lock_range ?(cycles = 600.0) ?(steps_per_cycle = 180) ?(rel_tol = 2e-5)
     done;
     0.5 *. (!lo +. !hi)
   in
-  let sim_f_low = bisect ~f_guess:predicted.f_inj_low ~side:`Low in
-  let sim_f_high = bisect ~f_guess:predicted.f_inj_high ~side:`High in
+  (* the two edge searches are independent chains of transient runs; on a
+     multicore pool they proceed concurrently *)
+  let edges =
+    Numerics.Pool.parallel_map_array ~chunk:1
+      (fun side ->
+        match side with
+        | `Low -> bisect ~f_guess:predicted.f_inj_low ~side:`Low
+        | `High -> bisect ~f_guess:predicted.f_inj_high ~side:`High)
+      [| `Low; `High |]
+  in
+  let sim_f_low = edges.(0) and sim_f_high = edges.(1) in
   { predicted; sim_f_low; sim_f_high; sim_delta = sim_f_high -. sim_f_low }
 
 let lock_states ?(cycles = 900.0) ?(steps_per_cycle = 180) ~make_circuit

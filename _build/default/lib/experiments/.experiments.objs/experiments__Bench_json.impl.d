@@ -1,0 +1,1 @@
+lib/experiments/bench_json.ml: Buffer Char Float Fun List Printf String

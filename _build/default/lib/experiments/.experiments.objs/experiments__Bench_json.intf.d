@@ -1,0 +1,1 @@
+lib/experiments/bench_json.mli:

@@ -1,1 +1,1 @@
-lib/experiments/tongue_experiment.ml: Array Circuits List Output Plotkit Printf Shil
+lib/experiments/tongue_experiment.ml: Array Circuits List Numerics Output Plotkit Printf Shil

@@ -1,0 +1,38 @@
+(** Machine-readable benchmark records.
+
+    The bench harness emits one small JSON object per tracked kernel
+    (e.g. [BENCH_grid.json], [BENCH_lockrange.json]) so the performance
+    trajectory is comparable across PRs. Schema:
+
+    {v
+    {
+      "name": "grid_sample_121x101x512",
+      "jobs": 4,
+      "wall_s": 0.31,
+      "speedup_vs_seq": 2.7,
+      ... further numeric fields (seq_wall_s, sizes, flags) ...
+    }
+    v}
+
+    [parse] / [read] implement just enough JSON (a flat object of
+    strings and numbers) to round-trip that schema, so CI can verify the
+    emitted files without external dependencies. *)
+
+type entry = {
+  name : string;
+  jobs : int;  (** pool size the timed run used *)
+  wall_s : float;  (** wall-clock seconds of the timed run *)
+  speedup_vs_seq : float;  (** sequential wall time / [wall_s] *)
+  extra : (string * float) list;  (** any further numeric fields *)
+}
+
+exception Parse_error of string
+
+val to_json : entry -> string
+val write : path:string -> entry -> unit
+
+val parse : string -> entry
+(** Raises {!Parse_error} on malformed input or missing required
+    fields. NaN round-trips as JSON [null]. *)
+
+val read : path:string -> entry

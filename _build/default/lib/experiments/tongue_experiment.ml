@@ -17,7 +17,10 @@ let compute ?points ?(vis = default_vis) (osc : Shil.Analysis.oscillator) ~n =
     | Some a -> a
     | None -> failwith "Tongue_experiment: oscillator does not oscillate"
   in
-  List.map
+  (* every tongue cell (one |Vi|) is an independent grid + lock-range
+     computation; fan the cells out one per task. Grid sampling inside a
+     worker falls back to sequential, so the pool is not oversubscribed. *)
+  Numerics.Pool.parallel_map_array ~chunk:1
     (fun vi ->
       let grid =
         Shil.Grid.sample ?points osc.nl ~n ~r ~vi
@@ -27,7 +30,8 @@ let compute ?points ?(vis = default_vis) (osc : Shil.Analysis.oscillator) ~n =
       let lr = Shil.Lock_range.predict ?points grid ~tank:osc.tank in
       { vi; f_inj_low = lr.f_inj_low; f_inj_high = lr.f_inj_high;
         delta_f_inj = lr.delta_f_inj })
-    vis
+    (Array.of_list vis)
+  |> Array.to_list
 
 let run ?vis () =
   let osc = Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default in

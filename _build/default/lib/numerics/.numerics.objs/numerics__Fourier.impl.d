@@ -1,1 +1,1 @@
-lib/numerics/fourier.ml: Array Cx Float
+lib/numerics/fourier.ml: Array Cx Float Trig_tables

@@ -1,0 +1,1 @@
+lib/numerics/trig_tables.ml: Array Float Hashtbl Mutex

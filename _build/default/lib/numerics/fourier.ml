@@ -1,39 +1,42 @@
 let two_pi = 2.0 *. Float.pi
 
+(* All three quadratures below project onto the cached cos/sin tables of
+   Trig_tables instead of calling cos/sin per sample: the trig work per
+   (points, harmonic) pair is paid once per process, and the inner loops
+   reduce to the nonlinearity/signal evaluation plus fused multiply-adds. *)
+
+let project_sampled x ~cos_t ~sin_t =
+  let n = Array.length x in
+  let re = ref 0.0 and im = ref 0.0 in
+  for s = 0 to n - 1 do
+    re := !re +. (x.(s) *. cos_t.(s));
+    im := !im -. (x.(s) *. sin_t.(s))
+  done;
+  Cx.make (!re /. float_of_int n) (!im /. float_of_int n)
+
 let coeffs ?(n = 1024) ~f ~kmax () =
   assert (n >= 1 && kmax >= 0);
   let samples = Array.init n (fun s -> f (two_pi *. float_of_int s /. float_of_int n)) in
   Array.init (kmax + 1) (fun k ->
-      let re = ref 0.0 and im = ref 0.0 in
-      for s = 0 to n - 1 do
-        let theta = two_pi *. float_of_int (k * s) /. float_of_int n in
-        re := !re +. (samples.(s) *. cos theta);
-        im := !im -. (samples.(s) *. sin theta)
-      done;
-      Cx.make (!re /. float_of_int n) (!im /. float_of_int n))
+      let cos_t, sin_t = Trig_tables.get ~points:n ~k in
+      project_sampled samples ~cos_t ~sin_t)
 
 let coeff ?(n = 1024) ~f ~k () =
   assert (n >= 1);
+  let cos_t, sin_t = Trig_tables.get ~points:n ~k in
   let re = ref 0.0 and im = ref 0.0 in
   for s = 0 to n - 1 do
-    let phase = two_pi *. float_of_int s /. float_of_int n in
-    let v = f phase in
-    let theta = float_of_int k *. phase in
-    re := !re +. (v *. cos theta);
-    im := !im -. (v *. sin theta)
+    let v = f (two_pi *. float_of_int s /. float_of_int n) in
+    re := !re +. (v *. cos_t.(s));
+    im := !im -. (v *. sin_t.(s))
   done;
   Cx.make (!re /. float_of_int n) (!im /. float_of_int n)
 
 let coeff_sampled x ~k =
   let n = Array.length x in
   assert (n >= 1);
-  let re = ref 0.0 and im = ref 0.0 in
-  for s = 0 to n - 1 do
-    let theta = two_pi *. float_of_int (k * s) /. float_of_int n in
-    re := !re +. (x.(s) *. cos theta);
-    im := !im -. (x.(s) *. sin theta)
-  done;
-  Cx.make (!re /. float_of_int n) (!im /. float_of_int n)
+  let cos_t, sin_t = Trig_tables.get ~points:n ~k in
+  project_sampled x ~cos_t ~sin_t
 
 let of_time_series ~t ~x ~freq ~k =
   let n = Array.length t in

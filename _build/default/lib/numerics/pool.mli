@@ -1,0 +1,89 @@
+(** Persistent multicore work pool built on OCaml 5 [Domain]s.
+
+    The paper's graphical technique lives on dense, embarrassingly
+    parallel sweeps: the [(phi, A)] describing-function grid, per-cell
+    Arnold-tongue lock ranges, and transient lock-edge bisections. This
+    module gives those hot paths a shared, persistent set of worker
+    domains with chunked scheduling, so a sweep costs two mutex
+    round-trips instead of a domain spawn per row.
+
+    Guarantees:
+    - {b Determinism}: work is split into chunks by index arithmetic
+      only (never by timing), every result lands in its own slot, and
+      reductions fold partial results in index order — parallel output
+      is bit-identical to sequential output for pure work functions.
+    - {b Exception propagation}: if tasks raise, the exception from the
+      lowest-indexed failing chunk is re-raised in the caller (with its
+      backtrace), regardless of scheduling order.
+    - {b Nested-call fallback}: a [parallel_*] call made from inside a
+      pool task runs sequentially instead of deadlocking or
+      oversubscribing, so parallel code can call parallel code freely.
+    - {b Sequential degeneration}: with an effective size of 1 (or
+      [n] too small to chunk) no domains are involved at all; the work
+      runs in the caller exactly as a [for] loop would. *)
+
+type t
+(** A pool of worker domains. The caller participates in executing
+    chunks, so a pool of size [k] runs work on [k] domains total
+    ([k - 1] workers plus the submitting domain). *)
+
+val create : size:int -> t
+(** [create ~size] spawns [size - 1] worker domains. [size >= 1];
+    a size-1 pool has no workers and runs everything in the caller.
+    Pools not shut down explicitly are shut down [at_exit]. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent. Submitting to a shut-down
+    pool falls back to sequential execution. *)
+
+(** {1 Default pool}
+
+    Library code (grid sampling, sweeps…) uses an implicit default pool
+    so callers need no plumbing. Its size resolves, in order, from
+    {!set_jobs}, the [OSHIL_JOBS] environment variable, then
+    [Domain.recommended_domain_count ()]. Size 1 means "stay
+    sequential" and no domain is ever spawned. *)
+
+val default_size : unit -> int
+(** Effective job count the default pool would use right now. *)
+
+val set_jobs : int -> unit
+(** [set_jobs n] forces the default-pool size to [n] (>= 1), shutting
+    down and re-creating the default pool if it was already running at
+    a different size. This is what [--jobs] flags call. *)
+
+val get_default : unit -> t option
+(** The default pool, created on first use; [None] when the effective
+    size is 1. *)
+
+val in_worker : unit -> bool
+(** True while executing inside a pool task (on any domain, including
+    the submitting one while it helps drain the queue). Parallel
+    entry points use this for the nested-call fallback. *)
+
+(** {1 Parallel iteration}
+
+    All entry points take [?pool]; when omitted they use
+    {!get_default}. [?chunk] overrides the scheduling grain (default:
+    enough chunks for ~4 per domain, load-balanced but deterministic
+    in result). *)
+
+val parallel_for : ?pool:t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f 0 .. f (n-1)], any order, all complete
+    (or an exception from the lowest failing chunk) on return. *)
+
+val parallel_init : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]; element order is by index, as sequential. *)
+
+val parallel_map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; result order matches the input order. *)
+
+val parallel_reduce :
+  ?pool:t -> ?chunk:int -> n:int -> init:'acc -> map:(int -> 'a) ->
+  fold:('acc -> 'a -> 'acc) -> unit -> 'acc
+(** [parallel_reduce ~n ~init ~map ~fold ()] computes
+    [fold (... (fold init (map 0)) ...) (map (n-1))]: the [map]s run in
+    parallel, the [fold] runs left-to-right in index order, so the
+    result is identical to the sequential evaluation. *)

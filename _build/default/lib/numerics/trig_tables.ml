@@ -1,0 +1,49 @@
+let two_pi = 2.0 *. Float.pi
+
+(* Keyed by (points, harmonic). Every caller of an N-point quadrature at
+   harmonic k wants the same table, and a SHIL analysis asks for it
+   millions of times (once per describing-function sample), so the cache
+   hit rate is effectively 1. Guarded by a mutex because grid rows are
+   sampled from worker domains. *)
+let cache : (int * int, float array * float array) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
+
+(* Signals of arbitrary length also land here (coeff_sampled on a
+   transient tail), so bound the footprint; a reset is cheap next to
+   recomputing one table. *)
+let max_entries = 64
+
+let compute ~points ~k =
+  let cos_t =
+    Array.init points (fun s ->
+        cos (two_pi *. float_of_int (k * s) /. float_of_int points))
+  and sin_t =
+    Array.init points (fun s ->
+        sin (two_pi *. float_of_int (k * s) /. float_of_int points))
+  in
+  (cos_t, sin_t)
+
+let get ~points ~k =
+  if points < 1 then invalid_arg "Trig_tables.get: points must be >= 1";
+  let key = (points, k) in
+  Mutex.lock cache_mutex;
+  match Hashtbl.find_opt cache key with
+  | Some v ->
+    Mutex.unlock cache_mutex;
+    v
+  | None ->
+    (* compute outside the lock; a racing duplicate computes the exact
+       same floats, so whichever insertion wins is equivalent *)
+    Mutex.unlock cache_mutex;
+    let v = compute ~points ~k in
+    Mutex.lock cache_mutex;
+    if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
+    if not (Hashtbl.mem cache key) then Hashtbl.add cache key v;
+    let v' = match Hashtbl.find_opt cache key with Some v' -> v' | None -> v in
+    Mutex.unlock cache_mutex;
+    v'
+
+let clear () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex

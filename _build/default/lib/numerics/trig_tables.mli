@@ -1,0 +1,23 @@
+(** Shared, cached cos/sin quadrature tables.
+
+    Every uniform-grid Fourier quadrature in the code base needs
+    [cos(2π k s / points)] and [sin(2π k s / points)] for
+    [s = 0 .. points - 1]. This module computes each [(points, k)] table
+    once and hands out the shared arrays, replacing the per-sample
+    [cos]/[sin] calls that used to dominate {!Fourier.coeff} and the
+    per-call table rebuilds in grid sampling.
+
+    The tables use the exact expression
+    [cos (2π · float (k * s) / float points)] — the same one
+    [Fourier.coeff_sampled] and grid sampling historically used — so
+    switching call sites to the cache is bit-preserving there.
+
+    Thread-safe: may be called concurrently from pool workers. Returned
+    arrays are shared; treat them as read-only. *)
+
+val get : points:int -> k:int -> float array * float array
+(** [get ~points ~k] is [(cos_table, sin_table)], both of length
+    [points], with [cos_table.(s) = cos (2π k s / points)]. *)
+
+val clear : unit -> unit
+(** Drop all cached tables (tests / memory pressure). *)

@@ -1,1 +1,1 @@
-lib/shil/solutions.ml: Array Describing_function Float Grid List Numerics
+lib/shil/solutions.ml: Array Describing_function Float Fun Grid List Numerics

@@ -23,21 +23,18 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
   let p_lo, p_hi = phi_range in
   let phis = linspace p_lo p_hi n_phi in
   let amps = linspace a_lo a_hi n_amp in
-  (* hot loop: precompute the trig tables shared by every (phi, A) sample
-     so the quadrature reduces to nonlinearity evaluations and fused
-     multiply-adds; equivalent to Df.i1_two_tone on each node *)
-  let cos_t = Array.init points (fun s ->
-      cos (2.0 *. Float.pi *. float_of_int s /. float_of_int points))
-  and sin_t = Array.init points (fun s ->
-      sin (2.0 *. Float.pi *. float_of_int s /. float_of_int points))
-  and cos_nt = Array.init points (fun s ->
-      cos (2.0 *. Float.pi *. float_of_int (n * s) /. float_of_int points))
-  and sin_nt = Array.init points (fun s ->
-      sin (2.0 *. Float.pi *. float_of_int (n * s) /. float_of_int points))
-  in
+  (* hot loop: the trig tables shared by every (phi, A) sample come from
+     the process-wide cache, so the quadrature reduces to nonlinearity
+     evaluations and fused multiply-adds; equivalent to Df.i1_two_tone on
+     each node *)
+  let cos_t, sin_t = Numerics.Trig_tables.get ~points ~k:1 in
+  let cos_nt, sin_nt = Numerics.Trig_tables.get ~points ~k:n in
   let f = Nonlinearity.eval nl in
+  (* rows of the (phi, A) grid are independent: fan them out over the
+     default pool. Each row writes only its own slot, so the parallel
+     result is bit-identical to the sequential Array.map. *)
   let i1 =
-    Array.map
+    Numerics.Pool.parallel_map_array
       (fun phi ->
         let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
         Array.map

@@ -83,8 +83,11 @@ let find ?points (g : Grid.t) ~phi_d =
         prev := Some (gk, k)
       done)
     curves;
+  (* each candidate refines independently (a 2-D Newton iteration full of
+     describing-function quadratures): fan them out, keeping candidate
+     order so the downstream dedup sees the sequential ordering *)
   let refined =
-    List.filter_map
+    Numerics.Pool.parallel_map_array ~chunk:1
       (fun (phi0, a0) ->
         match refine ?points nl ~n ~r ~vi ~phi_d ~phi0 ~a0 with
         | Some (phi, a) when a > 0.0 ->
@@ -95,7 +98,9 @@ let find ?points (g : Grid.t) ~phi_d =
           then Some (Angle.wrap_two_pi phi, a)
           else None
         | Some _ | None -> None)
-      !candidates
+      (Array.of_list !candidates)
+    |> Array.to_list
+    |> List.filter_map Fun.id
   in
   (* deduplicate: two solutions are the same within small tolerances *)
   let dedup =
@@ -110,8 +115,12 @@ let find ?points (g : Grid.t) ~phi_d =
         else (phi, a) :: acc)
       [] refined
   in
+  (* stability scan: 8 flow evaluations per point, independent per point *)
   let pts =
-    List.map (fun (phi, a) -> classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a) dedup
+    Numerics.Pool.parallel_map_array ~chunk:1
+      (fun (phi, a) -> classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a)
+      (Array.of_list dedup)
+    |> Array.to_list
   in
   List.sort (fun p q -> compare p.phi q.phi) pts
 

@@ -6,8 +6,11 @@ let compute ?(hann = true) (s : Signal.t) =
   let n_raw = Signal.length s in
   let n = Fft.next_power_of_two n_raw in
   let t0 = s.times.(0) and t1 = s.times.(n_raw - 1) in
+  (* resampling onto the power-of-two grid is a binary search per point
+     (O(n log n) total) and dominates for long transients; the points are
+     independent, so split them across the pool *)
   let xs =
-    Array.init n (fun k ->
+    Numerics.Pool.parallel_init n (fun k ->
         let t = t0 +. ((t1 -. t0) *. float_of_int k /. float_of_int (n - 1)) in
         Signal.value_at s t)
   in
@@ -34,6 +37,9 @@ let compute ?(hann = true) (s : Signal.t) =
     freqs = Array.init half (fun k -> float_of_int k *. df);
     mags = Array.init half (fun k -> norm *. Numerics.Cx.abs spec.(k));
   }
+
+let compute_many ?hann signals =
+  Numerics.Pool.parallel_map_array ~chunk:1 (fun s -> compute ?hann s) signals
 
 let dominant t =
   let n = Array.length t.mags in

@@ -11,6 +11,11 @@ val compute : ?hann:bool -> Signal.t -> t
     Hann window (default true), and returns the one-sided amplitude
     spectrum (coherent-gain corrected). *)
 
+val compute_many : ?hann:bool -> Signal.t array -> t array
+(** Batch {!compute} over independent signals, one pool task per signal
+    (each inner {!compute} then runs sequentially); result order matches
+    the input order. *)
+
 val dominant : t -> float * float
 (** [(frequency, magnitude)] of the largest non-DC bin, with parabolic
     interpolation between bins. *)

@@ -407,6 +407,35 @@ let test_grid_validation () =
     (fun () ->
       ignore (Grid.sample tanh_nl ~n:3 ~r:1.0 ~vi:0.0 ~a_range:(1.0, 0.5) ()))
 
+let test_grid_parallel_equals_sequential () =
+  (* the multicore grid sampler must be bit-identical to the sequential
+     path: rows are pure and land in their own slots *)
+  let sample () =
+    Grid.sample ~points:256 ~n_phi:41 ~n_amp:31 tanh_nl ~n:3 ~r:fixture_r
+      ~vi:0.05 ~a_range:(0.3, 1.45) ()
+  in
+  Numerics.Pool.set_jobs 1;
+  let g_seq = sample () in
+  Numerics.Pool.set_jobs 4;
+  let g_par = sample () in
+  Numerics.Pool.set_jobs 1;
+  Alcotest.(check bool) "i1 grids bit-identical" true (g_seq.i1 = g_par.i1);
+  Alcotest.(check bool) "axes bit-identical" true
+    (g_seq.phis = g_par.phis && g_seq.amps = g_par.amps);
+  (* the derived solution finder (parallel candidate refinement) must
+     agree too *)
+  let s_seq = Solutions.find g_seq ~phi_d:0.05 in
+  Numerics.Pool.set_jobs 4;
+  let s_par = Solutions.find g_par ~phi_d:0.05 in
+  Numerics.Pool.set_jobs 1;
+  Alcotest.(check int) "same solution count" (List.length s_seq)
+    (List.length s_par);
+  List.iter2
+    (fun (p : Solutions.point) (q : Solutions.point) ->
+      Alcotest.(check bool) "solution points bit-identical" true
+        (p.phi = q.phi && p.a = q.a && p.stable = q.stable))
+    s_seq s_par
+
 (* ------------------------------------------------------------------ *)
 (* Solutions *)
 
@@ -792,6 +821,8 @@ let () =
           prop_grid_interp_accuracy;
           Alcotest.test_case "curves nonempty" `Quick test_grid_curves_nonempty;
           Alcotest.test_case "validation" `Quick test_grid_validation;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_grid_parallel_equals_sequential;
         ] );
       ( "solutions",
         [
