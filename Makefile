@@ -1,12 +1,18 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
-.PHONY: all test bench-smoke bench clean
+.PHONY: all test lint bench-smoke bench clean
 
 all:
 	dune build
 
 test:
 	dune runtest
+
+# Static checks: the repo source linter (tools/mlint.ml) plus `oshil
+# lint` over the shipped netlists and scenarios.
+lint:
+	dune build @lint
+	dune exec bin/oshil.exe -- lint examples/netlists/*.cir examples/scenarios/*.scn
 
 # CI smoke: build, run the tier-1 tests, then run the bench harness in
 # its fast configuration (--only-bench --skip-slow) and verify that the

@@ -404,7 +404,21 @@ let netlist_cmd =
     Arg.(value & opt_all string []
          & info [ "probe" ] ~docv:"NODE" ~doc:"Node(s) to record in tran.")
   in
-  let run file analysis tstop dt probes =
+  let force_arg =
+    Arg.(value & flag
+         & info [ "force" ]
+             ~doc:"Downgrade pre-flight check errors to warnings and run \
+                   the analysis anyway.")
+  in
+  let run file analysis tstop dt probes force =
+    let check = if force then `Warn else `Enforce in
+    let reject ds =
+      Format.eprintf "%s: rejected by pre-flight checks:@." file;
+      List.iter (fun d -> Format.eprintf "  %a@." Check.Diagnostic.pp d) ds;
+      Format.eprintf "(use --force to run anyway, or `oshil lint` to inspect)@.";
+      exit 1
+    in
+    try
     match Spice.Netlist.parse_file file with
     | Error e ->
       Format.eprintf "%s:%d: %s@." file e.line e.message;
@@ -413,7 +427,7 @@ let netlist_cmd =
       match analysis with
       | "print" -> print_string (Spice.Netlist.to_string circuit)
       | "op" ->
-        let op = Spice.Op.run circuit in
+        let op = Spice.Op.run ~check circuit in
         List.iter
           (fun node ->
             Format.printf "v(%s) = %.9g@." node (Spice.Op.voltage op node))
@@ -425,7 +439,7 @@ let netlist_cmd =
           | ps -> List.map (fun n -> Spice.Transient.Node n) ps
         in
         let res =
-          Spice.Transient.run circuit ~probes
+          Spice.Transient.run ~check circuit ~probes
             (Spice.Transient.default_options ~dt ~t_stop:tstop)
         in
         let headers =
@@ -446,12 +460,105 @@ let netlist_cmd =
         Format.eprintf "unknown analysis %S@." other;
         exit 1
     end
+    with Check.Diagnostic.Failed ds -> reject ds
   in
   let term =
-    Term.(const run $ file_arg $ analysis_arg $ tstop_arg $ dt_arg $ probe_arg)
+    Term.(const run $ file_arg $ analysis_arg $ tstop_arg $ dt_arg
+          $ probe_arg $ force_arg)
   in
   Cmd.v
     (Cmd.info "netlist" ~doc:"Parse a SPICE-like netlist and run op/tran on it.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let is_scenario_file f =
+  match String.lowercase_ascii (Filename.extension f) with
+  | ".scn" | ".scenario" -> true
+  | _ -> false
+
+let scenario_nonlinearity (s : Check.Scenario.t) =
+  match s.osc with
+  | "tanh" | "custom" ->
+    let g0 = Option.value s.g0 ~default:2e-3 in
+    let isat = Option.value s.isat ~default:1e-3 in
+    Some (Shil.Nonlinearity.eval (Shil.Nonlinearity.neg_tanh ~g0 ~isat))
+  | "diffpair" | "diff-pair" | "dp" ->
+    Some
+      (Shil.Nonlinearity.eval
+         (Circuits.Diff_pair.nonlinearity Circuits.Diff_pair.default))
+  | "tunnel" | "td" ->
+    Some
+      (Shil.Nonlinearity.eval
+         (Circuits.Tunnel_osc.nonlinearity Circuits.Tunnel_osc.default))
+  | _ -> None
+
+let lint_file file =
+  if is_scenario_file file then begin
+    let s, parse_diags = Check.Scenario.parse_file file in
+    let nl = scenario_nonlinearity s in
+    parse_diags @ Check.Scenario.check ?nl s
+  end
+  else begin
+    match Spice.Netlist.parse_file file with
+    | Error e ->
+      [ Check.Diagnostic.error ~code:"netlist-parse"
+          ~loc:(Printf.sprintf "%s:%d" (Filename.basename file) e.line)
+          e.message ]
+    | Ok circuit -> Spice.Preflight.check circuit
+  end
+
+let lint_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"FILE"
+             ~doc:"Netlist (.cir) or SHIL scenario (.scn) to analyze.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors.")
+  in
+  let run files json strict =
+    let module D = Check.Diagnostic in
+    let reports = List.map (fun f -> (f, lint_file f)) files in
+    if json then begin
+      let entry (f, ds) =
+        Printf.sprintf {|{"file":"%s","errors":%d,"warnings":%d,"diagnostics":%s}|}
+          (D.json_escape f)
+          (D.count_severity D.Error ds)
+          (D.count_severity D.Warning ds)
+          (D.list_to_json ds)
+      in
+      print_endline
+        (Printf.sprintf "[%s]" (String.concat "," (List.map entry reports)))
+    end
+    else
+      List.iter
+        (fun (f, ds) ->
+          if ds = [] then Format.printf "%s: OK@." f
+          else begin
+            Format.printf "%s:@." f;
+            List.iter (fun d -> Format.printf "  %a@." D.pp d) ds;
+            Format.printf "%s: %d error(s), %d warning(s), %d note(s)@." f
+              (D.count_severity D.Error ds)
+              (D.count_severity D.Warning ds)
+              (D.count_severity D.Info ds)
+          end)
+        reports;
+    let bad (_, ds) =
+      D.errors ds <> [] || (strict && D.count_severity D.Warning ds > 0)
+    in
+    if List.exists bad reports then exit 1
+  in
+  let term = Term.(const run $ files_arg $ json_arg $ strict_arg) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static pre-flight analysis of netlists and SHIL scenarios \
+             (no simulation; non-zero exit on errors).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -514,6 +621,10 @@ let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.") term
 
 let () =
+  (* route pre-flight warnings (oshil.preflight / oshil.shil sources) to
+     stderr; errors surface as Check.Diagnostic.Failed instead *)
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
   let doc =
     "Graphical describing-function analysis of sub-harmonic injection \
      locking in LC oscillators (DAC 2014 reproduction)."
@@ -524,5 +635,6 @@ let () =
        (Cmd.group info
           [
             natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
-            transient_cmd; netlist_cmd; figures_cmd; experiments_cmd;
+            transient_cmd; netlist_cmd; lint_cmd; figures_cmd;
+            experiments_cmd;
           ]))

@@ -1,0 +1,86 @@
+type severity = Error | Warning | Info
+
+type t = { severity : severity; code : string; loc : string; msg : string }
+
+let make severity ~code ~loc msg = { severity; code; loc; msg }
+let error ~code ~loc msg = make Error ~code ~loc msg
+let warning ~code ~loc msg = make Warning ~code ~loc msg
+let info ~code ~loc msg = make Info ~code ~loc msg
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = match d.severity with Error -> true | Warning | Info -> false
+let errors ds = List.filter is_error ds
+
+let count_severity sev ds =
+  List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let worst ds =
+  List.fold_left
+    (fun acc d ->
+      match (acc, d.severity) with
+      | Some Error, _ | _, Error -> Some Error
+      | Some Warning, _ | _, Warning -> Some Warning
+      | _ -> Some Info)
+    None ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s" (severity_label d.severity) d.code d.loc
+    d.msg
+
+let pp_report ppf ds =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+    ds
+
+(* Minimal JSON escaping; diagnostics only ever carry printable ASCII but
+   node names come from user netlists, so quote defensively. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"severity":"%s","code":"%s","loc":"%s","msg":"%s"}|}
+    (severity_label d.severity) (json_escape d.code) (json_escape d.loc)
+    (json_escape d.msg)
+
+let list_to_json ds =
+  Printf.sprintf "[%s]" (String.concat "," (List.map to_json ds))
+
+exception Failed of t list
+
+let () =
+  Printexc.register_printer (function
+    | Failed ds ->
+      Some
+        (Format.asprintf "Check failed with %d error(s):@,%a"
+           (List.length (errors ds))
+           pp_report (errors ds))
+    | _ -> None)
+
+type gate_mode = [ `Enforce | `Warn | `Off ]
+
+let gate ?(mode = `Enforce) ~emit ds =
+  match (mode : gate_mode) with
+  | `Off -> ()
+  | `Warn -> List.iter emit ds
+  | `Enforce ->
+    let errs, rest = List.partition is_error ds in
+    List.iter emit rest;
+    if errs <> [] then raise (Failed errs)

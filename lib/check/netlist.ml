@@ -1,0 +1,431 @@
+(* Circuit-level pre-flight checks on an engine-independent device view.
+
+   The analyses are purely structural: connectivity (union-find),
+   source/inductor loop detection (incremental union-find) and a
+   zero-pattern structural-rank test of the stamped MNA matrix (maximum
+   bipartite matching). No numerical solve is involved, so a report is
+   cheap enough to run in front of every analysis. *)
+
+type kind =
+  | Resistor of float
+  | Capacitor of float
+  | Inductor of float
+  | Vsource
+  | Isource
+  | Nonlinear of {
+      conduction : (string * string) list;
+      control : (string * string) list;
+    }
+
+type device = { name : string; kind : kind; nodes : string list }
+
+let is_ground n =
+  match String.lowercase_ascii n with "0" | "gnd" -> true | _ -> false
+
+let canon n = if is_ground n then "0" else n
+
+let resistor ~name ~n1 ~n2 r = { name; kind = Resistor r; nodes = [ n1; n2 ] }
+let capacitor ~name ~n1 ~n2 c = { name; kind = Capacitor c; nodes = [ n1; n2 ] }
+let inductor ~name ~n1 ~n2 l = { name; kind = Inductor l; nodes = [ n1; n2 ] }
+let vsource ~name ~np ~nn = { name; kind = Vsource; nodes = [ np; nn ] }
+let isource ~name ~np ~nn = { name; kind = Isource; nodes = [ np; nn ] }
+
+let two_terminal ~name ~np ~nn =
+  { name; kind = Nonlinear { conduction = [ (np, nn) ]; control = [] };
+    nodes = [ np; nn ] }
+
+let multi_terminal ~name ~nodes ~conduction ~control =
+  { name; kind = Nonlinear { conduction; control }; nodes }
+
+(* DC conduction edges: pairs of terminals joined by a path that can carry
+   direct current (used for the "no DC path to ground" analysis). *)
+let conduction_edges d =
+  match d.kind with
+  | Resistor _ | Inductor _ | Vsource -> begin
+    match d.nodes with a :: b :: _ -> [ (a, b) ] | _ -> []
+  end
+  | Capacitor _ | Isource -> []
+  | Nonlinear { conduction; _ } -> conduction
+
+(* ------------------------------------------------------------------ *)
+(* Union-find *)
+
+module Uf = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+  let rec find t i =
+    let p = t.parent.(i) in
+    if p = i then i
+    else begin
+      let r = find t p in
+      t.parent.(i) <- r;
+      r
+    end
+
+  (* false when [i] and [j] were already connected (the new edge closes a
+     cycle) *)
+  let union t i j =
+    let ri = find t i and rj = find t j in
+    if ri = rj then false
+    else begin
+      let ri, rj = if t.rank.(ri) < t.rank.(rj) then (rj, ri) else (ri, rj) in
+      t.parent.(rj) <- ri;
+      if t.rank.(ri) = t.rank.(rj) then t.rank.(ri) <- t.rank.(ri) + 1;
+      true
+    end
+
+  let connected t i j = find t i = find t j
+end
+
+(* ------------------------------------------------------------------ *)
+(* Maximum bipartite matching (Kuhn) on the MNA zero pattern *)
+
+let max_matching ~rows ~cols adj =
+  let match_col = Array.make cols (-1) in
+  let match_row = Array.make rows (-1) in
+  let visited = Array.make cols false in
+  let rec try_row r =
+    List.exists
+      (fun c ->
+        if visited.(c) then false
+        else begin
+          visited.(c) <- true;
+          if match_col.(c) < 0 || try_row match_col.(c) then begin
+            match_col.(c) <- r;
+            match_row.(r) <- c;
+            true
+          end
+          else false
+        end)
+      adj.(r)
+  in
+  let size = ref 0 in
+  for r = 0 to rows - 1 do
+    Array.fill visited 0 cols false;
+    if try_row r then incr size
+  done;
+  (!size, match_row)
+
+(* ------------------------------------------------------------------ *)
+(* Check implementation *)
+
+module D = Diagnostic
+
+type indexed = {
+  node_names : string array;  (** non-ground nodes *)
+  node_idx : (string, int) Hashtbl.t;
+  n_nodes : int;
+}
+
+let index_nodes devices =
+  let node_idx = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun n ->
+          let n = canon n in
+          if n <> "0" && not (Hashtbl.mem node_idx n) then begin
+            Hashtbl.add node_idx n (Hashtbl.length node_idx);
+            order := n :: !order
+          end)
+        d.nodes)
+    devices;
+  let node_names = Array.of_list (List.rev !order) in
+  { node_names; node_idx; n_nodes = Array.length node_names }
+
+let check_duplicates devices =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun d ->
+      if Hashtbl.mem seen d.name then
+        Some
+          (D.error ~code:"dup-name" ~loc:d.name
+             (Printf.sprintf "device name %S is used more than once" d.name))
+      else begin
+        Hashtbl.add seen d.name ();
+        None
+      end)
+    devices
+
+let value_of_kind = function
+  | Resistor v -> Some ("resistance", v)
+  | Capacitor v -> Some ("capacitance", v)
+  | Inductor v -> Some ("inductance", v)
+  | Vsource | Isource | Nonlinear _ -> None
+
+let check_values devices =
+  List.concat_map
+    (fun d ->
+      match value_of_kind d.kind with
+      | None -> []
+      | Some (what, v) ->
+        if not (Float.is_finite v) then
+          [ D.error ~code:"zero-value" ~loc:d.name
+              (Printf.sprintf "%s of %s is not finite (%g)" what d.name v) ]
+        else if v = 0.0 then
+          [ D.error ~code:"zero-value" ~loc:d.name
+              (Printf.sprintf
+                 "%s of %s is zero; the MNA stamp degenerates (use a small \
+                  finite value instead)"
+                 what d.name) ]
+        else if v < 0.0 then
+          [ D.warning ~code:"negative-value" ~loc:d.name
+              (Printf.sprintf
+                 "%s of %s is negative (%g); intentional negative elements \
+                  are usually modelled behaviourally"
+                 what d.name v) ]
+        else [])
+    devices
+
+let has_ground devices =
+  List.exists (fun d -> List.exists is_ground d.nodes) devices
+
+(* one diagnostic per island of nodes not reachable from ground along the
+   given edge set *)
+let connectivity_check idx devices ~edges_of ~code ~severity ~describe =
+  (* index 0..n-1 = nodes, index n = ground *)
+  let uf = Uf.create (idx.n_nodes + 1) in
+  let gidx = idx.n_nodes in
+  let node_id n = if canon n = "0" then gidx else Hashtbl.find idx.node_idx (canon n) in
+  List.iter
+    (fun d ->
+      List.iter (fun (a, b) -> ignore (Uf.union uf (node_id a) (node_id b))) (edges_of d))
+    devices;
+  let reach = Array.init idx.n_nodes (fun i -> Uf.connected uf i gidx) in
+  (* one diagnostic per island: report the island's representative set *)
+  let by_root = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ok ->
+      if not ok then begin
+        let r = Uf.find uf i in
+        let prev = try Hashtbl.find by_root r with Not_found -> [] in
+        Hashtbl.replace by_root r (idx.node_names.(i) :: prev)
+      end)
+    reach;
+  Hashtbl.fold
+    (fun _root nodes acc ->
+      let nodes = List.sort String.compare nodes in
+      D.make severity ~code ~loc:(List.hd nodes) (describe nodes) :: acc)
+    by_root []
+
+let all_edges d =
+  match d.nodes with
+  | [] -> []
+  | first :: rest -> List.map (fun n -> (first, n)) rest
+
+let check_floating idx devices =
+  connectivity_check idx devices ~edges_of:all_edges ~code:"floating-node"
+    ~severity:D.Error ~describe:(fun nodes ->
+      Printf.sprintf
+        "node(s) %s are not connected to ground by any device; their \
+         voltages are undefined"
+        (String.concat ", " nodes))
+
+let check_dc_path idx devices =
+  connectivity_check idx devices ~edges_of:conduction_edges
+    ~code:"no-dc-path" ~severity:D.Warning ~describe:(fun nodes ->
+      Printf.sprintf
+        "node(s) %s have no DC path to ground (only capacitors or current \
+         sources); the operating point relies on the gmin leak"
+        (String.concat ", " nodes))
+
+let check_dangling idx devices =
+  let count = Array.make idx.n_nodes 0 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun n ->
+          let n = canon n in
+          if n <> "0" then begin
+            let i = Hashtbl.find idx.node_idx n in
+            count.(i) <- count.(i) + 1
+          end)
+        d.nodes)
+    devices;
+  let diags = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c = 1 then
+        diags :=
+          D.warning ~code:"dangling-node" ~loc:idx.node_names.(i)
+            (Printf.sprintf
+               "node %s is attached to a single device terminal; no current \
+                can flow through it"
+               idx.node_names.(i))
+          :: !diags)
+    count;
+  List.rev !diags
+
+let check_loops idx devices =
+  let uf = Uf.create (idx.n_nodes + 1) in
+  let gidx = idx.n_nodes in
+  let node_id n = if canon n = "0" then gidx else Hashtbl.find idx.node_idx (canon n) in
+  let v_diags =
+    List.filter_map
+      (fun d ->
+        match (d.kind, d.nodes) with
+        | Vsource, a :: b :: _ ->
+          if Uf.union uf (node_id a) (node_id b) then None
+          else
+            Some
+              (D.error ~code:"vsource-loop" ~loc:d.name
+                 (Printf.sprintf
+                    "voltage source %s closes a loop of voltage sources \
+                     between %s and %s; the branch currents are \
+                     indeterminate"
+                    d.name a b))
+        | _ -> None)
+      devices
+  in
+  let l_diags =
+    List.filter_map
+      (fun d ->
+        match (d.kind, d.nodes) with
+        | Inductor _, a :: b :: _ ->
+          if Uf.union uf (node_id a) (node_id b) then None
+          else
+            Some
+              (D.error ~code:"inductor-loop" ~loc:d.name
+                 (Printf.sprintf
+                    "inductor %s closes a DC loop of inductors/voltage \
+                     sources between %s and %s; the DC system is singular"
+                    d.name a b))
+        | _ -> None)
+      devices
+  in
+  v_diags @ l_diags
+
+(* --- structural MNA rank ------------------------------------------- *)
+
+type pattern_mode = Dc_pattern | Tran_pattern
+
+let build_pattern idx devices mode =
+  let branches = Hashtbl.create 8 in
+  let n_branches = ref 0 in
+  List.iter
+    (fun d ->
+      match d.kind with
+      | Vsource | Inductor _ ->
+        Hashtbl.replace branches d.name (idx.n_nodes + !n_branches);
+        incr n_branches
+      | Resistor _ | Capacitor _ | Isource | Nonlinear _ -> ())
+    devices;
+  let size = idx.n_nodes + !n_branches in
+  let adj = Array.make size [] in
+  let added = Hashtbl.create 64 in
+  let nid n = if canon n = "0" then -1 else Hashtbl.find idx.node_idx (canon n) in
+  let add r c =
+    if r >= 0 && c >= 0 && not (Hashtbl.mem added (r, c)) then begin
+      Hashtbl.add added (r, c) ();
+      adj.(r) <- c :: adj.(r)
+    end
+  in
+  let conduct a b =
+    let ia = nid a and ib = nid b in
+    add ia ia;
+    add ia ib;
+    add ib ia;
+    add ib ib
+  in
+  List.iter
+    (fun d ->
+      match (d.kind, d.nodes) with
+      | Resistor _, a :: b :: _ -> conduct a b
+      | Capacitor _, a :: b :: _ -> begin
+        match mode with Dc_pattern -> () | Tran_pattern -> conduct a b
+      end
+      | Inductor _, a :: b :: _ ->
+        let br = Hashtbl.find branches d.name in
+        let ia = nid a and ib = nid b in
+        add ia br;
+        add ib br;
+        add br ia;
+        add br ib;
+        (match mode with Dc_pattern -> () | Tran_pattern -> add br br)
+      | Vsource, a :: b :: _ ->
+        let br = Hashtbl.find branches d.name in
+        let ia = nid a and ib = nid b in
+        add ia br;
+        add ib br;
+        add br ia;
+        add br ib
+      | Isource, _ -> ()
+      | Nonlinear { conduction; control }, _ ->
+        List.iter (fun (a, b) -> conduct a b) conduction;
+        List.iter (fun (r, c) -> add (nid r) (nid c)) control
+      | (Resistor _ | Capacitor _ | Inductor _ | Vsource), _ -> ())
+    devices;
+  let branch_names = Array.make !n_branches "" in
+  Hashtbl.iter (fun name i -> branch_names.(i - idx.n_nodes) <- name) branches;
+  (size, adj, branch_names)
+
+let row_label idx branch_names r =
+  if r < idx.n_nodes then Printf.sprintf "node %s" idx.node_names.(r)
+  else Printf.sprintf "branch of %s" branch_names.(r - idx.n_nodes)
+
+let check_structure idx devices =
+  let structural mode ~code ~severity ~what =
+    let size, adj, branch_names = build_pattern idx devices mode in
+    if size = 0 then []
+    else begin
+      let rank, match_row = max_matching ~rows:size ~cols:size adj in
+      if rank >= size then []
+      else begin
+        let unmatched = ref [] in
+        Array.iteri
+          (fun r c -> if c < 0 then unmatched := r :: !unmatched)
+          match_row;
+        let rows =
+          List.rev_map (row_label idx branch_names) !unmatched
+          |> List.sort String.compare
+        in
+        [ D.make severity ~code
+            ~loc:(match rows with x :: _ -> x | [] -> "netlist")
+            (Printf.sprintf
+               "%s: structural rank %d of %d; equation(s) without an \
+                independent unknown: %s"
+               what rank size (String.concat "; " rows)) ]
+      end
+    end
+  in
+  let tran =
+    structural Tran_pattern ~code:"singular-structure" ~severity:D.Error
+      ~what:"transient MNA zero-pattern is structurally singular"
+  in
+  let dc =
+    structural Dc_pattern ~code:"dc-singular" ~severity:D.Warning
+      ~what:"DC MNA zero-pattern is structurally singular (gmin will \
+             regularize it)"
+  in
+  tran @ dc
+
+let check devices =
+  let dup = check_duplicates devices in
+  let values = check_values devices in
+  if devices = [] then
+    [ D.error ~code:"no-ground" ~loc:"netlist" "the netlist has no devices" ]
+  else if not (has_ground devices) then
+    dup @ values
+    @ [ D.error ~code:"no-ground" ~loc:"netlist"
+          "no device is connected to ground (node 0/gnd); the node \
+           voltages have no reference" ]
+  else begin
+    let idx = index_nodes devices in
+    let floating = check_floating idx devices in
+    let loops = check_loops idx devices in
+    let dangling = check_dangling idx devices in
+    let dc_path = if floating = [] then check_dc_path idx devices else [] in
+    (* loop and island errors already explain a rank deficiency; only run
+       the matching when they are absent so each defect maps to one code *)
+    let structure =
+      if floating = [] && loops = [] then
+        let s = check_structure idx devices in
+        if dc_path = [] then s
+        else List.filter (fun (d : D.t) -> d.code <> "dc-singular") s
+      else []
+    in
+    dup @ values @ floating @ loops @ structure @ dc_path @ dangling
+  end

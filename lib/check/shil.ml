@@ -1,0 +1,215 @@
+(* Pre-flight validation of a SHIL describing-function study: tank
+   well-posedness, injection parameters, grid geometry and cheap probing
+   of the nonlinearity. Works on raw parameters so that a configuration
+   can be rejected with a located diagnostic before any constructor
+   (e.g. Tank.make) gets a chance to raise. *)
+
+module D = Diagnostic
+
+type config = {
+  r : float;
+  l : float;
+  c : float;
+  n : int;
+  vi : float;
+  a_range : (float * float) option;
+  n_phi : int option;
+  n_amp : int option;
+  points : int option;
+}
+
+let config ?a_range ?n_phi ?n_amp ?points ~r ~l ~c ~n ~vi () =
+  { r; l; c; n; vi; a_range; n_phi; n_amp; points }
+
+let check_tank ~r ~l ~c =
+  let nonpos what v =
+    if not (Float.is_finite v) then
+      Some
+        (D.error ~code:"tank-nonpositive" ~loc:what
+           (Printf.sprintf "tank %s is not finite (%g)" what v))
+    else if v <= 0.0 then
+      Some
+        (D.error ~code:"tank-nonpositive" ~loc:what
+           (Printf.sprintf
+              "tank %s must be positive (got %g); H(jw) = R/(1 + jQ(w/wc - \
+               wc/w)) is only a resonator for R, L, C > 0"
+              what v))
+    else None
+  in
+  let hard =
+    List.filter_map Fun.id
+      [ nonpos "R" r; nonpos "L" l; nonpos "C" c ]
+  in
+  if hard <> [] then hard
+  else begin
+    let q = r *. sqrt (c /. l) in
+    if q < 2.0 then
+      [ D.warning ~code:"tank-low-q" ~loc:"Q"
+          (Printf.sprintf
+             "tank Q = %.3g is low; the describing-function filter \
+              hypothesis (harmonics rejected by the tank) degrades below Q \
+              of a few"
+             q) ]
+    else []
+  end
+
+let check_injection ~n ~vi =
+  let order =
+    if n < 1 then
+      [ D.error ~code:"order" ~loc:"n"
+          (Printf.sprintf
+             "sub-harmonic order n must be >= 1 (got %d); n = 1 is \
+              fundamental injection locking"
+             n) ]
+    else if n > 64 then
+      [ D.warning ~code:"order" ~loc:"n"
+          (Printf.sprintf
+             "sub-harmonic order n = %d is unusually high; the n-th mixing \
+              product is tiny and the lock range will be negligible"
+             n) ]
+    else []
+  in
+  let inj =
+    if not (Float.is_finite vi) then
+      [ D.error ~code:"inj-negative" ~loc:"vi"
+          (Printf.sprintf "injection magnitude is not finite (%g)" vi) ]
+    else if vi < 0.0 then
+      [ D.error ~code:"inj-negative" ~loc:"vi"
+          (Printf.sprintf
+             "injection magnitude |Vi| must be >= 0 (got %g); phase is \
+              carried separately"
+             vi) ]
+    else if vi = 0.0 then
+      [ D.warning ~code:"inj-zero" ~loc:"vi"
+          "injection magnitude is zero; the analysis degenerates to the \
+           free-running oscillator" ]
+    else []
+  in
+  order @ inj
+
+let check_grid ?a_range ?n_phi ?n_amp ?points () =
+  let range =
+    match a_range with
+    | None -> []
+    | Some (lo, hi) ->
+      if not (Float.is_finite lo && Float.is_finite hi) then
+        [ D.error ~code:"grid-range" ~loc:"a_range"
+            (Printf.sprintf "amplitude range (%g, %g) is not finite" lo hi) ]
+      else if lo <= 0.0 then
+        [ D.error ~code:"grid-range" ~loc:"a_range"
+            (Printf.sprintf
+               "amplitude range lower bound must be positive (got %g); A = \
+                0 is a removable singularity of T_f"
+               lo) ]
+      else if hi <= lo then
+        [ D.error ~code:"grid-range" ~loc:"a_range"
+            (Printf.sprintf "amplitude range (%g, %g) is empty" lo hi) ]
+      else []
+  in
+  let count what = function
+    | None -> []
+    | Some k ->
+      if k < 2 then
+        [ D.error ~code:"grid-size" ~loc:what
+            (Printf.sprintf
+               "%s must be at least 2 to contour the field (got %d)" what k) ]
+      else []
+  in
+  let quad =
+    match points with
+    | None -> []
+    | Some p ->
+      if p < 2 then
+        [ D.error ~code:"grid-size" ~loc:"points"
+            (Printf.sprintf "quadrature points must be >= 2 (got %d)" p) ]
+      else if p < 32 then
+        [ D.warning ~code:"grid-coarse" ~loc:"points"
+            (Printf.sprintf
+               "%d quadrature points per I_1 sample is coarse; harmonics \
+                of order ~n alias into the fundamental below ~32"
+               p) ]
+      else []
+  in
+  range @ count "n_phi" n_phi @ count "n_amp" n_amp @ quad
+
+(* Cheap pointwise probes of the memoryless nonlinearity i = f(v). Probes
+   never raise: a NaN/inf escaping f is precisely what they report. *)
+let check_nonlinearity ?(v_scale = 1.0) f =
+  let n_probe = 33 in
+  let vs =
+    Array.init n_probe (fun k ->
+        v_scale *. ((2.0 *. float_of_int k /. float_of_int (n_probe - 1)) -. 1.0))
+  in
+  let is = Array.map (fun v -> try f v with _ -> Float.nan) vs in
+  let bad =
+    Array.exists (fun i -> not (Float.is_finite i)) is
+  in
+  if bad then
+    [ D.error ~code:"nl-nonfinite" ~loc:"f(v)"
+        (Printf.sprintf
+           "nonlinearity returned a non-finite current on [-%g, %g]; the \
+            describing-function quadrature cannot integrate it"
+           v_scale v_scale) ]
+  else begin
+    let i_max = Array.fold_left (fun m i -> Float.max m (Float.abs i)) 0.0 is in
+    let mid = n_probe / 2 in
+    let offset =
+      if Float.abs is.(mid) > 1e-9 +. (1e-3 *. i_max) then
+        [ D.warning ~code:"nl-offset" ~loc:"f(0)"
+            (Printf.sprintf
+               "f(0) = %g is not (close to) zero; the incremental \
+                nonlinearity seen by the tank should pass through the \
+                origin — shift the bias out first"
+               is.(mid)) ]
+      else []
+    in
+    let h = v_scale *. 1e-4 in
+    let slope0 = (f h -. f (-.h)) /. (2.0 *. h) in
+    let passive =
+      if Float.is_finite slope0 && slope0 >= 0.0 && i_max > 0.0 then
+        [ D.warning ~code:"nl-passive" ~loc:"f'(0)"
+            (Printf.sprintf
+               "small-signal conductance f'(0) = %g is non-negative: no \
+                negative resistance at the origin, the oscillator will not \
+                start"
+               slope0) ]
+      else []
+    in
+    let asym =
+      let dev = ref 0.0 in
+      Array.iteri
+        (fun k v -> dev := Float.max !dev (Float.abs (is.(k) +. f (-.v))))
+        vs;
+      if i_max > 0.0 && !dev > 0.01 *. i_max then
+        [ D.info ~code:"nl-asymmetric" ~loc:"f(v)"
+            (Printf.sprintf
+               "f is not odd-symmetric (max |f(v) + f(-v)| = %.2g of %.2g \
+                peak); even harmonics will shift the operating point (the \
+                paper's SS IV-B treatment applies)"
+               !dev i_max) ]
+      else []
+    in
+    let nonmono =
+      let flips = ref 0 in
+      for k = 1 to n_probe - 2 do
+        let d1 = is.(k) -. is.(k - 1) and d2 = is.(k + 1) -. is.(k) in
+        if d1 *. d2 < 0.0 then incr flips
+      done;
+      if !flips > 0 then
+        [ D.info ~code:"nl-nonmonotone" ~loc:"f(v)"
+            (Printf.sprintf
+               "f changes slope direction %d time(s) on [-%g, %g] (an \
+                N-shaped i-v such as a tunnel diode); multiple lock \
+                amplitudes are possible"
+               !flips v_scale v_scale) ]
+      else []
+    in
+    offset @ passive @ asym @ nonmono
+  end
+
+let check ?nl ?v_scale cfg =
+  check_tank ~r:cfg.r ~l:cfg.l ~c:cfg.c
+  @ check_injection ~n:cfg.n ~vi:cfg.vi
+  @ check_grid ?a_range:cfg.a_range ?n_phi:cfg.n_phi ?n_amp:cfg.n_amp
+      ?points:cfg.points ()
+  @ (match nl with None -> [] | Some f -> check_nonlinearity ?v_scale f)

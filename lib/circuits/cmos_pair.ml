@@ -24,18 +24,24 @@ let default =
     kick = 1e-4;
   }
 
-let core_devices p =
+let pair_devices p =
   [
-    Spice.Device.Vsource { name = "VDD"; np = "vdd"; nn = "0"; wave = Spice.Wave.Dc p.vdd };
     Spice.Device.Mosfet { name = "ML"; nd = "ndl"; ng = "ndr"; ns = "s"; p = p.mos };
     Spice.Device.Mosfet { name = "MR"; nd = "ndr"; ng = "ndl"; ns = "s"; p = p.mos };
     Spice.Device.Isource { name = "ITAIL"; np = "s"; nn = "0"; wave = Spice.Wave.Dc p.itail };
   ]
 
+let core_devices p =
+  Spice.Device.Vsource
+    { name = "VDD"; np = "vdd"; nn = "0"; wave = Spice.Wave.Dc p.vdd }
+  :: pair_devices p
+
 let extraction_fv ?(v_span = 2.6) ?(steps = 240) p =
+  (* the extraction rig pins both drains, so the supply rail would
+     dangle: build from the bare pair, without VDD *)
   let build v =
     Spice.Circuit.of_devices
-      (core_devices p
+      (pair_devices p
       @ [
           Spice.Device.Vsource
             { name = "VP"; np = "ndl"; nn = "0"; wave = Spice.Wave.Dc (p.vdd +. (v /. 2.0)) };
@@ -48,8 +54,10 @@ let extraction_fv ?(v_span = 2.6) ?(steps = 240) p =
         -.v_span +. (2.0 *. v_span *. float_of_int k /. float_of_int steps))
   in
   let is = Array.make (steps + 1) 0.0 in
+  (* every bias point solves the same topology: pre-flight it once *)
+  Spice.Preflight.gate (build 0.0);
   let measure ~x0 v =
-    let op = Spice.Op.run ?x0 (build v) in
+    let op = Spice.Op.run ~check:`Off ?x0 (build v) in
     let i_l = -.Spice.Op.current op "VP" in
     let i_r = -.Spice.Op.current op "VM" in
     (0.5 *. (i_l -. i_r), op.Spice.Op.x)

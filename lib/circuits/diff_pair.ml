@@ -31,18 +31,24 @@ let default =
     kick = 5e-5;
   }
 
-let core_devices p =
+let pair_devices p =
   [
-    Spice.Device.Vsource { name = "VCC"; np = "vcc"; nn = "0"; wave = Spice.Wave.Dc p.vcc };
     Spice.Device.Bjt { name = "QL"; nc = "ncl"; nb = "ncr"; ne = "e"; p = p.bjt };
     Spice.Device.Bjt { name = "QR"; nc = "ncr"; nb = "ncl"; ne = "e"; p = p.bjt };
     Spice.Device.Isource { name = "IEE"; np = "e"; nn = "0"; wave = Spice.Wave.Dc p.iee };
   ]
 
+let core_devices p =
+  Spice.Device.Vsource
+    { name = "VCC"; np = "vcc"; nn = "0"; wave = Spice.Wave.Dc p.vcc }
+  :: pair_devices p
+
 let extraction_fv ?(v_span = 0.85) ?(steps = 240) p =
+  (* the extraction rig pins both collectors, so the supply rail would
+     dangle: build from the bare pair, without VCC *)
   let build v =
     Spice.Circuit.of_devices
-      (core_devices p
+      (pair_devices p
       @ [
           Spice.Device.Vsource
             { name = "VP"; np = "ncl"; nn = "0"; wave = Spice.Wave.Dc (p.vcc +. (v /. 2.0)) };
@@ -57,8 +63,10 @@ let extraction_fv ?(v_span = 0.85) ?(steps = 240) p =
         -.v_span +. (2.0 *. v_span *. float_of_int k /. float_of_int steps))
   in
   let is = Array.make (steps + 1) 0.0 in
+  (* every bias point solves the same topology: pre-flight it once *)
+  Spice.Preflight.gate (build 0.0);
   let measure ~x0 v =
-    let op = Spice.Op.run ?x0 (build v) in
+    let op = Spice.Op.run ~check:`Off ?x0 (build v) in
     (* port current into ncl is -I(VP); differential current is the
        half-difference (see DESIGN.md) *)
     let i_ncl = -.Spice.Op.current op "VP" in

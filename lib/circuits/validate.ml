@@ -107,7 +107,7 @@ let lock_states ?(cycles = 900.0) ?(steps_per_cycle = 180) ~make_circuit
   let mean = Signal.mean s in
   let s = Signal.shift_values s (-.mean) in
   (* windows: from after each pulse (plus settle margin) to the next *)
-  let boundaries = 0.0 :: List.sort compare pulse_times in
+  let boundaries = 0.0 :: List.sort Float.compare pulse_times in
   let ends = List.tl boundaries @ [ t_stop ] in
   List.map2
     (fun t0 t1 ->

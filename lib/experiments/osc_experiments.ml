@@ -336,7 +336,7 @@ let fig_states ?(window_cycles = 800.0) b =
       phases
   in
   let distinct =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (List.map
          (fun psi ->
            int_of_float

@@ -29,6 +29,7 @@ let register p =
 
 let unregister p =
   Mutex.lock live_pools_mutex;
+  (* mlint: allow phys-eq — pool identity, not structural equality *)
   live_pools := List.filter (fun q -> q != p) !live_pools;
   Mutex.unlock live_pools_mutex
 

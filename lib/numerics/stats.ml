@@ -26,7 +26,7 @@ let min_max x =
 let median x =
   check x;
   let y = Array.copy x in
-  Array.sort compare y;
+  Array.sort Float.compare y;
   let n = Array.length y in
   if n mod 2 = 1 then y.(n / 2) else 0.5 *. (y.((n / 2) - 1) +. y.(n / 2))
 

@@ -95,4 +95,5 @@ let to_string ?(cols = 72) ?(rows = 24) (fig : Fig.t) =
     Buffer.add_string buf (Printf.sprintf "%*s\n" ((cols / 2) + 13 + (String.length fig.xlabel / 2)) fig.xlabel);
   Buffer.contents buf
 
+(* mlint: allow printf — [print] exists precisely to write the figure to stdout *)
 let print ?cols ?rows fig = print_string (to_string ?cols ?rows fig)

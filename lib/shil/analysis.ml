@@ -1,5 +1,33 @@
 type oscillator = { nl : Nonlinearity.t; tank : Tank.t }
 
+let src = Logs.Src.create "oshil.shil" ~doc:"SHIL analysis pre-flight"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let preflight ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
+  let tank = (osc.tank : Tank.t) in
+  let cfg =
+    Check.Shil.config ?a_range ?n_phi ?n_amp ?points ~r:tank.r ~l:tank.l
+      ~c:tank.c ~n ~vi ()
+  in
+  let v_scale =
+    match a_range with Some (_, hi) -> Float.max hi vi | None -> Float.max 1.0 vi
+  in
+  Check.Shil.check ~nl:(Nonlinearity.eval osc.nl) ~v_scale cfg
+
+let emit (d : Check.Diagnostic.t) =
+  match d.severity with
+  | Check.Diagnostic.Error | Check.Diagnostic.Warning ->
+    Log.warn (fun m -> m "%a" Check.Diagnostic.pp d)
+  | Check.Diagnostic.Info -> Log.info (fun m -> m "%a" Check.Diagnostic.pp d)
+
+let gate ?(mode = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
+  match (mode : Check.Diagnostic.gate_mode) with
+  | `Off -> ()
+  | (`Enforce | `Warn) as mode ->
+    Check.Diagnostic.gate ~mode ~emit
+      (preflight ?points ?n_phi ?n_amp ?a_range osc ~n ~vi)
+
 type shil_report = {
   osc : oscillator;
   n : int;
@@ -11,7 +39,8 @@ type shil_report = {
   lock_range : Lock_range.t;
 }
 
-let run ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
+let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
+  gate ~mode:check ?points ?n_phi ?n_amp ?a_range osc ~n ~vi;
   let r = (osc.tank : Tank.t).r in
   let natural = Natural.solve ?points osc.nl ~r in
   let natural_amplitude =

@@ -17,14 +17,27 @@ type shil_report = {
   lock_range : Lock_range.t;
 }
 
-val run :
+val preflight :
   ?points:int -> ?n_phi:int -> ?n_amp:int -> ?a_range:float * float ->
-  oscillator -> n:int -> vi:float -> shil_report
+  oscillator -> n:int -> vi:float -> Check.Diagnostic.t list
+(** The static pre-flight report for a study: tank well-posedness, order
+    and injection sanity, grid geometry and pointwise probes of the
+    nonlinearity (see [Check.Shil]). *)
+
+val run :
+  ?check:Check.Diagnostic.gate_mode -> ?points:int -> ?n_phi:int ->
+  ?n_amp:int -> ?a_range:float * float -> oscillator -> n:int ->
+  vi:float -> shil_report
 (** Natural-oscillation solve, describing-function grid around the
     natural amplitude (default [a_range] = 25%%–125%% of it), lock points
-    at centre frequency, and lock range. Raises [Failure] when the
-    oscillator does not oscillate (no stable [T_f = 1] solution) and no
-    [a_range] override is supplied. *)
+    at centre frequency, and lock range.
+
+    The configuration first passes {!preflight} under the [?check] gate
+    policy (default [`Enforce]): errors raise [Check.Diagnostic.Failed],
+    warnings go to the [oshil.shil] log source; [`Warn] never raises and
+    [`Off] skips the analysis. Raises [Failure] when the oscillator does
+    not oscillate (no stable [T_f = 1] solution) and no [a_range]
+    override is supplied. *)
 
 val locks_at :
   ?points:int -> shil_report -> f_inj:float -> Solutions.point list

@@ -1,5 +1,4 @@
 module Cx = Numerics.Cx
-module Df = Describing_function
 
 type t = {
   nl : Nonlinearity.t;

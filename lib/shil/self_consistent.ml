@@ -146,7 +146,7 @@ let find ?points ?(chi_scan = 48) ?a_range nl ~tank ~n ~vi ~omega_i =
         classify ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a ~v_eff)
       dedup
   in
-  List.sort (fun p q -> compare p.chi q.chi) pts
+  List.sort (fun p q -> Float.compare p.chi q.chi) pts
 
 let lock_range ?points ?(tol = 1e-4) nl ~tank ~n ~vi =
   let stable_at phi_d =

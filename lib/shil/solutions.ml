@@ -122,7 +122,7 @@ let find ?points (g : Grid.t) ~phi_d =
       (Array.of_list dedup)
     |> Array.to_list
   in
-  List.sort (fun p q -> compare p.phi q.phi) pts
+  List.sort (fun p q -> Float.compare p.phi q.phi) pts
 
 let stable_exists ?points g ~phi_d =
   List.exists (fun p -> p.stable) (find ?points g ~phi_d)

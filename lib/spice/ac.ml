@@ -7,8 +7,9 @@ type t = {
   solutions : Cx.t array array;
 }
 
-let run ?newton ~circuit ~source ~freqs () =
-  let op = Op.run ?newton circuit in
+let run ?newton ?(check = `Enforce) ~circuit ~source ~freqs () =
+  Preflight.gate ~mode:check circuit;
+  let op = Op.run ?newton ~check:`Off circuit in
   let compiled = op.Op.compiled in
   let size = Mna.size compiled in
   let idx n = if Circuit.is_ground n then -1 else Mna.node_index compiled n in

@@ -10,11 +10,12 @@ type t = {
 }
 
 val run :
-  ?newton:Newton.options -> circuit:Circuit.t -> source:string ->
-  freqs:float array -> unit -> t
+  ?newton:Newton.options -> ?check:Preflight.mode -> circuit:Circuit.t ->
+  source:string -> freqs:float array -> unit -> t
 (** Drives the named independent source with a unit AC amplitude (V or A
     according to its kind), all other independent sources quiesced, and
-    solves at each frequency. *)
+    solves at each frequency. The circuit first passes the {!Preflight}
+    gate ([?check], default [`Enforce]). *)
 
 val voltage : t -> string -> Numerics.Cx.t array
 (** Complex node voltage across the sweep. *)

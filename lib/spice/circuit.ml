@@ -28,7 +28,7 @@ let node_names t =
         (fun n -> if not (is_ground n) then Hashtbl.replace tbl n ())
         (Device.nodes d))
     t.devices;
-  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
 
 let pp ppf t =
   let open Format in

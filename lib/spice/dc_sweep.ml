@@ -10,15 +10,17 @@ let with_source_value circuit ~source v =
   | Some _ -> invalid_arg "Dc_sweep: source is not an independent V/I source"
   | None -> invalid_arg (Printf.sprintf "Dc_sweep: no device named %S" source)
 
-let run ?newton ~circuit ~source ~start ~stop ~steps () =
+let run ?newton ?(check = `Enforce) ~circuit ~source ~start ~stop ~steps () =
   if steps < 1 then invalid_arg "Dc_sweep: steps must be >= 1";
+  (* gate once: the per-point circuits only differ in a source value *)
+  Preflight.gate ~mode:check circuit;
   let compiled = Mna.compile circuit in
   let prev_x = ref None in
   let points =
     Array.init (steps + 1) (fun k ->
         let v = start +. ((stop -. start) *. float_of_int k /. float_of_int steps) in
         let c = with_source_value circuit ~source v in
-        let op = Op.run ?newton ?x0:!prev_x c in
+        let op = Op.run ?newton ~check:`Off ?x0:!prev_x c in
         prev_x := Some op.Op.x;
         { value = v; x = op.Op.x })
   in

@@ -9,12 +9,14 @@ type point = {
 type t = { compiled : Mna.compiled; points : point array }
 
 val run :
-  ?newton:Newton.options -> circuit:Circuit.t -> source:string ->
-  start:float -> stop:float -> steps:int -> unit -> t
+  ?newton:Newton.options -> ?check:Preflight.mode -> circuit:Circuit.t ->
+  source:string -> start:float -> stop:float -> steps:int -> unit -> t
 (** Sweeps the named V or I source from [start] to [stop] in [steps]
     uniform increments (inclusive; [steps + 1] points), warm-starting each
-    solve from the previous point. Raises [Invalid_argument] if [source]
-    is not an independent source, {!Op.No_convergence} if a point fails. *)
+    solve from the previous point. The base circuit passes the
+    {!Preflight} gate once up front ([?check], default [`Enforce]).
+    Raises [Invalid_argument] if [source] is not an independent source,
+    {!Op.No_convergence} if a point fails. *)
 
 val voltages : t -> string -> float array
 (** Node voltage at each sweep point. *)

@@ -15,7 +15,8 @@ let attempt ?newton compiled ~gmin ~source_scale ~x0 =
   | Newton.Converged _ -> Ok x
   | Newton.Diverged msg -> Error msg
 
-let run ?newton ?x0 circuit =
+let run ?newton ?(check = `Enforce) ?x0 circuit =
+  Preflight.gate ~mode:check circuit;
   let compiled = Mna.compile circuit in
   let size = Mna.size compiled in
   let x0 = match x0 with Some x -> x | None -> Array.make size 0.0 in

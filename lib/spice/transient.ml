@@ -53,9 +53,10 @@ let probe_reader compiled probe =
     let i = Mna.branch_index compiled name in
     fun x -> x.(i)
 
-let run circuit ~probes opts =
+let run ?(check = `Enforce) circuit ~probes opts =
   if opts.dt <= 0.0 || opts.t_stop <= 0.0 then
     invalid_arg "Transient.run: dt and t_stop must be positive";
+  Preflight.gate ~mode:check circuit;
   let compiled = Mna.compile circuit in
   let size = Mna.size compiled in
   (* initial solution; with use_ic, solve a DC problem where IC'd
@@ -78,7 +79,9 @@ let run circuit ~probes opts =
                | d -> d)
              (Circuit.devices circuit))
       in
-      let op = Op.run ic_circuit in
+      (* the IC transform rewrites capacitors into voltage sources, which
+         can legitimately form source loops; it was vetted above *)
+      let op = Op.run ~check:`Off ic_circuit in
       let x = Array.make size 0.0 in
       List.iter
         (fun (d : Device.t) ->
@@ -107,7 +110,7 @@ let run circuit ~probes opts =
       x
     end
     else begin
-      let op = Op.run circuit in
+      let op = Op.run ~check:`Off circuit in
       op.Op.x
     end
   in

@@ -44,10 +44,14 @@ type result = {
 
 exception Step_failure of { t : float; msg : string }
 
-val run : Circuit.t -> probes:probe list -> options -> result
+val run :
+  ?check:Preflight.mode -> Circuit.t -> probes:probe list -> options ->
+  result
 (** Runs the analysis, recording the probes on [[t_start, t_stop]]. The
-    very first step uses backward Euler to bootstrap the trapezoidal
-    state. *)
+    circuit first passes the {!Preflight} gate ([?check], default
+    [`Enforce]), which raises [Check.Diagnostic.Failed] on structural
+    errors. The very first step uses backward Euler to bootstrap the
+    trapezoidal state. *)
 
 val signal : result -> probe -> float array
 (** Raises [Not_found] when the probe was not recorded. *)

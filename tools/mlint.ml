@@ -1,0 +1,358 @@
+(* Repo-local style linter for the OCaml sources under lib/.
+
+   Rules (each has a stable code, shown in the report):
+
+     missing-mli   every lib/ module must have an interface file
+     poly-compare  no bare polymorphic [compare] — use Float.compare etc.
+     phys-eq       no [==] / [!=] physical equality
+     obj-magic     no [Obj.magic]
+     printf        no [Printf.printf] in library code (Printf.sprintf is fine)
+     exit          no [exit] outside bin/ and bench/
+
+   A line can waive a rule with the comment [(* mlint: allow CODE *)]
+   placed on the same line (or the line above) as the offending token.
+
+   The checks are lexical: comments and string/char literals are
+   stripped before token matching, so ["=="] inside a docstring does not
+   trip [phys-eq]. This keeps the tool dependency-free — it runs with
+   nothing beyond the stdlib, which is what lets it sit inside
+   [dune runtest] on a bare switch. *)
+
+let exit_allowed_dirs = [ "bin"; "bench"; "tools" ]
+
+type finding = { file : string; line : int; code : string; msg : string }
+
+let findings : finding list ref = ref []
+
+let report ~file ~line ~code msg = findings := { file; line; code; msg } :: !findings
+
+(* ------------------------------------------------------------------ *)
+(* Source model: per-line token streams with comments/strings removed. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type waiver = { w_line : int; w_code : string }
+
+(* Strip comments and literals, recording [mlint: allow CODE] waivers.
+   Returns the blanked text (same length/line structure as the input)
+   and the waiver list. *)
+let strip src =
+  let n = String.length src in
+  let buf = Bytes.of_string src in
+  let waivers = ref [] in
+  let line = ref 1 in
+  let blank i = if Bytes.get buf i <> '\n' then Bytes.set buf i ' ' in
+  let i = ref 0 in
+  let in_comment_scan start stop =
+    (* look for "mlint: allow <code>" inside the comment body *)
+    let body = String.sub src start (stop - start) in
+    let re_prefix = "mlint: allow " in
+    match String.index_opt body 'm' with
+    | None -> ()
+    | Some _ ->
+      let plen = String.length re_prefix in
+      let rec find k =
+        if k + plen > String.length body then ()
+        else if String.sub body k plen = re_prefix then begin
+          let j = ref (k + plen) in
+          let b = Buffer.create 16 in
+          while
+            !j < String.length body
+            && (match body.[!j] with
+               | 'a' .. 'z' | '0' .. '9' | '-' -> true
+               | _ -> false)
+          do
+            Buffer.add_char b body.[!j];
+            incr j
+          done;
+          if Buffer.length b > 0 then
+            waivers := { w_line = !line; w_code = Buffer.contents b } :: !waivers
+        end
+        else find (k + 1)
+      in
+      find 0
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment, possibly nested *)
+      let start = !i + 2 in
+      let depth = ref 1 in
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if src.[!i] = '\n' then incr line
+        else if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          blank !i;
+          blank (!i + 1);
+          incr i
+        end
+        else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          blank !i;
+          blank (!i + 1);
+          incr i;
+          if !depth = 0 then in_comment_scan start (!i - 1)
+        end
+        else blank !i;
+        incr i
+      done
+    end
+    else if c = '"' then begin
+      (* string literal *)
+      blank !i;
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        (if src.[!i] = '\\' && !i + 1 < n then begin
+           blank !i;
+           blank (!i + 1);
+           incr i
+         end
+         else if src.[!i] = '"' then fin := true
+         else begin
+           if src.[!i] = '\n' then incr line;
+           blank !i
+         end);
+        incr i
+      done
+    end
+    else if c = '{' && !i + 1 < n
+            && (src.[!i + 1] = '|'
+               || (src.[!i + 1] >= 'a' && src.[!i + 1] <= 'z')) then begin
+      (* possible quoted string {id|...|id} *)
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let clen = String.length close in
+        let k = ref (!j + 1) in
+        let fin = ref false in
+        while (not !fin) && !k + clen <= n do
+          if String.sub src !k clen = close then fin := true else incr k
+        done;
+        let stop = if !fin then !k + clen else n in
+        for p = !i to stop - 1 do
+          if src.[p] = '\n' then incr line;
+          blank p
+        done;
+        i := stop
+      end
+      else incr i
+    end
+    else if c = '\'' && !i + 2 < n
+            && (src.[!i + 1] = '\\' || src.[!i + 2] = '\'') then begin
+      (* char literal: '\x..' or 'c' — a lone quote (type variable) passes *)
+      blank !i;
+      incr i;
+      if src.[!i] = '\\' then begin
+        blank !i;
+        incr i;
+        while !i < n && src.[!i] <> '\'' do
+          blank !i;
+          incr i
+        done
+      end
+      else blank !i;
+      if !i < n && src.[!i] = '\'' then begin
+        blank !i;
+        incr i
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  (Bytes.to_string buf, !waivers)
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+(* All positions where [word] occurs as a standalone identifier, i.e.
+   not embedded in a longer identifier and not a record/module access
+   ([x.compare] or [Float.compare] must not match bare [compare]). *)
+let ident_occurrences text word =
+  let wl = String.length word in
+  let n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + wl <= n do
+    if String.sub text !i wl = word then begin
+      let before_ok =
+        !i = 0
+        || (not (is_ident_char text.[!i - 1]))
+           && text.[!i - 1] <> '.'
+      in
+      let after_ok = !i + wl >= n || not (is_ident_char text.[!i + wl]) in
+      if before_ok && after_ok then out := !i :: !out;
+      i := !i + wl
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let op_occurrences text op =
+  (* operator tokens [==] / [!=]: must not be part of a longer operator
+     run like [===] or [!==], and [==] must not be the tail of a longer
+     symbolic operator *)
+  let is_op_char = function
+    | '=' | '<' | '>' | '!' | '&' | '|' | '+' | '-' | '*' | '/' | '$' | '%'
+    | '@' | '^' | '?' | '~' | '.' | ':' ->
+      true
+    | _ -> false
+  in
+  let ol = String.length op in
+  let n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + ol <= n do
+    if String.sub text !i ol = op then begin
+      let before_ok = !i = 0 || not (is_op_char text.[!i - 1]) in
+      let after_ok = !i + ol >= n || not (is_op_char text.[!i + ol]) in
+      if before_ok && after_ok then out := !i :: !out;
+      i := !i + ol
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let line_of text pos =
+  let line = ref 1 in
+  for i = 0 to pos - 1 do
+    if text.[i] = '\n' then incr line
+  done;
+  !line
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+let waived waivers code line =
+  List.exists
+    (fun w -> w.w_code = code && (w.w_line = line || w.w_line = line - 1))
+    waivers
+
+let check_tokens ~file ~dir text waivers =
+  let rule code occs msg =
+    List.iter
+      (fun pos ->
+        let line = line_of text pos in
+        if not (waived waivers code line) then report ~file ~line ~code msg)
+      occs
+  in
+  rule "poly-compare"
+    (ident_occurrences text "compare")
+    "bare polymorphic compare; use Float.compare / String.compare / \
+     Int.compare or a record-field comparator";
+  rule "phys-eq"
+    (op_occurrences text "==" @ op_occurrences text "!=")
+    "physical equality on values; use = / <> (or waive with (* mlint: \
+     allow phys-eq *) when identity is intended)";
+  (* Qualified names: ident_occurrences rejects dotted access by design,
+     so match the full path as one token. *)
+  let qualified path =
+    let pl = String.length path in
+    let n = String.length text in
+    let out = ref [] in
+    let i = ref 0 in
+    while !i + pl <= n do
+      if String.sub text !i pl = path then begin
+        let before_ok =
+          !i = 0 || ((not (is_ident_char text.[!i - 1])) && text.[!i - 1] <> '.')
+        in
+        let after_ok = !i + pl >= n || not (is_ident_char text.[!i + pl]) in
+        if before_ok && after_ok then out := !i :: !out;
+        i := !i + pl
+      end
+      else incr i
+    done;
+    List.rev !out
+  in
+  rule "obj-magic" (qualified "Obj.magic") "Obj.magic defeats the type system";
+  rule "printf"
+    (qualified "Printf.printf" @ qualified "print_endline"
+    @ qualified "print_string")
+    "stdout printing in library code; return strings or take a formatter";
+  if not (List.mem dir exit_allowed_dirs) then
+    rule "exit"
+      (ident_occurrences text "exit"
+      |> List.filter (fun pos ->
+             (* [at_exit] is fine and already excluded by the ident rule;
+                [Stdlib.exit]/[exit] both count *)
+             pos < 5 || String.sub text (pos - 5) 5 <> "Unix."))
+      "exit in library code; raise instead and let bin/ decide"
+
+let check_file ~dir file =
+  let src = read_file file in
+  let text, waivers = strip src in
+  check_tokens ~file ~dir text waivers;
+  if Filename.check_suffix file ".ml" && dir <> "bin" && dir <> "bench"
+     && dir <> "tools" && dir <> "test" then begin
+    let mli = file ^ "i" in
+    if not (Sys.file_exists mli) then
+      report ~file ~line:1 ~code:"missing-mli"
+        "library module has no interface file"
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let rec walk dir f =
+  Array.iter
+    (fun entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        (if entry <> "_build" && entry.[0] <> '.' then walk path f)
+      else f path)
+    (Sys.readdir dir)
+
+let () =
+  let roots = if Array.length Sys.argv > 1 then List.tl (Array.to_list Sys.argv) else [ "lib" ] in
+  List.iter
+    (fun root ->
+      if Sys.is_directory root then
+        walk root (fun path ->
+            if Filename.check_suffix path ".ml" then begin
+              (* [dir] is the top-level component under the root, used
+                 for the per-directory exit/printf policy *)
+              let rel = path in
+              let dir =
+                match String.split_on_char '/' rel with
+                | _root :: sub :: _ :: _ -> sub
+                | _ -> Filename.basename (Filename.dirname rel)
+              in
+              let dir = if dir = "lib" then Filename.basename (Filename.dirname rel) else dir in
+              check_file ~dir path
+            end)
+      else if Filename.check_suffix root ".ml" then
+        check_file ~dir:(Filename.basename (Filename.dirname root)) root)
+    roots;
+  let fs =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> Int.compare a.line b.line
+        | c -> c)
+      !findings
+  in
+  List.iter
+    (fun f ->
+      Printf.eprintf "%s:%d: [%s] %s\n" f.file f.line f.code f.msg)
+    fs;
+  match fs with
+  | [] -> print_endline "mlint: clean"
+  | _ :: _ ->
+    Printf.eprintf "mlint: %d finding(s)\n" (List.length fs);
+    exit 1
