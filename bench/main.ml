@@ -13,6 +13,8 @@
                      micro-benchmarks (the CI smoke configuration)
      --jobs N        worker-pool size for the parallel kernels
                      (overrides OSHIL_JOBS)
+     --trace FILE    record telemetry: Chrome trace_event JSON, or the
+                     JSONL event log when FILE ends in .jsonl
      --check-json F...  parse previously emitted BENCH_*.json files and
                      exit non-zero if any is malformed *)
 
@@ -22,6 +24,7 @@ type opts = {
   only_bench : bool;
   skip_slow : bool;
   jobs : int option;
+  trace : string option;
   check_json : string list;
 }
 
@@ -33,6 +36,7 @@ let usage_lines =
     "  --only-bench       run benchmarks only, no experiments";
     "  --skip-slow        small bench sizes, no transient micro-benches";
     "  --jobs N           pool size for parallel kernels (>= 1)";
+    "  --trace FILE       write a telemetry trace (.jsonl = event log)";
     "  --check-json F...  validate emitted bench JSON files and exit";
   ]
 
@@ -54,6 +58,8 @@ let parse_args () =
       | _ -> usage_error (Printf.sprintf "--jobs expects a positive integer, got %S" v)
     end
     | [ "--jobs" ] -> usage_error "--jobs expects an argument"
+    | "--trace" :: v :: rest -> go { o with trace = Some v } rest
+    | [ "--trace" ] -> usage_error "--trace expects a file argument"
     | "--check-json" :: rest ->
       if rest = [] then usage_error "--check-json expects at least one file"
       else { o with check_json = rest }
@@ -64,7 +70,7 @@ let parse_args () =
   in
   go
     { fast = false; skip_bench = false; only_bench = false; skip_slow = false;
-      jobs = None; check_json = [] }
+      jobs = None; trace = None; check_json = [] }
     (List.tl (Array.to_list Sys.argv))
 
 let figures_dir = "out/figures"
@@ -140,13 +146,35 @@ let run_experiments ~fast () =
 let time_best ~repeats f =
   let best = ref infinity and result = ref None in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.wall_s () in
     let r = f () in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Obs.Clock.wall_s () -. t0 in
     if dt < !best then best := dt;
     result := Some r
   done;
   (Option.get !result, !best)
+
+(* Run [f] once with telemetry forced on and return the deltas of the
+   named counters as bench-JSON extra fields (metric dots become
+   underscores). Used outside the timed repeats so the timing numbers
+   never include recording overhead. *)
+let metered_counters names f =
+  let was = Obs.enabled () in
+  let before = List.map (fun n -> (n, Obs.Metrics.counter_value n)) names in
+  Obs.set_enabled true;
+  let finish () =
+    Obs.set_enabled was;
+    List.map
+      (fun (n, v0) ->
+        ( String.map (fun c -> if c = '.' then '_' else c) n,
+          float_of_int (Obs.Metrics.counter_value n - v0) ))
+      before
+  in
+  match f () with
+  | _ -> finish ()
+  | exception e ->
+    ignore (finish ());
+    raise e
 
 let emit_entry ~path (entry : Experiments.Bench_json.entry) =
   Experiments.Bench_json.write ~path entry;
@@ -175,6 +203,7 @@ let run_perf_benches ~skip_slow ~jobs () =
   let identical = g_seq.Shil.Grid.i1 = g_par.Shil.Grid.i1 in
   if not identical then
     failwith "perf bench: parallel Grid.sample differs from sequential";
+  let grid_counters = metered_counters [ "shil.grid.f_evals" ] sample in
   emit_entry ~path:"BENCH_grid.json"
     {
       name = Printf.sprintf "grid_sample_%dx%dx%d" n_phi n_amp points;
@@ -188,7 +217,9 @@ let run_perf_benches ~skip_slow ~jobs () =
           ("n_amp", float_of_int n_amp);
           ("points", float_of_int points);
           ("bit_identical_to_seq", if identical then 1.0 else 0.0);
-        ];
+        ]
+        @ grid_counters;
+      meta = Experiments.Bench_json.host_meta ();
     };
   (* lock-range boundary search: Solutions.find stability scans dominate *)
   let lr_grid =
@@ -212,6 +243,40 @@ let run_perf_benches ~skip_slow ~jobs () =
       wall_s = par_s;
       speedup_vs_seq = seq_s /. par_s;
       extra = [ ("seq_wall_s", seq_s); ("phi_d_max", b_par); ("tol", 1e-3) ];
+      meta = Experiments.Bench_json.host_meta ();
+    };
+  (* spice transient on the behavioural tanh oscillator: sequential (the
+     MNA inner loops don't use the pool), tracked for the solver-counter
+     trajectory as much as for wall time *)
+  let tanh_params = Circuits.Tanh_osc.default in
+  let tanh_circuit = Circuits.Tanh_osc.circuit tanh_params in
+  let fc = Shil.Tank.f_c (Circuits.Tanh_osc.tank tanh_params) in
+  let cycles = if skip_slow then 5 else 20 in
+  let dt = 1.0 /. (fc *. 120.0) in
+  let t_stop = float_of_int cycles /. fc in
+  let tran () =
+    Spice.Transient.run tanh_circuit
+      ~probes:[ Spice.Transient.Node "t" ]
+      (Spice.Transient.default_options ~dt ~t_stop)
+  in
+  ignore (tran ());
+  let tran_counters =
+    metered_counters
+      [
+        "spice.newton.iters"; "spice.newton.solves";
+        "spice.transient.steps_accepted";
+      ]
+      tran
+  in
+  let _, tran_s = time_best ~repeats tran in
+  emit_entry ~path:"BENCH_transient.json"
+    {
+      name = Printf.sprintf "transient_tanh_%dcyc" cycles;
+      jobs;
+      wall_s = tran_s;
+      speedup_vs_seq = 1.0;
+      extra = [ ("dt", dt); ("t_stop", t_stop) ] @ tran_counters;
+      meta = Experiments.Bench_json.host_meta ();
     }
 
 (* Bechamel's full analysis pipeline is heavyweight; we use its sampler
@@ -354,6 +419,8 @@ let () =
   let o = parse_args () in
   if o.check_json <> [] then check_json o.check_json
   else begin
+    Obs.configure_from_env ();
+    Option.iter Obs.trace_to_file o.trace;
     Option.iter Numerics.Pool.set_jobs o.jobs;
     let jobs =
       match o.jobs with Some n -> n | None -> Numerics.Pool.default_size ()

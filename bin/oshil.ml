@@ -85,6 +85,32 @@ let apply_jobs = function
     exit 2
   | None -> ()
 
+(* Telemetry flags, shared by every analysis subcommand. Environment
+   defaults first, explicit flags override. *)
+let obs_args =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record runtime telemetry to $(docv): Chrome trace_event \
+                   JSON (load in chrome://tracing or Perfetto), or the \
+                   JSONL event log replayable with $(b,oshil stats) when \
+                   $(docv) ends in .jsonl. $(b,OSHIL_TRACE) sets the \
+                   default.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the telemetry summary (per-span totals, solver \
+                   counters) on stderr at exit. $(b,OSHIL_METRICS=1) sets \
+                   the default.")
+  in
+  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+
+let apply_obs (trace, metrics) =
+  Obs.configure_from_env ();
+  Option.iter Obs.trace_to_file trace;
+  if metrics then Obs.configure ~summary:true ~enabled:true ()
+
 let vi_arg =
   Arg.(value & opt float 0.03
        & info [ "vi" ] ~docv:"V" ~doc:"Injection phasor magnitude $(docv).")
@@ -100,7 +126,8 @@ let ascii_arg =
 (* natural *)
 
 let natural_cmd =
-  let run jobs choice custom ascii =
+  let run obs jobs choice custom ascii =
+    apply_obs obs;
     apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
     let r = (osc.tank : Shil.Tank.t).r in
@@ -134,7 +161,9 @@ let natural_cmd =
       Plotkit.Ascii_render.print fig
     end
   in
-  let term = Term.(const run $ jobs_arg $ osc_arg $ custom_args $ ascii_arg) in
+  let term =
+    Term.(const run $ obs_args $ jobs_arg $ osc_arg $ custom_args $ ascii_arg)
+  in
   Cmd.v (Cmd.info "natural" ~doc:"Predict natural oscillation amplitude (§II).") term
 
 (* ------------------------------------------------------------------ *)
@@ -146,7 +175,8 @@ let shil_cmd =
          & info [ "finj" ] ~docv:"HZ"
              ~doc:"Injection frequency; default n x f_c.")
   in
-  let run jobs choice custom n vi finj ascii =
+  let run obs jobs choice custom n vi finj ascii =
+    apply_obs obs;
     apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
     let report = Shil.Analysis.run osc ~n ~vi in
@@ -180,8 +210,8 @@ let shil_cmd =
     end
   in
   let term =
-    Term.(const run $ jobs_arg $ osc_arg $ custom_args $ n_arg $ vi_arg
-          $ finj_arg $ ascii_arg)
+    Term.(const run $ obs_args $ jobs_arg $ osc_arg $ custom_args $ n_arg
+          $ vi_arg $ finj_arg $ ascii_arg)
   in
   Cmd.v
     (Cmd.info "shil" ~doc:"Full SHIL analysis: locks, stability, states, lock range (§III).")
@@ -196,7 +226,8 @@ let lockrange_cmd =
          & info [ "validate" ]
              ~doc:"Also binary-search the lock edges with transient simulation (slow).")
   in
-  let run jobs choice custom n vi validate =
+  let run obs jobs choice custom n vi validate =
+    apply_obs obs;
     apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
     let report = Shil.Analysis.run osc ~n ~vi in
@@ -234,8 +265,8 @@ let lockrange_cmd =
     end
   in
   let term =
-    Term.(const run $ jobs_arg $ osc_arg $ custom_args $ n_arg $ vi_arg
-          $ validate_arg)
+    Term.(const run $ obs_args $ jobs_arg $ osc_arg $ custom_args $ n_arg
+          $ vi_arg $ validate_arg)
   in
   Cmd.v (Cmd.info "lockrange" ~doc:"Predict (and optionally validate) the SHIL lock range.") term
 
@@ -273,7 +304,8 @@ let transient_cmd =
     Arg.(value & opt (some float) None
          & info [ "finj" ] ~docv:"HZ" ~doc:"Add an injection tone at $(docv).")
   in
-  let run jobs choice n vi cycles finj ascii =
+  let run obs jobs choice n vi cycles finj ascii =
+    apply_obs obs;
     apply_jobs jobs;
     let circuit, probe, fc =
       match choice with
@@ -338,8 +370,8 @@ let transient_cmd =
     end
   in
   let term =
-    Term.(const run $ jobs_arg $ osc_arg $ n_arg $ vi_arg $ cycles_arg
-          $ finj_arg $ ascii_arg)
+    Term.(const run $ obs_args $ jobs_arg $ osc_arg $ n_arg $ vi_arg
+          $ cycles_arg $ finj_arg $ ascii_arg)
   in
   Cmd.v
     (Cmd.info "transient" ~doc:"Device-level transient simulation (CSV or --ascii summary).")
@@ -352,7 +384,8 @@ let harmonics_cmd =
   let kmax_arg =
     Arg.(value & opt int 7 & info [ "kmax" ] ~docv:"K" ~doc:"Harmonics retained.")
   in
-  let run choice custom k_max =
+  let run obs choice custom k_max =
+    apply_obs obs;
     let osc = resolve_oscillator choice custom in
     match Shil.Harmonic_balance.solve ~k_max osc.nl ~tank:osc.tank with
     | exception Shil.Harmonic_balance.No_convergence msg ->
@@ -374,7 +407,7 @@ let harmonics_cmd =
               (Numerics.Cx.abs v) (Numerics.Cx.arg v))
         hb.coeffs
   in
-  let term = Term.(const run $ osc_arg $ custom_args $ kmax_arg) in
+  let term = Term.(const run $ obs_args $ osc_arg $ custom_args $ kmax_arg) in
   Cmd.v
     (Cmd.info "harmonics"
        ~doc:"Multi-harmonic balance of the free-running oscillator (K = 1 is the paper's describing function).")
@@ -410,7 +443,8 @@ let netlist_cmd =
              ~doc:"Downgrade pre-flight check errors to warnings and run \
                    the analysis anyway.")
   in
-  let run file analysis tstop dt probes force =
+  let run obs file analysis tstop dt probes force =
+    apply_obs obs;
     let check = if force then `Warn else `Enforce in
     let reject ds =
       Format.eprintf "%s: rejected by pre-flight checks:@." file;
@@ -463,7 +497,7 @@ let netlist_cmd =
     with Check.Diagnostic.Failed ds -> reject ds
   in
   let term =
-    Term.(const run $ file_arg $ analysis_arg $ tstop_arg $ dt_arg
+    Term.(const run $ obs_args $ file_arg $ analysis_arg $ tstop_arg $ dt_arg
           $ probe_arg $ force_arg)
   in
   Cmd.v
@@ -562,6 +596,35 @@ let lint_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"TRACE"
+             ~doc:"JSONL telemetry trace(s), as written by \
+                   $(b,--trace FILE.jsonl) or $(b,OSHIL_TRACE). Several \
+                   files merge: counters and histograms sum, spans \
+                   concatenate.")
+  in
+  let run files =
+    match Obs.Trace_read.load_many files with
+    | s -> Format.printf "%a@." Obs.Sink.summary s
+    | exception Obs.Trace_read.Parse_error msg ->
+      Format.eprintf "oshil stats: %s@." msg;
+      exit 1
+    | exception Sys_error msg ->
+      Format.eprintf "oshil stats: %s@." msg;
+      exit 1
+  in
+  let term = Term.(const run $ files_arg) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Replay JSONL telemetry traces into the summary table \
+             (per-span time totals, solver counters, histograms).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* figures / experiments *)
 
 let figures_cmd =
@@ -569,7 +632,8 @@ let figures_cmd =
     Arg.(value & opt string "out/figures"
          & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run jobs dir =
+  let run obs jobs dir =
+    apply_obs obs;
     apply_jobs jobs;
     let show out =
       let paths = Experiments.Output.write_figures ~dir out in
@@ -590,14 +654,15 @@ let figures_cmd =
     show (Experiments.Osc_experiments.fig_natural_prediction td);
     show (Experiments.Osc_experiments.fig_lock_range_curves td)
   in
-  let term = Term.(const run $ jobs_arg $ dir_arg) in
+  let term = Term.(const run $ obs_args $ jobs_arg $ dir_arg) in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's figures as SVG files.") term
 
 let experiments_cmd =
   let fast_arg =
     Arg.(value & flag & info [ "fast" ] ~doc:"Skip the slow transient searches.")
   in
-  let run jobs fast =
+  let run obs jobs fast =
+    apply_obs obs;
     apply_jobs jobs;
     let show out = Format.printf "%a@.@." Experiments.Output.print out in
     let ts = Experiments.Tanh_experiments.default_setup in
@@ -617,7 +682,7 @@ let experiments_cmd =
     show (Experiments.Osc_experiments.fig_transient td);
     show (fst (Experiments.Osc_experiments.table_lock_range ~predict_only:fast td))
   in
-  let term = Term.(const run $ jobs_arg $ fast_arg) in
+  let term = Term.(const run $ obs_args $ jobs_arg $ fast_arg) in
   Cmd.v (Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments.") term
 
 let () =
@@ -635,6 +700,6 @@ let () =
        (Cmd.group info
           [
             natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
-            transient_cmd; netlist_cmd; lint_cmd; figures_cmd;
+            transient_cmd; netlist_cmd; lint_cmd; stats_cmd; figures_cmd;
             experiments_cmd;
           ]))

@@ -4,7 +4,20 @@ type entry = {
   wall_s : float;
   speedup_vs_seq : float;
   extra : (string * float) list;
+  meta : (string * string) list;
 }
+
+let host_meta () =
+  let base =
+    [
+      ("host_domains", string_of_int (Domain.recommended_domain_count ()));
+      ("ocaml_version", Sys.ocaml_version);
+      ("os_type", Sys.os_type);
+    ]
+  in
+  match Sys.getenv_opt "OSHIL_GIT_REV" with
+  | Some rev when String.trim rev <> "" -> base @ [ ("git_rev", String.trim rev) ]
+  | _ -> base
 
 let json_float x =
   if Float.is_nan x then "null"
@@ -37,6 +50,9 @@ let to_json e =
     @ List.map
         (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (json_float v))
         e.extra
+    @ List.map
+        (fun (k, v) -> Printf.sprintf "\"%s\": \"%s\"" (escape k) (escape v))
+        e.meta
   in
   "{\n  " ^ String.concat ",\n  " fields ^ "\n}\n"
 
@@ -181,6 +197,14 @@ let parse text =
           | ("name" | "jobs" | "wall_s" | "speedup_vs_seq"), _ -> None
           | k, `Float f -> Some (k, f)
           | _, `String _ -> None)
+        fields;
+    meta =
+      List.filter_map
+        (fun (k, v) ->
+          match (k, v) with
+          | "name", _ -> None
+          | k, `String s -> Some (k, s)
+          | _, `Float _ -> None)
         fields;
   }
 

@@ -10,9 +10,15 @@
       "jobs": 4,
       "wall_s": 0.31,
       "speedup_vs_seq": 2.7,
-      ... further numeric fields (seq_wall_s, sizes, flags) ...
+      ... further numeric fields (seq_wall_s, counters, flags) ...
+      ... string fields (host_domains, ocaml_version, git_rev) ...
     }
     v}
+
+    Numeric fields other than the fixed four land in [extra] (this is
+    where bench runs embed telemetry counter snapshots such as
+    [newton_iters]); string fields land in [meta] (host context from
+    {!host_meta}).
 
     [parse] / [read] implement just enough JSON (a flat object of
     strings and numbers) to round-trip that schema, so CI can verify the
@@ -24,7 +30,13 @@ type entry = {
   wall_s : float;  (** wall-clock seconds of the timed run *)
   speedup_vs_seq : float;  (** sequential wall time / [wall_s] *)
   extra : (string * float) list;  (** any further numeric fields *)
+  meta : (string * string) list;  (** any further string fields *)
 }
+
+val host_meta : unit -> (string * string) list
+(** Execution context for bench records: recommended domain count,
+    OCaml version, OS type, and — when the [OSHIL_GIT_REV] environment
+    variable is set and non-empty — the git revision CI baked in. *)
 
 exception Parse_error of string
 

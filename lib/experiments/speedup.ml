@@ -6,9 +6,9 @@ type result = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.wall_s () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Obs.Clock.wall_s () -. t0)
 
 let run ?cycles (b : Osc_experiments.bench) =
   let cycles = Option.value cycles ~default:b.Osc_experiments.lock_cycles in

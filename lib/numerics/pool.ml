@@ -7,6 +7,65 @@ type t = {
   mutable live : bool;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Execution statistics: per-domain cells registered on first use, read
+   by [stats]. Always on — the cost is two clock reads per chunk, not
+   per element. Cross-domain reads of the mutable fields are only
+   guaranteed fresh after a completed [parallel_for] (the pending
+   countdown publishes them); mid-flight reads may lag, which is fine
+   for telemetry. *)
+
+type stat_cell = {
+  sdom : int;
+  mutable c_tasks : int;
+  mutable c_busy_ns : int64;
+}
+
+type domain_stat = { dom : int; tasks : int; busy_ns : int64 }
+type stats = { tasks : int; busy_ns : int64; per_domain : domain_stat array }
+
+let stat_cells : stat_cell list ref = ref []
+let stat_mu = Mutex.create ()
+
+let stat_key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { sdom = (Domain.self () :> int); c_tasks = 0; c_busy_ns = 0L }
+      in
+      Mutex.lock stat_mu;
+      stat_cells := c :: !stat_cells;
+      Mutex.unlock stat_mu;
+      c)
+
+let record_task ~t0 =
+  let c = Domain.DLS.get stat_key in
+  c.c_tasks <- c.c_tasks + 1;
+  c.c_busy_ns <- Int64.add c.c_busy_ns (Int64.sub (Obs.Clock.now_ns ()) t0)
+
+let stats () =
+  let cells =
+    Mutex.lock stat_mu;
+    let cs = !stat_cells in
+    Mutex.unlock stat_mu;
+    cs
+  in
+  let per_domain =
+    List.map
+      (fun c -> { dom = c.sdom; tasks = c.c_tasks; busy_ns = c.c_busy_ns })
+      cells
+    |> List.sort (fun a b -> Int.compare a.dom b.dom)
+    |> Array.of_list
+  in
+  let tasks =
+    Array.fold_left (fun acc (d : domain_stat) -> acc + d.tasks) 0 per_domain
+  in
+  let busy_ns =
+    Array.fold_left
+      (fun acc (d : domain_stat) -> Int64.add acc d.busy_ns)
+      0L per_domain
+  in
+  { tasks; busy_ns; per_domain }
+
 (* Set while a domain is executing pool tasks; nested parallel calls
    check it and degrade to sequential. *)
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
@@ -183,6 +242,7 @@ let parallel_for ?pool ?chunk ~n f =
         let first_error = Atomic.make None in
         let done_mutex = Mutex.create () and done_cond = Condition.create () in
         let run_chunk c =
+          let t0 = Obs.Clock.now_ns () in
           (try
              with_task_flag (fun () ->
                  let lo = c * chunk and hi = min n ((c + 1) * chunk) in
@@ -199,39 +259,62 @@ let parallel_for ?pool ?chunk ~n f =
                  then save ()
              in
              save ());
+          record_task ~t0;
           if Atomic.fetch_and_add pending (-1) = 1 then begin
             Mutex.lock done_mutex;
             Condition.broadcast done_cond;
             Mutex.unlock done_mutex
           end
         in
-        Mutex.lock p.mutex;
-        for c = 1 to n_chunks - 1 do
-          Queue.push (fun () -> run_chunk c) p.jobs
-        done;
-        Condition.broadcast p.cond;
-        Mutex.unlock p.mutex;
-        (* the caller works too: run the first chunk, then help drain *)
-        run_chunk 0;
-        let rec help () =
+        let go () =
           Mutex.lock p.mutex;
-          if Queue.is_empty p.jobs then Mutex.unlock p.mutex
-          else begin
-            let job = Queue.pop p.jobs in
-            Mutex.unlock p.mutex;
-            job ();
-            help ()
-          end
+          for c = 1 to n_chunks - 1 do
+            Queue.push (fun () -> run_chunk c) p.jobs
+          done;
+          Condition.broadcast p.cond;
+          Mutex.unlock p.mutex;
+          (* the caller works too: run the first chunk, then help drain *)
+          run_chunk 0;
+          let rec help () =
+            Mutex.lock p.mutex;
+            if Queue.is_empty p.jobs then Mutex.unlock p.mutex
+            else begin
+              let job = Queue.pop p.jobs in
+              Mutex.unlock p.mutex;
+              job ();
+              help ()
+            end
+          in
+          help ();
+          Mutex.lock done_mutex;
+          while Atomic.get pending > 0 do
+            Condition.wait done_cond done_mutex
+          done;
+          Mutex.unlock done_mutex;
+          match Atomic.get first_error with
+          | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ()
         in
-        help ();
-        Mutex.lock done_mutex;
-        while Atomic.get pending > 0 do
-          Condition.wait done_cond done_mutex
-        done;
-        Mutex.unlock done_mutex;
-        match Atomic.get first_error with
-        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ()
+        if not (Obs.enabled ()) then go ()
+        else begin
+          let busy0 = (stats ()).busy_ns in
+          let w0 = Obs.Clock.now_ns () in
+          Obs.Span.with_ ~cat:"numerics" ~name:"numerics.pool.parallel_for"
+            ~attrs:
+              [ ("n", string_of_int n); ("chunks", string_of_int n_chunks) ]
+            go;
+          let wall = Int64.sub (Obs.Clock.now_ns ()) w0 in
+          let busy = Int64.sub (stats ()).busy_ns busy0 in
+          (* idle = capacity the pool had during this call minus the time
+             its domains spent in chunks; clamped because concurrent
+             parallel_for calls share the busy counters. *)
+          let idle =
+            Int64.sub (Int64.mul (Int64.of_int p.size) wall) busy
+          in
+          let idle = if Int64.compare idle 0L < 0 then 0L else idle in
+          Obs.Metrics.incr ~by:n_chunks "numerics.pool.tasks";
+          Obs.Metrics.incr ~by:(Int64.to_int idle) "numerics.pool.idle_ns"
+        end
       end
   end
 

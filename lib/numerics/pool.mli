@@ -63,6 +63,33 @@ val in_worker : unit -> bool
     the submitting one while it helps drain the queue). Parallel
     entry points use this for the nested-call fallback. *)
 
+(** {1 Execution statistics}
+
+    Lightweight always-on accounting: every executed chunk bumps a
+    per-domain task counter and busy-time accumulator (two monotonic
+    clock reads per chunk). With telemetry enabled ([Obs.set_enabled]),
+    each top-level [parallel_for] additionally records a
+    [numerics.pool.parallel_for] span and the [numerics.pool.tasks] /
+    [numerics.pool.idle_ns] counters. *)
+
+type domain_stat = {
+  dom : int;  (** domain id ([Domain.self] of the executing domain) *)
+  tasks : int;  (** chunks executed on that domain *)
+  busy_ns : int64;  (** total wall time spent inside chunks *)
+}
+
+type stats = {
+  tasks : int;  (** total chunks executed, all domains *)
+  busy_ns : int64;  (** total busy time, all domains *)
+  per_domain : domain_stat array;  (** sorted by [dom] *)
+}
+
+val stats : unit -> stats
+(** Cumulative since process start (counts work from every pool,
+    including retired default pools). Values are exact after a
+    completed [parallel_for]; a snapshot taken while work is in flight
+    may lag by the currently running chunks. *)
+
 (** {1 Parallel iteration}
 
     All entry points take [?pool]; when omitted they use

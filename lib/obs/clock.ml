@@ -1,0 +1,11 @@
+let now_ns = Monotonic_clock.now
+
+let t0 = now_ns ()
+
+let since_start_ns () = Int64.sub (now_ns ()) t0
+
+let wall_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -1,0 +1,25 @@
+(** The single time source for all oshil instrumentation.
+
+    Every span, pool-utilization figure and bench timing goes through
+    this module so traces from different layers share one clock and can
+    be laid on one timeline. Backed by [CLOCK_MONOTONIC] (via the tiny
+    bechamel stub already in the dependency set), so timestamps never
+    jump backwards under NTP adjustments the way [Unix.gettimeofday]
+    can. The repo linter ([tools/mlint.ml], rule [direct-clock])
+    enforces that no library code outside [lib/obs] calls
+    [Unix.gettimeofday] or [Sys.time] directly. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds from an arbitrary origin. *)
+
+val since_start_ns : unit -> int64
+(** Monotonic nanoseconds since this module was initialised (roughly
+    process start). All recorded span timestamps use this origin. *)
+
+val wall_s : unit -> float
+(** Monotonic seconds as a float — the drop-in replacement for
+    [Unix.gettimeofday] deltas in timing code. Only differences are
+    meaningful. *)
+
+val ns_to_ms : int64 -> float
+val ns_to_us : int64 -> float

@@ -1,0 +1,240 @@
+(* Per-domain event buffers and the global merge.
+
+   Hot-path writes (span completion, counter bumps, histogram samples)
+   go to a buffer owned by the writing domain, guarded by a mutex that
+   is uncontended in steady state — the only cross-domain access is the
+   flush/snapshot path, which locks each buffer briefly while draining.
+   This keeps instrumentation cheap under the worker pool without
+   per-event atomics, and merging in [snapshot] restores a single
+   coherent view (spans sorted by timestamp, counters summed, gauges
+   resolved last-write-wins by timestamp, histogram counts added). *)
+
+let enabled = Atomic.make false
+
+type span_ev = {
+  name : string;
+  cat : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  tid : int;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+type dbuf = {
+  dom : int;
+  mu : Mutex.t;
+  mutable spans : span_ev list;  (* completion order, reversed *)
+  mutable n_spans : int;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, (int64 * float) ref) Hashtbl.t;
+  hists : (string, int array) Hashtbl.t;
+  mutable depth : int;  (* live nesting depth; owning domain only *)
+}
+
+(* Backstop against unbounded growth on very long traced runs; overflow
+   is made visible as the [obs.spans_dropped] counter. *)
+let span_cap = 500_000
+
+let all_bufs : dbuf list ref = ref []
+let all_mu = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          dom = (Domain.self () :> int);
+          mu = Mutex.create ();
+          spans = [];
+          n_spans = 0;
+          counters = Hashtbl.create 32;
+          gauges = Hashtbl.create 8;
+          hists = Hashtbl.create 8;
+          depth = 0;
+        }
+      in
+      Mutex.lock all_mu;
+      all_bufs := b :: !all_bufs;
+      Mutex.unlock all_mu;
+      b)
+
+let my_buf () = Domain.DLS.get key
+
+(* Depth bookkeeping is owner-domain-only, so no lock is needed. *)
+let live_depth b = b.depth
+let set_live_depth b d = b.depth <- d
+let buf_dom b = b.dom
+
+let counter_add_locked b name by =
+  match Hashtbl.find_opt b.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add b.counters name (ref by)
+
+let add_span b ev =
+  Mutex.lock b.mu;
+  if b.n_spans < span_cap then begin
+    b.spans <- ev :: b.spans;
+    b.n_spans <- b.n_spans + 1
+  end
+  else counter_add_locked b "obs.spans_dropped" 1;
+  Mutex.unlock b.mu
+
+let counter_add b name by =
+  Mutex.lock b.mu;
+  counter_add_locked b name by;
+  Mutex.unlock b.mu
+
+let gauge_set b name v =
+  let ts = Clock.since_start_ns () in
+  Mutex.lock b.mu;
+  (match Hashtbl.find_opt b.gauges name with
+  | Some r -> r := (ts, v)
+  | None -> Hashtbl.add b.gauges name (ref (ts, v)));
+  Mutex.unlock b.mu
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket definitions: name -> strictly ascending upper
+   bounds, shared by every domain so counts merge bucket-for-bucket. *)
+
+let hist_defs : (string * float array) list Atomic.t = Atomic.make []
+
+let hist_bounds name = List.assoc_opt name (Atomic.get hist_defs)
+
+let register_histogram ~name ~buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Obs.Metrics.register_histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if (not (Float.is_finite b)) || (i > 0 && b <= buckets.(i - 1)) then
+        invalid_arg
+          "Obs.Metrics.register_histogram: bounds must be finite and strictly \
+           ascending")
+    buckets;
+  let rec add () =
+    let cur = Atomic.get hist_defs in
+    if List.mem_assoc name cur then ()
+    else if
+      not (Atomic.compare_and_set hist_defs cur ((name, Array.copy buckets) :: cur))
+    then add ()
+  in
+  add ()
+
+(* First bucket whose upper bound admits [v] ([v <= bounds.(i)]); the
+   slot past the last bound collects overflow. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    incr i
+  done;
+  !i
+
+let observe b name v =
+  match hist_bounds name with
+  | None -> () (* unregistered histogram: sample dropped by contract *)
+  | Some bounds ->
+    Mutex.lock b.mu;
+    let counts =
+      match Hashtbl.find_opt b.hists name with
+      | Some c -> c
+      | None ->
+        let c = Array.make (Array.length bounds + 1) 0 in
+        Hashtbl.add b.hists name c;
+        c
+    in
+    let i = bucket_index bounds v in
+    counts.(i) <- counts.(i) + 1;
+    Mutex.unlock b.mu
+
+(* ------------------------------------------------------------------ *)
+(* Merged view *)
+
+type snapshot = {
+  spans : span_ev list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * float array * int array) list;
+}
+
+let bufs () =
+  Mutex.lock all_mu;
+  let bs = !all_bufs in
+  Mutex.unlock all_mu;
+  bs
+
+let snapshot () =
+  let spans = ref [] in
+  let ctr : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let gg : (string, int64 * float) Hashtbl.t = Hashtbl.create 16 in
+  let hh : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Mutex.lock b.mu;
+      spans := List.rev_append b.spans !spans;
+      Hashtbl.iter
+        (fun k r ->
+          let prev = Option.value (Hashtbl.find_opt ctr k) ~default:0 in
+          Hashtbl.replace ctr k (prev + !r))
+        b.counters;
+      Hashtbl.iter
+        (fun k r ->
+          let ts, _ = !r in
+          match Hashtbl.find_opt gg k with
+          | Some (ts', _) when Int64.compare ts' ts >= 0 -> ()
+          | _ -> Hashtbl.replace gg k !r)
+        b.gauges;
+      Hashtbl.iter
+        (fun k c ->
+          match Hashtbl.find_opt hh k with
+          | Some acc -> Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) c
+          | None -> Hashtbl.replace hh k (Array.copy c))
+        b.hists;
+      Mutex.unlock b.mu)
+    (bufs ());
+  let spans =
+    List.sort
+      (fun a b ->
+        match Int64.compare a.ts_ns b.ts_ns with
+        | 0 -> Int.compare a.tid b.tid
+        | c -> c)
+      !spans
+  in
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    spans;
+    counters = sorted ctr;
+    gauges = List.map (fun (k, (_, v)) -> (k, v)) (sorted gg);
+    hists =
+      List.filter_map
+        (fun (k, counts) ->
+          match hist_bounds k with
+          | Some bounds -> Some (k, bounds, counts)
+          | None -> None)
+        (sorted hh);
+  }
+
+let counter_value name =
+  List.fold_left
+    (fun acc b ->
+      Mutex.lock b.mu;
+      let v =
+        match Hashtbl.find_opt b.counters name with Some r -> !r | None -> 0
+      in
+      Mutex.unlock b.mu;
+      acc + v)
+    0 (bufs ())
+
+let reset () =
+  List.iter
+    (fun b ->
+      Mutex.lock b.mu;
+      b.spans <- [];
+      b.n_spans <- 0;
+      Hashtbl.reset b.counters;
+      Hashtbl.reset b.gauges;
+      Hashtbl.reset b.hists;
+      Mutex.unlock b.mu)
+    (bufs ())

@@ -1,0 +1,68 @@
+(** Telemetry event storage: per-domain buffers merged on demand.
+
+    Library-internal plumbing shared by {!Span}, {!Metrics} and the
+    sinks; user code should go through the [Obs] facade. The design
+    contract: hot-path writes touch only the writing domain's buffer
+    (one uncontended mutex round-trip), the global [enabled] flag is a
+    single atomic load when telemetry is off, and nothing here feeds
+    back into numeric results — instrumentation is observation only. *)
+
+val enabled : bool Atomic.t
+(** Master switch. Off (the default) means every instrumentation entry
+    point is a load-and-branch no-op. *)
+
+type span_ev = {
+  name : string;  (** stable dotted name, e.g. ["shil.grid.sample"] *)
+  cat : string;  (** coarse category, e.g. ["shil"] *)
+  ts_ns : int64;  (** start, monotonic ns since process start *)
+  dur_ns : int64;
+  tid : int;  (** domain id that ran the span *)
+  depth : int;  (** nesting depth within its domain, 0 = top level *)
+  attrs : (string * string) list;
+}
+
+type dbuf
+(** One domain's private buffer. *)
+
+val my_buf : unit -> dbuf
+(** The calling domain's buffer, created and registered on first use. *)
+
+val live_depth : dbuf -> int
+(** Current span-nesting depth. Owner domain only. *)
+
+val set_live_depth : dbuf -> int -> unit
+val buf_dom : dbuf -> int
+
+val add_span : dbuf -> span_ev -> unit
+val counter_add : dbuf -> string -> int -> unit
+val gauge_set : dbuf -> string -> float -> unit
+
+val register_histogram : name:string -> buckets:float array -> unit
+(** Idempotent; raises [Invalid_argument] on empty, non-finite or
+    non-ascending bounds. A value [v] lands in the first bucket with
+    [v <= bound]; values above the last bound land in an overflow
+    slot, so counts arrays have [length bounds + 1] entries. *)
+
+val observe : dbuf -> string -> float -> unit
+(** Samples against the registered bounds; drops the sample if the
+    histogram name was never registered. *)
+
+(** {1 Merged view} *)
+
+type snapshot = {
+  spans : span_ev list;  (** sorted by [ts_ns], then domain id *)
+  counters : (string * int) list;  (** summed across domains, sorted *)
+  gauges : (string * float) list;  (** last write (by timestamp) wins *)
+  hists : (string * float array * int array) list;
+      (** name, bucket bounds, per-bucket counts (+ overflow slot) *)
+}
+
+val snapshot : unit -> snapshot
+(** Non-destructive merge of every domain's buffer. *)
+
+val counter_value : string -> int
+(** Current merged value of one counter (0 if never incremented). *)
+
+val reset : unit -> unit
+(** Clears all buffered events and metric state (histogram bucket
+    {e definitions} survive). *)

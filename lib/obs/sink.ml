@@ -1,0 +1,205 @@
+(* Snapshot writers. Every sink consumes an immutable Registry.snapshot,
+   so writing a trace never races the instrumentation that keeps
+   recording while the file is produced. *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file ~path content =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON (chrome://tracing, Perfetto, speedscope) *)
+
+let chrome_trace_string (s : Registry.snapshot) =
+  let b = Buffer.create 8192 in
+  let first = ref true in
+  let emit str =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n  ";
+    Buffer.add_string b str
+  in
+  Buffer.add_string b "{\"traceEvents\":[";
+  emit {|{"name":"process_name","ph":"M","pid":0,"args":{"name":"oshil"}}|};
+  let tids =
+    List.sort_uniq Int.compare
+      (List.map (fun (e : Registry.span_ev) -> e.tid) s.spans)
+  in
+  List.iter
+    (fun tid ->
+      emit
+        (Printf.sprintf
+           {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"domain %d"}}|}
+           tid tid))
+    tids;
+  List.iter
+    (fun (e : Registry.span_ev) ->
+      let args =
+        match e.attrs with
+        | [] -> ""
+        | l ->
+          Printf.sprintf ",\"args\":{%s}"
+            (String.concat ","
+               (List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+                  l))
+      in
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f%s}"
+           (escape e.name) (escape e.cat) e.tid (Clock.ns_to_us e.ts_ns)
+           (Clock.ns_to_us e.dur_ns) args))
+    s.spans;
+  Buffer.add_string b "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n  \"counter.%s\":\"%d\"" (escape k) v))
+    s.counters;
+  Buffer.add_string b "\n}}\n";
+  Buffer.contents b
+
+let chrome_trace ~path s = write_file ~path (chrome_trace_string s)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL event log: one self-describing JSON object per line, the
+   format `oshil stats` replays. *)
+
+let jsonl_string (s : Registry.snapshot) =
+  let b = Buffer.create 8192 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
+  line {|{"type":"meta","version":1,"clock":"monotonic"}|};
+  List.iter
+    (fun (e : Registry.span_ev) ->
+      let attrs =
+        match e.attrs with
+        | [] -> ""
+        | l ->
+          Printf.sprintf ",\"attrs\":{%s}"
+            (String.concat ","
+               (List.map
+                  (fun (k, v) ->
+                    Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+                  l))
+      in
+      line
+        {|{"type":"span","name":"%s","cat":"%s","ts_ns":%Ld,"dur_ns":%Ld,"tid":%d,"depth":%d%s}|}
+        (escape e.name) (escape e.cat) e.ts_ns e.dur_ns e.tid e.depth attrs)
+    s.spans;
+  List.iter
+    (fun (k, v) -> line {|{"type":"counter","name":"%s","value":%d}|} (escape k) v)
+    s.counters;
+  List.iter
+    (fun (k, v) -> line {|{"type":"gauge","name":"%s","value":%.17g}|} (escape k) v)
+    s.gauges;
+  List.iter
+    (fun (k, bounds, counts) ->
+      let floats a =
+        String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list a))
+      in
+      let ints a =
+        String.concat "," (List.map string_of_int (Array.to_list a))
+      in
+      line {|{"type":"hist","name":"%s","bounds":[%s],"counts":[%s]}|}
+        (escape k) (floats bounds) (ints counts))
+    s.hists;
+  Buffer.contents b
+
+let jsonl ~path s = write_file ~path (jsonl_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Human summary table *)
+
+(* Counters promised by the CLI contract: `oshil stats` always shows
+   these rows (zero when the trace never touched that layer) so a
+   missing layer is visible as 0 rather than silently absent. *)
+let headline_counters = [ "spice.newton.iters"; "shil.grid.f_evals" ]
+
+type agg = { mutable count : int; mutable total_ns : int64; mutable max_ns : int64 }
+
+let summary ppf (s : Registry.snapshot) =
+  let open Format in
+  let by_name : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Registry.span_ev) ->
+      let a =
+        match Hashtbl.find_opt by_name e.name with
+        | Some a -> a
+        | None ->
+          let a = { count = 0; total_ns = 0L; max_ns = 0L } in
+          Hashtbl.add by_name e.name a;
+          a
+      in
+      a.count <- a.count + 1;
+      a.total_ns <- Int64.add a.total_ns e.dur_ns;
+      if Int64.compare e.dur_ns a.max_ns > 0 then a.max_ns <- e.dur_ns)
+    s.spans;
+  let spans =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_name []
+    |> List.sort (fun (_, a) (_, b) -> Int64.compare b.total_ns a.total_ns)
+  in
+  fprintf ppf "@[<v>== spans (by total time)@,";
+  if spans = [] then fprintf ppf "  (none recorded)@,"
+  else begin
+    fprintf ppf "  %-36s %8s %12s %12s %12s@," "name" "count" "total ms"
+      "mean ms" "max ms";
+    List.iter
+      (fun (name, a) ->
+        fprintf ppf "  %-36s %8d %12.3f %12.4f %12.3f@," name a.count
+          (Clock.ns_to_ms a.total_ns)
+          (Clock.ns_to_ms a.total_ns /. float_of_int a.count)
+          (Clock.ns_to_ms a.max_ns))
+      spans
+  end;
+  fprintf ppf "== counters@,";
+  let counters =
+    List.fold_left
+      (fun acc h -> if List.mem_assoc h acc then acc else acc @ [ (h, 0) ])
+      s.counters headline_counters
+  in
+  List.iter (fun (k, v) -> fprintf ppf "  %-44s %14d@," k v) counters;
+  if s.gauges <> [] then begin
+    fprintf ppf "== gauges@,";
+    List.iter (fun (k, v) -> fprintf ppf "  %-44s %14g@," k v) s.gauges
+  end;
+  if s.hists <> [] then begin
+    fprintf ppf "== histograms@,";
+    List.iter
+      (fun (k, bounds, counts) ->
+        let total = Array.fold_left ( + ) 0 counts in
+        fprintf ppf "  %s (%d samples)@," k total;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length bounds then
+                fprintf ppf "    <= %-12g %10d@," bounds.(i) c
+              else fprintf ppf "    >  %-12g %10d@," bounds.(i - 1) c)
+          counts)
+      s.hists
+  end;
+  fprintf ppf "@]"

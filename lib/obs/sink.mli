@@ -1,0 +1,26 @@
+(** Trace and metric sinks over a merged {!Registry.snapshot}.
+
+    Three formats, one data model:
+    - {!chrome_trace}: Chrome [trace_event] JSON, loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} —
+      spans become ["ph":"X"] complete events on one track per domain,
+      counters ride along in [otherData].
+    - {!jsonl}: one self-describing JSON object per line (spans,
+      counters, gauges, histograms) — the durable format that
+      [oshil stats] replays and tests round-trip via {!Trace_read}.
+    - {!summary}: a human table — per-span totals (sorted by total
+      time), counters, gauges and histogram buckets.
+
+    File sinks create missing parent directories. *)
+
+val chrome_trace : path:string -> Registry.snapshot -> unit
+val chrome_trace_string : Registry.snapshot -> string
+
+val jsonl : path:string -> Registry.snapshot -> unit
+val jsonl_string : Registry.snapshot -> string
+
+val headline_counters : string list
+(** Counters the summary always prints (as 0 when absent):
+    [spice.newton.iters] and [shil.grid.f_evals]. *)
+
+val summary : Format.formatter -> Registry.snapshot -> unit

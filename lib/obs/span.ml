@@ -1,0 +1,23 @@
+let with_ ?(cat = "oshil") ?(attrs = []) ~name f =
+  if not (Atomic.get Registry.enabled) then f ()
+  else begin
+    let b = Registry.my_buf () in
+    let d = Registry.live_depth b in
+    Registry.set_live_depth b (d + 1);
+    let t0 = Clock.since_start_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.since_start_ns () in
+        Registry.set_live_depth b d;
+        Registry.add_span b
+          {
+            Registry.name;
+            cat;
+            ts_ns = t0;
+            dur_ns = Int64.sub t1 t0;
+            tid = Registry.buf_dom b;
+            depth = d;
+            attrs;
+          })
+      f
+  end

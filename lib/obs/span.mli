@@ -1,0 +1,22 @@
+(** Hierarchical timed spans.
+
+    [with_ ~name f] runs [f ()]; when telemetry is enabled it also
+    records a completed-span event (monotonic start timestamp,
+    duration, owning domain, nesting depth). Spans nest lexically per
+    domain — the depth of a span is the number of enclosing [with_]
+    calls still live on the same domain — which is exactly the
+    stack-shape Chrome's trace viewer reconstructs from the timestamps.
+
+    When telemetry is disabled the call is one atomic load and a branch
+    before tail-calling [f], so instrumented hot paths stay within the
+    repo's off-by-default overhead contract. Exceptions from [f]
+    propagate unchanged; the span is still recorded (its duration then
+    covers up to the raise). *)
+
+val with_ :
+  ?cat:string -> ?attrs:(string * string) list -> name:string ->
+  (unit -> 'a) -> 'a
+(** [cat] defaults to ["oshil"]; use the layer name (["spice"],
+    ["shil"], ["numerics"]) so trace viewers can colour by layer.
+    [attrs] are small string pairs shown in the trace viewer's detail
+    pane — keep them O(1) per span. *)

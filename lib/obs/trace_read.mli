@@ -1,0 +1,32 @@
+(** Read JSONL traces ({!Sink.jsonl} output) back into a
+    {!Registry.snapshot} — the engine behind [oshil stats].
+
+    Merging semantics when loading several files (or several flushes
+    appended to one file): counters sum, histograms with identical
+    buckets sum elementwise, gauges are last-read-wins, spans
+    concatenate and re-sort by timestamp. Timestamps from different
+    processes share no clock origin, so cross-file span orderings are
+    only meaningful per file. *)
+
+exception Parse_error of string
+(** Raised with a [file:line: reason] message on malformed input. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_of_string : string -> json
+(** Parse one complete JSON value; raises {!Parse_error} on malformed
+    input or trailing garbage. Exposed for tests that validate the
+    Chrome-trace sink output is well-formed JSON. *)
+
+val load : string -> Registry.snapshot
+(** Load one JSONL trace file. Raises {!Parse_error} on malformed
+    lines and [Sys_error] if the file cannot be read. *)
+
+val load_many : string list -> Registry.snapshot
+(** Load and merge several JSONL trace files. *)

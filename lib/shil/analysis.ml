@@ -41,8 +41,14 @@ type shil_report = {
 
 let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
   gate ~mode:check ?points ?n_phi ?n_amp ?a_range osc ~n ~vi;
+  Obs.Span.with_ ~cat:"shil" ~name:"shil.analysis.run"
+    ~attrs:[ ("n", string_of_int n); ("vi", Printf.sprintf "%g" vi) ]
+  @@ fun () ->
   let r = (osc.tank : Tank.t).r in
-  let natural = Natural.solve ?points osc.nl ~r in
+  let natural =
+    Obs.Span.with_ ~cat:"shil" ~name:"shil.analysis.natural" (fun () ->
+        Natural.solve ?points osc.nl ~r)
+  in
   let natural_amplitude =
     List.fold_left
       (fun acc (s : Natural.solution) -> if s.stable then Some s.a else acc)

@@ -17,11 +17,13 @@ let two_tone_input nl ~n ~a ~vi ~phi theta =
 
 let i1_two_tone ?(points = default_points) nl ~n ~a ~vi ~phi =
   if n < 1 then invalid_arg "Describing_function: n must be >= 1";
+  Obs.Metrics.incr "shil.df.i1_evals";
   let f = two_tone_input nl ~n ~a ~vi ~phi in
   Fourier.coeff ~n:points ~f ~k:1 ()
 
 let ik_two_tone ?(points = default_points) nl ~n ~a ~vi ~phi ~k =
   if n < 1 then invalid_arg "Describing_function: n must be >= 1";
+  Obs.Metrics.incr "shil.df.i1_evals";
   let f = two_tone_input nl ~n ~a ~vi ~phi in
   Fourier.coeff ~n:points ~f ~k ()
 

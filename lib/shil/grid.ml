@@ -20,6 +20,14 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
   let a_lo, a_hi = a_range in
   if a_lo <= 0.0 || a_hi <= a_lo then invalid_arg "Grid.sample: bad a_range";
   let p_lo, p_hi = phi_range in
+  Obs.Span.with_ ~cat:"shil" ~name:"shil.grid.sample"
+    ~attrs:
+      [
+        ("n_phi", string_of_int n_phi);
+        ("n_amp", string_of_int n_amp);
+        ("points", string_of_int points);
+      ]
+  @@ fun () ->
   let phis = linspace p_lo p_hi n_phi in
   let amps = linspace a_lo a_hi n_amp in
   (* hot loop: the trig tables shared by every (phi, A) sample come from
@@ -35,6 +43,8 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
   let i1 =
     Numerics.Pool.parallel_map_array
       (fun phi ->
+        (* one full row: n_amp amplitudes x points quadrature samples *)
+        Obs.Metrics.incr ~by:(n_amp * points) "shil.grid.f_evals";
         let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
         Array.map
           (fun a ->

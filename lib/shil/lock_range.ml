@@ -9,7 +9,11 @@ type t = {
 }
 
 let phi_d_boundary ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
-  let stable phi_d = Solutions.stable_exists ?points g ~phi_d in
+  Obs.Span.with_ ~cat:"shil" ~name:"shil.lockrange.boundary" @@ fun () ->
+  let stable phi_d =
+    Obs.Metrics.incr "shil.lockrange.probes";
+    Solutions.stable_exists ?points g ~phi_d
+  in
   if not (stable 0.0) then 0.0
   else begin
     (* grow an upper bound first: the boundary is usually well inside *)
@@ -33,6 +37,7 @@ let phi_d_boundary ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
 let predict ?points ?phi_d_cap ?tol (g : Grid.t) ~tank =
   if Float.abs ((tank : Tank.t).r -. g.r) > 1e-9 *. g.r then
     invalid_arg "Lock_range.predict: grid and tank R differ";
+  Obs.Span.with_ ~cat:"shil" ~name:"shil.lockrange.predict" @@ fun () ->
   let phi_d_max = phi_d_boundary ?points ?phi_d_cap ?tol g in
   let two_pi = 2.0 *. Float.pi in
   let n = float_of_int g.n in

@@ -56,6 +56,9 @@ let refine ?points nl ~n ~r ~vi ~phi_d ~phi0 ~a0 =
   with Roots.No_convergence _ -> None
 
 let find ?points (g : Grid.t) ~phi_d =
+  Obs.Span.with_ ~cat:"shil" ~name:"shil.solutions.find"
+    ~attrs:[ ("phi_d", Printf.sprintf "%g" phi_d) ]
+  @@ fun () ->
   let nl = g.nl and n = g.n and r = g.r and vi = g.vi in
   let curves = Grid.t_f_curve g in
   (* residual of eq. 4 along the T_f = 1 curve, wrapped *)
@@ -86,6 +89,7 @@ let find ?points (g : Grid.t) ~phi_d =
   (* each candidate refines independently (a 2-D Newton iteration full of
      describing-function quadratures): fan them out, keeping candidate
      order so the downstream dedup sees the sequential ordering *)
+  Obs.Metrics.incr ~by:(List.length !candidates) "shil.solutions.candidates";
   let refined =
     Numerics.Pool.parallel_map_array ~chunk:1
       (fun (phi0, a0) ->
@@ -102,6 +106,9 @@ let find ?points (g : Grid.t) ~phi_d =
     |> Array.to_list
     |> List.filter_map Fun.id
   in
+  Obs.Metrics.incr
+    ~by:(List.length !candidates - List.length refined)
+    "shil.solutions.refine_fails";
   (* deduplicate: two solutions are the same within small tolerances *)
   let dedup =
     List.fold_left
@@ -122,6 +129,7 @@ let find ?points (g : Grid.t) ~phi_d =
       (Array.of_list dedup)
     |> Array.to_list
   in
+  Obs.Metrics.incr ~by:(List.length pts) "shil.solutions.classified";
   List.sort (fun p q -> Float.compare p.phi q.phi) pts
 
 let stable_exists ?points g ~phi_d =

@@ -14,6 +14,12 @@ let defaults =
 
 type outcome = Converged of { iterations : int } | Diverged of string
 
+let () =
+  Obs.Metrics.register_histogram ~name:"spice.newton.iters_per_solve"
+    ~buckets:[| 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250. |];
+  Obs.Metrics.register_histogram ~name:"spice.newton.residual"
+    ~buckets:[| 1e-12; 1e-9; 1e-6; 1e-3; 1.; 1e3 |]
+
 let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
   let clamp_upto = match clamp_upto with Some k -> k | None -> size in
   let x = Array.copy x0 in
@@ -21,10 +27,12 @@ let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
   let res = Array.make size 0.0 in
   let outcome = ref None in
   let iter = ref 0 in
+  let last_res = ref infinity in
   while !outcome = None && !iter < options.max_iter do
     incr iter;
     assemble ~x ~jac ~res;
     let res_norm = Linalg.norm_inf res in
+    last_res := res_norm;
     (match Linalg.lu_factor jac with
     | exception Linalg.Singular -> outcome := Some (Diverged "singular Jacobian")
     | f ->
@@ -59,4 +67,14 @@ let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
     | Some o -> o
     | None -> Diverged (Printf.sprintf "no convergence in %d iterations" options.max_iter)
   in
+  if Obs.enabled () then begin
+    Obs.Metrics.incr "spice.newton.solves";
+    Obs.Metrics.incr ~by:!iter "spice.newton.iters";
+    (match out with
+    | Diverged _ -> Obs.Metrics.incr "spice.newton.diverged"
+    | Converged _ -> ());
+    Obs.Metrics.observe "spice.newton.iters_per_solve" (float_of_int !iter);
+    if Float.is_finite !last_res then
+      Obs.Metrics.observe "spice.newton.residual" !last_res
+  end;
   (x, out)

@@ -17,6 +17,7 @@ let attempt ?newton compiled ~gmin ~source_scale ~x0 =
 
 let run ?newton ?(check = `Enforce) ?x0 circuit =
   Preflight.gate ~mode:check circuit;
+  Obs.Span.with_ ~cat:"spice" ~name:"spice.op.run" @@ fun () ->
   let compiled = Mna.compile circuit in
   let size = Mna.size compiled in
   let x0 = match x0 with Some x -> x | None -> Array.make size 0.0 in

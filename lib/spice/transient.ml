@@ -53,9 +53,11 @@ let probe_reader compiled probe =
     let i = Mna.branch_index compiled name in
     fun x -> x.(i)
 
-let run ?(check = `Enforce) circuit ~probes opts =
-  if opts.dt <= 0.0 || opts.t_stop <= 0.0 then
-    invalid_arg "Transient.run: dt and t_stop must be positive";
+let () =
+  Obs.Metrics.register_histogram ~name:"spice.transient.lte"
+    ~buckets:[| 1e-8; 1e-6; 1e-4; 1e-2; 1.0 |]
+
+let run_gated ~check circuit ~probes opts =
   Preflight.gate ~mode:check circuit;
   let compiled = Mna.compile circuit in
   let size = Mna.size compiled in
@@ -150,6 +152,7 @@ let run ?(check = `Enforce) circuit ~probes opts =
     | Error msg ->
       if depth >= 8 then raise (Step_failure { t = t +. h; msg })
       else begin
+        Obs.Metrics.incr "spice.transient.step_subdivisions";
         let h2 = h /. 2.0 in
         advance ~t ~h:h2 ~integ ~depth:(depth + 1);
         advance ~t:(t +. h2) ~h:h2 ~integ ~depth:(depth + 1)
@@ -167,7 +170,8 @@ let run ?(check = `Enforce) circuit ~probes opts =
       advance ~t ~h ~integ ~depth:0;
       let t' = t +. h in
       if t' >= opts.t_start -. 1e-15 && (k + 1) mod stride = 0 then record t' !x
-    done
+    done;
+    Obs.Metrics.incr ~by:n_steps "spice.transient.steps_accepted"
   | Adaptive { lte_tol; dt_min; dt_max } ->
     (* step doubling: compare one h-step against two h/2-steps; the
        trapezoidal rule is 2nd order, so err ~ |x_h - x_h/2| / 3 *)
@@ -195,8 +199,10 @@ let run ?(check = `Enforce) circuit ~probes opts =
           let scale = 1e-6 +. Float.max (Float.abs v) (Float.abs x_full.(i)) in
           err := Float.max !err (Float.abs (v -. x_full.(i)) /. (3.0 *. scale)))
         !x;
+      Obs.Metrics.observe "spice.transient.lte" !err;
       if !err <= lte_tol || hs <= dt_min *. 1.000001 then begin
         (* accept the (more accurate) half-step result *)
+        Obs.Metrics.incr "spice.transient.steps_accepted";
         t := !t +. hs;
         incr k;
         if !t >= opts.t_start -. 1e-15 && !k mod stride = 0 then record !t !x;
@@ -205,6 +211,7 @@ let run ?(check = `Enforce) circuit ~probes opts =
       end
       else begin
         (* reject: restore and retry smaller *)
+        Obs.Metrics.incr "spice.transient.steps_rejected";
         x := x_save;
         state := state_save;
         h := Float.max dt_min (hs /. 2.0)
@@ -215,5 +222,16 @@ let run ?(check = `Enforce) circuit ~probes opts =
     signals =
       List.map (fun (p, buf) -> (p, Array.of_list (List.rev !buf))) buffers;
   }
+
+let run ?(check = `Enforce) circuit ~probes opts =
+  if opts.dt <= 0.0 || opts.t_stop <= 0.0 then
+    invalid_arg "Transient.run: dt and t_stop must be positive";
+  Obs.Span.with_ ~cat:"spice" ~name:"spice.transient.run"
+    ~attrs:
+      [
+        ("t_stop", Printf.sprintf "%g" opts.t_stop);
+        ("dt", Printf.sprintf "%g" opts.dt);
+      ]
+    (fun () -> run_gated ~check circuit ~probes opts)
 
 let signal r probe = List.assoc probe r.signals

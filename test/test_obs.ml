@@ -1,0 +1,301 @@
+(* Tests for the runtime telemetry layer (lib/obs): span recording and
+   nesting, metric semantics, sink round-trips, and the contract that
+   enabling telemetry never changes numerical results. *)
+
+(* The registry is process-global; every test starts from a clean,
+   disabled state and leaves it that way. *)
+let fresh f () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let test_disabled_is_noop () =
+  let v = Obs.Span.with_ ~name:"t.span" (fun () -> 41 + 1) in
+  Alcotest.(check int) "span returns f's value" 42 v;
+  Obs.Metrics.incr "t.counter";
+  Obs.Metrics.set_gauge "t.gauge" 1.0;
+  Obs.Metrics.register_histogram ~name:"t.h0" ~buckets:[| 1.0 |];
+  Obs.Metrics.observe "t.h0" 0.5;
+  let s = Obs.snapshot () in
+  Alcotest.(check int) "no spans recorded" 0 (List.length s.Obs.Registry.spans);
+  Alcotest.(check int) "no counters recorded" 0
+    (List.length s.Obs.Registry.counters);
+  Alcotest.(check int) "no hist samples recorded" 0
+    (List.length s.Obs.Registry.hists)
+
+let test_span_nesting_and_ordering () =
+  Obs.set_enabled true;
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner_a" (fun () -> ignore (Sys.opaque_identity 1));
+      Obs.Span.with_ ~name:"inner_b" (fun () -> ignore (Sys.opaque_identity 2)));
+  let s = Obs.snapshot () in
+  let spans = s.Obs.Registry.spans in
+  Alcotest.(check (list string))
+    "timestamp order: outer starts first, then a, then b"
+    [ "outer"; "inner_a"; "inner_b" ]
+    (List.map (fun (e : Obs.Registry.span_ev) -> e.name) spans);
+  let find n =
+    List.find (fun (e : Obs.Registry.span_ev) -> e.name = n) spans
+  in
+  let outer = find "outer" and a = find "inner_a" and b = find "inner_b" in
+  Alcotest.(check int) "outer depth" 0 outer.depth;
+  Alcotest.(check int) "inner_a depth" 1 a.depth;
+  Alcotest.(check int) "inner_b depth" 1 b.depth;
+  let ends (e : Obs.Registry.span_ev) = Int64.add e.ts_ns e.dur_ns in
+  let contains (o : Obs.Registry.span_ev) (i : Obs.Registry.span_ev) =
+    Int64.compare o.ts_ns i.ts_ns <= 0 && Int64.compare (ends i) (ends o) <= 0
+  in
+  Alcotest.(check bool) "outer contains inner_a" true (contains outer a);
+  Alcotest.(check bool) "outer contains inner_b" true (contains outer b);
+  Alcotest.(check bool) "inner_a ends before inner_b starts" true
+    (Int64.compare (ends a) b.ts_ns <= 0)
+
+let test_span_records_on_exception () =
+  Obs.set_enabled true;
+  (try Obs.Span.with_ ~name:"raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let s = Obs.snapshot () in
+  Alcotest.(check (list string))
+    "span recorded despite the raise" [ "raises" ]
+    (List.map (fun (e : Obs.Registry.span_ev) -> e.name) s.Obs.Registry.spans)
+
+let test_counters_across_domains () =
+  Obs.set_enabled true;
+  let p = Numerics.Pool.create ~size:4 in
+  Fun.protect
+    ~finally:(fun () -> Numerics.Pool.shutdown p)
+    (fun () ->
+      Numerics.Pool.parallel_for ~pool:p ~chunk:7 ~n:1000 (fun _ ->
+          Obs.Metrics.incr "t.hits"));
+  Alcotest.(check int) "increments merge across worker domains" 1000
+    (Obs.Metrics.counter_value "t.hits")
+
+let test_histogram_buckets () =
+  Obs.set_enabled true;
+  Obs.Metrics.register_histogram ~name:"t.hist" ~buckets:[| 1.0; 2.0; 5.0 |];
+  List.iter (Obs.Metrics.observe "t.hist") [ 0.5; 1.0; 1.5; 2.0; 5.0; 7.0 ];
+  let s = Obs.snapshot () in
+  let _, bounds, counts =
+    List.find (fun (n, _, _) -> n = "t.hist") s.Obs.Registry.hists
+  in
+  Alcotest.(check (array (float 0.0))) "bounds" [| 1.0; 2.0; 5.0 |] bounds;
+  (* v lands in the first bucket with v <= bound; 7.0 overflows *)
+  Alcotest.(check (array int)) "counts" [| 2; 2; 1; 1 |] counts;
+  (* re-registration with different buckets is ignored (first wins) *)
+  Obs.Metrics.register_histogram ~name:"t.hist" ~buckets:[| 10.0 |];
+  Obs.Metrics.observe "t.hist" 0.1;
+  let s = Obs.snapshot () in
+  let _, bounds, _ =
+    List.find (fun (n, _, _) -> n = "t.hist") s.Obs.Registry.hists
+  in
+  Alcotest.(check int) "bounds unchanged" 3 (Array.length bounds)
+
+let test_histogram_bad_buckets () =
+  Alcotest.check_raises "descending bounds rejected"
+    (Invalid_argument
+       "Obs.Metrics.register_histogram: bounds must be finite and strictly \
+        ascending")
+    (fun () ->
+      Obs.Metrics.register_histogram ~name:"t.bad" ~buckets:[| 2.0; 1.0 |])
+
+let test_gauge_last_write_wins () =
+  Obs.set_enabled true;
+  Obs.Metrics.set_gauge "t.g" 1.0;
+  Obs.Metrics.set_gauge "t.g" 3.5;
+  let s = Obs.snapshot () in
+  Alcotest.(check (float 0.0))
+    "latest value" 3.5
+    (List.assoc "t.g" s.Obs.Registry.gauges)
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "oshil_obs_test" suffix in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let populate () =
+  Obs.set_enabled true;
+  Obs.Metrics.register_histogram ~name:"t.rt_hist" ~buckets:[| 1.0; 10.0 |];
+  Obs.Span.with_ ~name:"rt.outer" ~attrs:[ ("k", "v one") ] (fun () ->
+      Obs.Span.with_ ~name:"rt.inner" (fun () ->
+          Obs.Metrics.incr ~by:7 "t.rt_counter"));
+  Obs.Metrics.set_gauge "t.rt_gauge" 2.25;
+  Obs.Metrics.observe "t.rt_hist" 0.5;
+  Obs.Metrics.observe "t.rt_hist" 100.0;
+  Obs.snapshot ()
+
+let test_jsonl_round_trip () =
+  let s = populate () in
+  with_temp_file ".jsonl" (fun path ->
+      Obs.Sink.jsonl ~path s;
+      let back = Obs.Trace_read.load path in
+      Alcotest.(check int)
+        "span count" (List.length s.Obs.Registry.spans)
+        (List.length back.Obs.Registry.spans);
+      List.iter2
+        (fun (a : Obs.Registry.span_ev) (b : Obs.Registry.span_ev) ->
+          Alcotest.(check string) "span name" a.name b.name;
+          Alcotest.(check int64) "span ts" a.ts_ns b.ts_ns;
+          Alcotest.(check int64) "span dur" a.dur_ns b.dur_ns;
+          Alcotest.(check int) "span depth" a.depth b.depth;
+          Alcotest.(check (list (pair string string))) "span attrs" a.attrs
+            b.attrs)
+        s.Obs.Registry.spans back.Obs.Registry.spans;
+      Alcotest.(check (list (pair string int)))
+        "counters" s.Obs.Registry.counters back.Obs.Registry.counters;
+      Alcotest.(check (list (pair string (float 0.0))))
+        "gauges" s.Obs.Registry.gauges back.Obs.Registry.gauges;
+      List.iter2
+        (fun (n, bounds, counts) (n', bounds', counts') ->
+          Alcotest.(check string) "hist name" n n';
+          Alcotest.(check (array (float 0.0))) "hist bounds" bounds bounds';
+          Alcotest.(check (array int)) "hist counts" counts counts')
+        s.Obs.Registry.hists back.Obs.Registry.hists)
+
+let test_jsonl_merge_sums_counters () =
+  let s = populate () in
+  with_temp_file ".jsonl" (fun path ->
+      Obs.Sink.jsonl ~path s;
+      let back = Obs.Trace_read.load_many [ path; path ] in
+      Alcotest.(check int)
+        "counters sum across files"
+        (2 * List.assoc "t.rt_counter" s.Obs.Registry.counters)
+        (List.assoc "t.rt_counter" back.Obs.Registry.counters);
+      let _, _, counts =
+        List.find (fun (n, _, _) -> n = "t.rt_hist") back.Obs.Registry.hists
+      in
+      Alcotest.(check (array int)) "hist counts doubled" [| 2; 0; 2 |] counts)
+
+let test_chrome_trace_is_json () =
+  let s = populate () in
+  match Obs.Trace_read.json_of_string (Obs.Sink.chrome_trace_string s) with
+  | Obs.Trace_read.Obj fields ->
+    Alcotest.(check bool) "has traceEvents" true
+      (List.mem_assoc "traceEvents" fields);
+    let events =
+      match List.assoc "traceEvents" fields with
+      | Obs.Trace_read.Arr l -> l
+      | _ -> Alcotest.fail "traceEvents is not an array"
+    in
+    let span_names =
+      List.filter_map
+        (function
+          | Obs.Trace_read.Obj ev -> begin
+            match (List.assoc_opt "ph" ev, List.assoc_opt "name" ev) with
+            | Some (Obs.Trace_read.Str "X"), Some (Obs.Trace_read.Str n) ->
+              Some n
+            | _ -> None
+          end
+          | _ -> None)
+        events
+    in
+    Alcotest.(check (list string))
+      "complete events in order" [ "rt.outer"; "rt.inner" ] span_names
+  | _ -> Alcotest.fail "chrome trace is not a JSON object"
+
+let test_summary_headline_counters () =
+  let s = Obs.snapshot () in
+  let out = Format.asprintf "%a" Obs.Sink.summary s in
+  List.iter
+    (fun c ->
+      let sub_ok =
+        let cl = String.length c and ol = String.length out in
+        let rec go i = i + cl <= ol && (String.sub out i cl = c || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (c ^ " always shown") true sub_ok)
+    Obs.Sink.headline_counters
+
+let test_stats_accessor () =
+  let before = Numerics.Pool.stats () in
+  let p = Numerics.Pool.create ~size:3 in
+  Fun.protect
+    ~finally:(fun () -> Numerics.Pool.shutdown p)
+    (fun () ->
+      Numerics.Pool.parallel_for ~pool:p ~chunk:10 ~n:200 (fun i ->
+          ignore (Sys.opaque_identity (float_of_int i *. 2.0))));
+  let after = Numerics.Pool.stats () in
+  Alcotest.(check int) "20 chunks recorded" 20
+    (after.Numerics.Pool.tasks - before.Numerics.Pool.tasks);
+  Alcotest.(check bool) "busy time advanced" true
+    (Int64.compare after.Numerics.Pool.busy_ns before.Numerics.Pool.busy_ns
+     >= 0);
+  Alcotest.(check bool) "per-domain entries exist" true
+    (Array.length after.Numerics.Pool.per_domain > 0)
+
+(* The load-bearing contract: running the full analysis with telemetry
+   on must be bit-identical to running it with telemetry off. *)
+let test_tracing_preserves_results () =
+  let osc =
+    Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default
+  in
+  let run () =
+    Shil.Analysis.run ~points:128 ~n_phi:31 ~n_amp:21 osc ~n:3 ~vi:0.03
+  in
+  Obs.set_enabled false;
+  let off = run () in
+  Obs.set_enabled true;
+  let on = run () in
+  Obs.set_enabled false;
+  Alcotest.(check bool) "grid bit-identical" true
+    (off.Shil.Analysis.grid.Shil.Grid.i1 = on.Shil.Analysis.grid.Shil.Grid.i1);
+  Alcotest.(check (float 0.0))
+    "phi_d_max identical" off.lock_range.Shil.Lock_range.phi_d_max
+    on.lock_range.Shil.Lock_range.phi_d_max;
+  Alcotest.(check (float 0.0))
+    "delta_f_inj identical" off.lock_range.Shil.Lock_range.delta_f_inj
+    on.lock_range.Shil.Lock_range.delta_f_inj;
+  (* and the traced run actually recorded the expected instrumentation *)
+  let s = Obs.snapshot () in
+  let names =
+    List.sort_uniq String.compare
+      (List.map (fun (e : Obs.Registry.span_ev) -> e.name) s.Obs.Registry.spans)
+  in
+  Alcotest.(check bool) "analysis span present" true
+    (List.mem "shil.analysis.run" names);
+  Alcotest.(check bool) "grid span present" true
+    (List.mem "shil.grid.sample" names);
+  Alcotest.(check bool) "f_evals counted" true
+    (Obs.Metrics.counter_value "shil.grid.f_evals" > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            (fresh test_disabled_is_noop);
+          Alcotest.test_case "span nesting and ordering" `Quick
+            (fresh test_span_nesting_and_ordering);
+          Alcotest.test_case "span recorded on exception" `Quick
+            (fresh test_span_records_on_exception);
+          Alcotest.test_case "counters merge across domains" `Quick
+            (fresh test_counters_across_domains);
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            (fresh test_histogram_buckets);
+          Alcotest.test_case "histogram rejects bad buckets" `Quick
+            (fresh test_histogram_bad_buckets);
+          Alcotest.test_case "gauge last-write-wins" `Quick
+            (fresh test_gauge_last_write_wins);
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick
+            (fresh test_jsonl_round_trip);
+          Alcotest.test_case "jsonl multi-file merge" `Quick
+            (fresh test_jsonl_merge_sums_counters);
+          Alcotest.test_case "chrome trace is well-formed JSON" `Quick
+            (fresh test_chrome_trace_is_json);
+          Alcotest.test_case "summary shows headline counters" `Quick
+            (fresh test_summary_headline_counters);
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "Pool.stats accounting" `Quick
+            (fresh test_stats_accessor);
+          Alcotest.test_case "tracing preserves results bit-for-bit" `Slow
+            (fresh test_tracing_preserves_results);
+        ] );
+    ]

@@ -8,6 +8,9 @@
      obj-magic     no [Obj.magic]
      printf        no [Printf.printf] in library code (Printf.sprintf is fine)
      exit          no [exit] outside bin/ and bench/
+     direct-clock  no [Unix.gettimeofday] / [Sys.time] in library code
+                   outside lib/obs — use [Obs.Clock] so telemetry and
+                   benches share one monotonic clock
 
    A line can waive a rule with the comment [(* mlint: allow CODE *)]
    placed on the same line (or the line above) as the offending token.
@@ -19,6 +22,9 @@
    [dune runtest] on a bare switch. *)
 
 let exit_allowed_dirs = [ "bin"; "bench"; "tools" ]
+
+(* lib/obs wraps the clock; everything outside lib/ keeps its freedom *)
+let clock_allowed_dirs = [ "obs"; "bin"; "bench"; "tools"; "test" ]
 
 type finding = { file : string; line : int; code : string; msg : string }
 
@@ -286,6 +292,11 @@ let check_tokens ~file ~dir text waivers =
     (qualified "Printf.printf" @ qualified "print_endline"
     @ qualified "print_string")
     "stdout printing in library code; return strings or take a formatter";
+  if not (List.mem dir clock_allowed_dirs) then
+    rule "direct-clock"
+      (qualified "Unix.gettimeofday" @ qualified "Sys.time")
+      "direct timing call in library code; use Obs.Clock (monotonic) so \
+       telemetry and benches share one clock";
   if not (List.mem dir exit_allowed_dirs) then
     rule "exit"
       (ident_occurrences text "exit"
