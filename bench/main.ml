@@ -410,7 +410,13 @@ let check_json files =
         Printf.eprintf "%s: PARSE ERROR: %s\n" path msg;
         ok := false
       | exception Sys_error msg ->
-        Printf.eprintf "%s: %s\n" path msg;
+        if not (Sys.file_exists path) then
+          Printf.eprintf
+            "%s: MISSING BASELINE: the tracked bench record does not \
+             exist. Generate it with `dune exec bench/main.exe -- \
+             --only-bench --skip-slow` and commit the file.\n"
+            path
+        else Printf.eprintf "%s: %s\n" path msg;
         ok := false)
     files;
   if not !ok then exit 1

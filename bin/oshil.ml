@@ -104,12 +104,40 @@ let obs_args =
                    counters) on stderr at exit. $(b,OSHIL_METRICS=1) sets \
                    the default.")
   in
-  Term.(const (fun t m -> (t, m)) $ trace $ metrics)
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject-fault" ] ~docv:"PLAN"
+             ~doc:"Arm deterministic fault injection. $(docv) is a \
+                   comma-separated list of $(b,site[@START[xCOUNT]]) \
+                   specs (e.g. $(b,newton-singular@0x2,tran-reject@5)); \
+                   a bare site fires on every occurrence. \
+                   $(b,OSHIL_FAULTS) sets the default. Zero faults \
+                   armed leaves every result bit-identical.")
+  in
+  let fail_fast =
+    Arg.(value & flag
+         & info [ "fail-fast" ]
+             ~doc:"Abort on the first failed grid point / probe / sweep \
+                   cell instead of recording a typed hole and \
+                   continuing with a partial result.")
+  in
+  Term.(const (fun t m p f -> (t, m, p, f)) $ trace $ metrics $ inject
+        $ fail_fast)
 
-let apply_obs (trace, metrics) =
+let apply_obs (trace, metrics, fault_plan, fail_fast) =
   Obs.configure_from_env ();
   Option.iter Obs.trace_to_file trace;
-  if metrics then Obs.configure ~summary:true ~enabled:true ()
+  if metrics then Obs.configure ~summary:true ~enabled:true ();
+  Resilience.Fault.configure_from_env ();
+  (match fault_plan with
+  | None -> ()
+  | Some plan -> (
+    match Resilience.Fault.configure plan with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "oshil: bad --inject-fault plan: %s@." msg;
+      exit 2));
+  if fail_fast then Resilience.Policy.set_fail_fast true
 
 let vi_arg =
   Arg.(value & opt float 0.03
@@ -388,9 +416,9 @@ let harmonics_cmd =
     apply_obs obs;
     let osc = resolve_oscillator choice custom in
     match Shil.Harmonic_balance.solve ~k_max osc.nl ~tank:osc.tank with
-    | exception Shil.Harmonic_balance.No_convergence msg ->
-      Format.eprintf "harmonic balance failed: %s@." msg;
-      exit 1
+    | exception Resilience.Oshil_error.Error e ->
+      Format.eprintf "harmonic balance failed: %a@." Resilience.Oshil_error.pp e;
+      exit 3
     | hb ->
       Format.printf "harmonic balance (K = %d):@." k_max;
       Format.printf "  frequency: %.8g Hz (tank f_c %.8g Hz, shift %+.6g Hz)@."
@@ -607,17 +635,54 @@ let stats_cmd =
                    files merge: counters and histograms sum, spans \
                    concatenate.")
   in
-  let run files =
+  let assert_arg =
+    Arg.(value & opt_all string []
+         & info [ "assert-counter" ] ~docv:"NAME[:MIN]"
+             ~doc:"Exit 1 unless counter $(b,NAME) appears in the merged \
+                   trace with value >= MIN (default 1). Repeatable; the \
+                   fault-injection smoke tests use this to pin each \
+                   recovery path to its $(b,resilience.*) counter.")
+  in
+  let run files asserts =
     match Obs.Trace_read.load_many files with
-    | s -> Format.printf "%a@." Obs.Sink.summary s
     | exception Obs.Trace_read.Parse_error msg ->
       Format.eprintf "oshil stats: %s@." msg;
       exit 1
     | exception Sys_error msg ->
       Format.eprintf "oshil stats: %s@." msg;
       exit 1
+    | s ->
+      Format.printf "%a@." Obs.Sink.summary s;
+      let check spec =
+        let name, min_v =
+          match String.index_opt spec ':' with
+          | None -> (spec, 1)
+          | Some i -> (
+            let name = String.sub spec 0 i in
+            let m = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt m with
+            | Some v -> (name, v)
+            | None ->
+              Format.eprintf "oshil stats: bad --assert-counter %S@." spec;
+              exit 2)
+        in
+        let v =
+          Option.value ~default:0
+            (List.assoc_opt name s.Obs.Registry.counters)
+        in
+        if v >= min_v then begin
+          Format.printf "assert %s: %d >= %d ok@." name v min_v;
+          true
+        end
+        else begin
+          Format.eprintf "oshil stats: counter %s = %d, wanted >= %d@." name
+            v min_v;
+          false
+        end
+      in
+      if List.exists not (List.map check asserts) then exit 1
   in
-  let term = Term.(const run $ files_arg) in
+  let term = Term.(const run $ files_arg $ assert_arg) in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Replay JSONL telemetry traces into the summary table \
@@ -695,11 +760,21 @@ let () =
      locking in LC oscillators (DAC 2014 reproduction)."
   in
   let info = Cmd.info "oshil" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
+        transient_cmd; netlist_cmd; lint_cmd; stats_cmd; figures_cmd;
+        experiments_cmd;
+      ]
+  in
+  (* typed solver errors get a rendered diagnostic and a distinct exit
+     code instead of an uncaught-exception backtrace *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
-            transient_cmd; netlist_cmd; lint_cmd; stats_cmd; figures_cmd;
-            experiments_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+     | Resilience.Oshil_error.Error e ->
+       Format.eprintf "oshil: %a@." Resilience.Oshil_error.pp e;
+       3
+     | Check.Diagnostic.Failed ds ->
+       List.iter (fun d -> Format.eprintf "oshil: %a@." Check.Diagnostic.pp d) ds;
+       3)

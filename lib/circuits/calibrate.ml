@@ -15,7 +15,15 @@ let r_for_amplitude ?(r_lo = 10.0) ?(r_hi = 1e6) ~nl ~target_a () =
   let g log_r = amp (exp log_r) -. target_a in
   let a = log r_lo and b = log r_hi in
   if g a *. g b > 0.0 then
-    failwith "Calibrate.r_for_amplitude: target amplitude not bracketed";
+    Resilience.Oshil_error.raise_ Circuits ~phase:"calibrate" Root_failure
+      "target amplitude not bracketed"
+      ~context:
+        [
+          ("target_a", Printf.sprintf "%.6g" target_a);
+          ("r_lo", Printf.sprintf "%.6g" r_lo);
+          ("r_hi", Printf.sprintf "%.6g" r_hi);
+        ]
+      ~remedy:"widen [r_lo, r_hi] or check the nonlinearity";
   let log_r = Numerics.Roots.bisect ~tol:1e-9 ~f:g ~a ~b () in
   exp log_r
 
@@ -29,7 +37,11 @@ let fit_tank ?points ~nl ~target_a ~f_c ~n ~vi ~target_delta_f_inj () =
       ()
   in
   let phi_d_max = Shil.Lock_range.phi_d_boundary ?points grid in
-  if phi_d_max <= 0.0 then failwith "Calibrate.fit_tank: no lock at phi_d = 0";
+  if phi_d_max <= 0.0 then
+    Resilience.Oshil_error.raise_ Circuits ~phase:"calibrate" No_oscillation
+      "no lock at phi_d = 0"
+      ~context:[ ("vi", Printf.sprintf "%.6g" vi) ]
+      ~remedy:"raise the injection amplitude vi";
   (* delta_f_osc = f_c tan(phi_d_max) / Q exactly (the band edges are the
      two roots of Q (u - 1/u) = -+tan(phi_d_max), whose difference is
      tan(phi_d_max)/Q in units of f_c) *)

@@ -12,6 +12,11 @@ let transient_signal ~circuit ~probe ~dt ~t_stop ~t_start =
     { (Spice.Transient.default_options ~dt ~t_stop) with t_start }
   in
   let res = Spice.Transient.run circuit ~probes:[ probe ] opts in
+  (* a truncated waveform would silently corrupt the measurement — turn
+     a degraded transient back into a typed failure here *)
+  (match res.failure with
+  | Some e -> raise (Resilience.Oshil_error.Error e)
+  | None -> ());
   Signal.make ~times:res.times ~values:(Spice.Transient.signal res probe)
 
 let natural ?(cycles = 400.0) ?(steps_per_cycle = 120) ~circuit ~probe
@@ -41,6 +46,7 @@ type lock_cmp = {
   sim_f_low : float;
   sim_f_high : float;
   sim_delta : float;
+  failures : Resilience.Summary.t;
 }
 
 let lock_range ?(cycles = 600.0) ?(steps_per_cycle = 180) ?(rel_tol = 2e-5)
@@ -49,14 +55,40 @@ let lock_range ?(cycles = 600.0) ?(steps_per_cycle = 180) ?(rel_tol = 2e-5)
   let f_osc_center = f_center /. float_of_int n in
   let dt = 1.0 /. (f_osc_center *. float_of_int steps_per_cycle) in
   let t_stop = cycles /. f_osc_center in
+  let probe_holes = ref [] in
+  let holes_mu = Mutex.create () in
+  let attempts = Atomic.make 0 in
   let locked f_inj =
-    let s =
-      transient_signal ~circuit:(make_circuit ~f_inj) ~probe ~dt ~t_stop
-        ~t_start:0.0
-    in
-    let mean = Signal.mean s in
-    let s = Signal.shift_values s (-.mean) in
-    (Waveform.Lock.analyze s ~f_target:(f_inj /. float_of_int n)).locked
+    Atomic.incr attempts;
+    match
+      if Resilience.Fault.fire "validate-point" then
+        raise
+          (Resilience.Oshil_error.Error
+             (Resilience.Fault.error ~site:"validate-point" Circuits
+                ~phase:"validate"))
+      else begin
+        let s =
+          transient_signal ~circuit:(make_circuit ~f_inj) ~probe ~dt ~t_stop
+            ~t_start:0.0
+        in
+        let mean = Signal.mean s in
+        let s = Signal.shift_values s (-.mean) in
+        (Waveform.Lock.analyze s ~f_target:(f_inj /. float_of_int n)).locked
+      end
+    with
+    | b -> b
+    | exception e ->
+      let err = Resilience.Oshil_error.of_exn Circuits ~phase:"validate" e in
+      if Resilience.Policy.fail_fast () then
+        raise (Resilience.Oshil_error.Error err);
+      Obs.Metrics.incr "resilience.validate.holes";
+      Mutex.protect holes_mu (fun () ->
+          probe_holes :=
+            { Resilience.Summary.site = Printf.sprintf "f_inj=%.8g" f_inj;
+              error = err }
+            :: !probe_holes);
+      (* unknown lock state counts as unlocked: conservative for edges *)
+      false
   in
   let tol = rel_tol *. f_center in
   let delta = Float.max (predicted.delta_f_inj *. 0.5) (20.0 *. tol) in
@@ -64,7 +96,15 @@ let lock_range ?(cycles = 600.0) ?(steps_per_cycle = 180) ?(rel_tol = 2e-5)
     (* widen the bracket around the predicted edge until it straddles *)
     let want_lo = match side with `Low -> false | `High -> true in
     let rec widen lo hi k =
-      if k > 6 then failwith "Validate.lock_range: cannot bracket edge"
+      if k > 6 then
+        Resilience.Oshil_error.raise_ Circuits ~phase:"validate" Root_failure
+          "cannot bracket lock edge"
+          ~context:
+            [
+              ("side", (match side with `Low -> "low" | `High -> "high"));
+              ("f_guess", Printf.sprintf "%.8g" f_guess);
+            ]
+          ~remedy:"widen the search (rel_tol) or re-check the prediction"
       else begin
         let lo_ok = locked lo = want_lo and hi_ok = locked hi <> want_lo in
         match (lo_ok, hi_ok) with
@@ -82,17 +122,35 @@ let lock_range ?(cycles = 600.0) ?(steps_per_cycle = 180) ?(rel_tol = 2e-5)
     0.5 *. (!lo +. !hi)
   in
   (* the two edge searches are independent chains of transient runs; on a
-     multicore pool they proceed concurrently *)
+     multicore pool they proceed concurrently. A failed edge becomes a
+     NaN + typed hole instead of killing the whole comparison. *)
   let edges =
-    Numerics.Pool.parallel_map_array ~chunk:1
+    Numerics.Pool.parallel_try_map_array ~chunk:1 ~subsystem:Circuits
+      ~phase:"validate"
       (fun side ->
         match side with
         | `Low -> bisect ~f_guess:predicted.f_inj_low ~side:`Low
         | `High -> bisect ~f_guess:predicted.f_inj_high ~side:`High)
       [| `Low; `High |]
   in
-  let sim_f_low = edges.(0) and sim_f_high = edges.(1) in
-  { predicted; sim_f_low; sim_f_high; sim_delta = sim_f_high -. sim_f_low }
+  let edge_holes = ref [] in
+  let edge name = function
+    | Ok v -> v
+    | Error e ->
+      if Resilience.Policy.fail_fast () then
+        raise (Resilience.Oshil_error.Error e);
+      edge_holes :=
+        { Resilience.Summary.site = name ^ " edge"; error = e } :: !edge_holes;
+      Float.nan
+  in
+  let sim_f_low = edge "low" edges.(0) in
+  let sim_f_high = edge "high" edges.(1) in
+  let failures =
+    Resilience.Summary.make ~attempted:(Atomic.get attempts)
+      (List.rev !probe_holes @ List.rev !edge_holes)
+  in
+  { predicted; sim_f_low; sim_f_high; sim_delta = sim_f_high -. sim_f_low;
+    failures }
 
 let lock_states ?(cycles = 900.0) ?(steps_per_cycle = 180) ~make_circuit
     ~probe ~n ~f_inj ~pulse ~pulse_times () =

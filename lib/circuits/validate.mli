@@ -20,9 +20,12 @@ val natural :
 
 type lock_cmp = {
   predicted : Shil.Lock_range.t;
-  sim_f_low : float;
+  sim_f_low : float;  (** NaN when that edge search failed (see [failures]) *)
   sim_f_high : float;
   sim_delta : float;
+  failures : Resilience.Summary.t;
+      (** typed holes: failed transient probes (counted as unlocked)
+          and failed edge searches *)
 }
 
 val lock_range :
@@ -34,7 +37,12 @@ val lock_range :
     bracketing around the predicted edges (the paper's "binary search ...
     over different frequencies"). [cycles] (default 600) oscillator
     periods per trial; [rel_tol] (default 2e-5) of the centre frequency
-    stops the bisection. *)
+    stops the bisection.
+
+    A probe or edge search that fails becomes a typed hole in
+    [failures] (counter [resilience.validate.holes]) instead of
+    aborting, unless {!Resilience.Policy.set_fail_fast} is on. Fault
+    site [validate-point] injects probe failures for testing. *)
 
 val lock_states :
   ?cycles:float -> ?steps_per_cycle:int ->

@@ -5,7 +5,10 @@ let run ?(vis = [ 0.01; 0.05; 0.1; 0.2 ]) () =
   let a_nat =
     match Shil.Natural.predicted_amplitude osc.nl ~r with
     | Some a -> a
-    | None -> failwith "Fhil_experiment: no oscillation"
+    | None ->
+      Resilience.Oshil_error.raise_ Experiments ~phase:"fhil" No_oscillation
+        "oscillator does not oscillate"
+        ~remedy:"check the nonlinearity gain against 1/R"
   in
   let rows =
     List.map

@@ -226,7 +226,10 @@ let predicted_lock_range b =
   let a_nat =
     match Shil.Natural.predicted_amplitude b.oscillator.nl ~r with
     | Some a -> a
-    | None -> failwith "bench oscillator does not oscillate"
+    | None ->
+      Resilience.Oshil_error.raise_ Experiments ~phase:"osc-bench"
+        No_oscillation "bench oscillator does not oscillate"
+        ~remedy:"check the bench nonlinearity gain against 1/R"
   in
   let grid =
     Shil.Grid.sample b.oscillator.nl ~n:b.n ~r ~vi:b.vi

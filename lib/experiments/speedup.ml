@@ -16,7 +16,10 @@ let run ?cycles (b : Osc_experiments.bench) =
   let a_nat =
     match Shil.Natural.predicted_amplitude b.oscillator.nl ~r with
     | Some a -> a
-    | None -> failwith "Speedup.run: bench does not oscillate"
+    | None ->
+      Resilience.Oshil_error.raise_ Experiments ~phase:"speedup"
+        No_oscillation "bench does not oscillate"
+        ~remedy:"check the bench nonlinearity gain against 1/R"
   in
   let lr, predict_s =
     time (fun () ->

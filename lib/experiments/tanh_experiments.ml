@@ -12,7 +12,10 @@ let grid_of s =
   let a_nat =
     match Shil.Natural.predicted_amplitude osc.nl ~r:s.params.r with
     | Some a -> a
-    | None -> failwith "tanh setup does not oscillate"
+    | None ->
+      Resilience.Oshil_error.raise_ Experiments ~phase:"tanh" No_oscillation
+        "tanh setup does not oscillate"
+        ~remedy:"check the cell gain against 1/R"
   in
   let g =
     Shil.Grid.sample osc.nl ~n:s.n ~r:s.params.r ~vi:s.vi

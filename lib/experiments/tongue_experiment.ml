@@ -15,28 +15,51 @@ let compute ?points ?(vis = default_vis) (osc : Shil.Analysis.oscillator) ~n =
   let a_nat =
     match Shil.Natural.predicted_amplitude osc.nl ~r with
     | Some a -> a
-    | None -> failwith "Tongue_experiment: oscillator does not oscillate"
+    | None ->
+      Resilience.Oshil_error.raise_ Experiments ~phase:"tongue" No_oscillation
+        "oscillator does not oscillate"
+        ~remedy:"check the nonlinearity gain against 1/R"
   in
   (* every tongue cell (one |Vi|) is an independent grid + lock-range
      computation; fan the cells out one per task. Grid sampling inside a
-     worker falls back to sequential, so the pool is not oversubscribed. *)
-  Numerics.Pool.parallel_map_array ~chunk:1
-    (fun vi ->
-      let grid =
-        Shil.Grid.sample ?points osc.nl ~n ~r ~vi
-          ~a_range:(0.2 *. a_nat, 1.4 *. a_nat)
-          ()
-      in
-      let lr = Shil.Lock_range.predict ?points grid ~tank:osc.tank in
-      { vi; f_inj_low = lr.f_inj_low; f_inj_high = lr.f_inj_high;
-        delta_f_inj = lr.delta_f_inj })
-    (Array.of_list vis)
-  |> Array.to_list
+     worker falls back to sequential, so the pool is not oversubscribed. A
+     cell that fails becomes a typed hole instead of killing the sweep. *)
+  let cells =
+    Numerics.Pool.parallel_try_map_array ~chunk:1 ~subsystem:Experiments
+      ~phase:"tongue"
+      (fun vi ->
+        let grid =
+          Shil.Grid.sample ?points osc.nl ~n ~r ~vi
+            ~a_range:(0.2 *. a_nat, 1.4 *. a_nat)
+            ()
+        in
+        let lr = Shil.Lock_range.predict ?points grid ~tank:osc.tank in
+        { vi; f_inj_low = lr.f_inj_low; f_inj_high = lr.f_inj_high;
+          delta_f_inj = lr.delta_f_inj })
+      (Array.of_list vis)
+  in
+  let holes = ref [] and pts = ref [] in
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | Ok p -> pts := p :: !pts
+      | Error e ->
+        if Resilience.Policy.fail_fast () then
+          raise (Resilience.Oshil_error.Error e);
+        Obs.Metrics.incr "resilience.tongue.holes";
+        holes :=
+          { Resilience.Summary.site =
+              Printf.sprintf "vi=%.6g" (List.nth vis i);
+            error = e }
+          :: !holes)
+    cells;
+  ( List.rev !pts,
+    Resilience.Summary.make ~attempted:(List.length vis) (List.rev !holes) )
 
 let run ?vis () =
   let osc = Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default in
   let n = 3 in
-  let pts = compute ?vis osc ~n in
+  let pts, failures = compute ?vis osc ~n in
   let vis_arr = Array.of_list (List.map (fun p -> p.vi) pts) in
   let fig =
     Fig.create ~title:"Arnold tongue: 3rd-SHIL locking region (tanh cell)"
@@ -63,6 +86,9 @@ let run ?vis () =
           Printf.sprintf "[%.8g, %.8g] Hz (delta %.6g)" p.f_inj_low
             p.f_inj_high p.delta_f_inj ))
       pts
+    @
+    if Resilience.Summary.is_clean failures then []
+    else [ ("failed cells", Resilience.Summary.to_string failures) ]
   in
   Output.make ~id:"X3" ~title:"extension: Arnold tongue (lock band vs Vi)"
     ~rows ~figures:[ ("tongue", fig) ] ()

@@ -15,8 +15,13 @@ type point = {
 
 val compute :
   ?points:int -> ?vis:float list -> Shil.Analysis.oscillator -> n:int ->
-  point list
-(** Default [vis]: 12 strengths from 0.005 to 0.3 (logarithmic-ish). *)
+  point list * Resilience.Summary.t
+(** Default [vis]: 12 strengths from 0.005 to 0.3 (logarithmic-ish).
+
+    A [vi] cell whose grid or lock-range computation fails becomes a
+    typed hole in the returned summary (counter
+    [resilience.tongue.holes]) instead of aborting the sweep, unless
+    {!Resilience.Policy.set_fail_fast} is on. *)
 
 val run : ?vis:float list -> unit -> Output.t
 (** Tongue of the tanh oscillator at n = 3; writes the tongue figure. *)

@@ -86,7 +86,16 @@ let dopri5 ?(rtol = 1e-8) ?(atol = 1e-10) ?dt0 ?(max_steps = 2_000_000) f ~t0
   let steps = ref 0 and rejected = ref 0 in
   let err_prev = ref 1.0 in
   while !t < t1 -. 1e-15 *. Float.max 1.0 (Float.abs t1) do
-    if !steps + !rejected > max_steps then failwith "Ode.dopri5: too many steps";
+    if !steps + !rejected > max_steps then
+      Resilience.Oshil_error.raise_ Numerics ~phase:"dopri5" Budget_exhausted
+        "too many integration steps"
+        ~context:
+          [
+            ("max_steps", string_of_int max_steps);
+            ("t", Printf.sprintf "%.6e" !t);
+            ("rejected", string_of_int !rejected);
+          ]
+        ~remedy:"raise max_steps or loosen rtol/atol";
     let h = Float.min !dt (t1 -. !t) in
     let k1 = f !t !y in
     let k2 = f (!t +. (c2 *. h)) (combine !y [ (h *. a21, k1) ]) in

@@ -333,3 +333,16 @@ let parallel_map_array ?pool ?chunk f xs =
 let parallel_reduce ?pool ?chunk ~n ~init ~map ~fold () =
   let vals = parallel_init ?pool ?chunk n map in
   Array.fold_left fold init vals
+
+let parallel_try_map_array ?pool ?chunk ~subsystem ~phase f xs =
+  parallel_init ?pool ?chunk (Array.length xs) (fun i ->
+      if Resilience.Fault.fire_at "pool-task" ~k:i then begin
+        Obs.Metrics.incr "resilience.pool.task_failures";
+        Error (Resilience.Fault.error ~site:"pool-task" subsystem ~phase)
+      end
+      else
+        match f xs.(i) with
+        | v -> Ok v
+        | exception e ->
+          Obs.Metrics.incr "resilience.pool.task_failures";
+          Error (Resilience.Oshil_error.of_exn subsystem ~phase e))

@@ -114,3 +114,18 @@ val parallel_reduce :
     [fold (... (fold init (map 0)) ...) (map (n-1))]: the [map]s run in
     parallel, the [fold] runs left-to-right in index order, so the
     result is identical to the sequential evaluation. *)
+
+val parallel_try_map_array :
+  ?pool:t ->
+  ?chunk:int ->
+  subsystem:Resilience.Oshil_error.subsystem ->
+  phase:string ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, Resilience.Oshil_error.t) result array
+(** Resilient parallel map: a task that raises yields [Error] in its
+    slot (typed via {!Resilience.Oshil_error.of_exn}) instead of
+    aborting the whole fan-out; each failure bumps
+    [resilience.pool.task_failures]. Fault site [pool-task] (by task
+    index) injects failures deterministically regardless of pool
+    scheduling. *)

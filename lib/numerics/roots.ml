@@ -164,6 +164,8 @@ let find_all ?(tol = 1e-12) ~f ~a ~b ~n () =
   List.filter_map refine (bracket_roots ~f ~a ~b ~n)
 
 let newton2d ?(tol = 1e-10) ?(max_iter = 60) ~f ~x0 () =
+  if Resilience.Fault.fire "roots-fail" then
+    raise (No_convergence "newton2d: injected fault (roots-fail)");
   let x = ref (fst x0) and y = ref (snd x0) in
   let result = ref None in
   let k = ref 0 in

@@ -7,7 +7,9 @@ type t = {
   states : float array array;
 }
 
-exception No_orbit of string
+let no_orbit ?context msg =
+  Resilience.Oshil_error.raise_ Ppv ~phase:"orbit" Root_failure msg ?context
+    ~remedy:"improve the initial guess or raise steps_per_period"
 
 let flow ~f ~steps x0 t1 =
   if t1 <= 0.0 then Array.copy x0
@@ -56,7 +58,9 @@ let find ?(steps_per_period = 400) ?(n_samples = 256) ?(max_iter = 40)
         done
       done;
       match Numerics.Linalg.solve jac r with
-      | exception Numerics.Linalg.Singular -> raise (No_orbit "singular shooting Jacobian")
+      | exception Numerics.Linalg.Singular ->
+        no_orbit "singular shooting Jacobian"
+          ~context:[ ("iteration", string_of_int !it) ]
       | du ->
         for k = 0 to m - 1 do
           (* damp huge steps *)
@@ -66,7 +70,9 @@ let find ?(steps_per_period = 400) ?(n_samples = 256) ?(max_iter = 40)
         done
     end
   done;
-  if not !converged then raise (No_orbit "shooting did not converge");
+  if not !converged then
+    no_orbit "shooting did not converge"
+      ~context:[ ("max_iter", string_of_int max_iter) ];
   let x0 = Array.sub u 0 dim in
   let period = u.(dim) in
   (* resample the converged orbit on a uniform mesh *)
@@ -100,7 +106,9 @@ let from_transient ?(settle_periods = 200.0) ?steps_per_period ?n_samples ~f
     if b >= a && b > c then anchor := Some !k;
     decr k
   done;
-  let idx = match !anchor with Some i -> i | None -> raise (No_orbit "no extremum found") in
+  let idx =
+    match !anchor with Some i -> i | None -> no_orbit "no extremum found"
+  in
   (* refine the period estimate from successive maxima *)
   let prev_max = ref None in
   let j = ref (idx - 5) in

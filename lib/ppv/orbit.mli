@@ -13,8 +13,6 @@ type t = {
   states : float array array;  (** orbit samples at [times] *)
 }
 
-exception No_orbit of string
-
 val find :
   ?steps_per_period:int -> ?n_samples:int -> ?max_iter:int -> ?tol:float ->
   f:Numerics.Ode.system -> guess_x0:float array -> guess_period:float ->
@@ -22,8 +20,9 @@ val find :
 (** Newton shooting with finite-difference sensitivities. [tol] (default
     1e-10) is on the shooting residual; [steps_per_period] (default 400)
     controls the RK4 integration; the converged orbit is resampled at
-    [n_samples] (default 256) uniform instants. Raises {!No_orbit} on
-    divergence. *)
+    [n_samples] (default 256) uniform instants. Raises
+    {!Resilience.Oshil_error.Error} ([root-failure], subsystem [ppv],
+    phase ["orbit"]) on divergence. *)
 
 val from_transient :
   ?settle_periods:float -> ?steps_per_period:int -> ?n_samples:int ->

@@ -27,7 +27,10 @@ let lock_range ?points nl ~tank ~n ~vi =
   let a_nat =
     match Shil.Natural.predicted_amplitude nl ~r with
     | Some a -> a
-    | None -> failwith "Refined.lock_range: oscillator does not oscillate"
+    | None ->
+      Resilience.Oshil_error.raise_ Ppv ~phase:"refined" No_oscillation
+        "oscillator does not oscillate"
+        ~remedy:"check the nonlinearity gain against 1/R"
   in
   let grid =
     Shil.Grid.sample ?points nl ~n ~r ~vi

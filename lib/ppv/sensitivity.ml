@@ -42,14 +42,19 @@ let compute ?(jac_eps = 1e-7) ~f orbit =
   (* left eigenvector for multiplier 1: (M^T - I) q = 0 *)
   let mt = Linalg.transpose monodromy in
   let a = Array.mapi (fun r row -> Array.mapi (fun c v -> if r = c then v -. 1.0 else v) row) mt in
+  let fail ?context kind msg =
+    Resilience.Oshil_error.raise_ Ppv ~phase:"sensitivity" kind msg ?context
+      ~remedy:"tighten the orbit (smaller tol / more steps) first"
+  in
   let q =
-    if dim <> 2 then failwith "Ppv.compute: only 2-D systems supported"
+    if dim <> 2 then invalid_arg "Ppv.compute: only 2-D systems supported"
     else begin
       let q1 = [| -.a.(0).(1); a.(0).(0) |] in
       let q2 = [| -.a.(1).(1); a.(1).(0) |] in
       let norm v = sqrt ((v.(0) *. v.(0)) +. (v.(1) *. v.(1))) in
       let q = if norm q1 >= norm q2 then q1 else q2 in
-      if norm q < 1e-12 then failwith "Ppv.compute: unit multiplier not found";
+      if norm q < 1e-12 then
+        fail Singular_system "unit Floquet multiplier not found";
       q
     end
   in
@@ -57,12 +62,14 @@ let compute ?(jac_eps = 1e-7) ~f orbit =
   let mq = Linalg.mat_vec mt q in
   let err = Linalg.norm_inf (Linalg.vec_sub mq q) /. Linalg.norm_inf q in
   if err > 1e-3 then
-    failwith
-      (Printf.sprintf "Ppv.compute: left eigenvector residual %.3g (orbit unstable or inaccurate)" err);
+    fail Solver_divergence
+      "left eigenvector residual too large (orbit unstable or inaccurate)"
+      ~context:[ ("residual", Printf.sprintf "%.3g" err) ];
   (* normalise: v1(0) . F(x(0)) = 1 *)
   let fx0 = f 0.0 orbit.Orbit.x0 in
   let denom = Linalg.dot q fx0 in
-  if Float.abs denom < 1e-300 then failwith "Ppv.compute: degenerate normalisation";
+  if Float.abs denom < 1e-300 then
+    fail Singular_system "degenerate PPV normalisation";
   let p0 = Linalg.vec_scale (1.0 /. denom) q in
   (* adjoint integration: dp/dt = -J^T p, sampled on the orbit mesh *)
   let adj t p = Linalg.vec_scale (-1.0) (Linalg.mat_vec (Linalg.transpose (j_at t)) p) in

@@ -59,9 +59,9 @@ let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
     | Some range, _ -> range
     | None, Some a -> (0.25 *. a, 1.25 *. a)
     | None, None ->
-      failwith
-        "Analysis.run: oscillator has no stable natural oscillation; supply \
-         ~a_range explicitly"
+      Resilience.Oshil_error.raise_ Shil ~phase:"analysis" No_oscillation
+        "oscillator has no stable natural oscillation"
+        ~remedy:"supply ~a_range explicitly"
   in
   let grid = Grid.sample ?points ?n_phi ?n_amp osc.nl ~n ~r ~vi ~a_range () in
   let locks_at_center = Solutions.find ?points grid ~phi_d:0.0 in

@@ -9,6 +9,7 @@ type t = {
   amps : float array;
   i1 : Cx.t array array;
   points : int;
+  failures : Resilience.Summary.t;
 }
 
 let linspace a b n =
@@ -40,26 +41,53 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
   (* rows of the (phi, A) grid are independent: fan them out over the
      default pool. Each row writes only its own slot, so the parallel
      result is bit-identical to the sequential Array.map. *)
-  let i1 =
-    Numerics.Pool.parallel_map_array
-      (fun phi ->
-        (* one full row: n_amp amplitudes x points quadrature samples *)
-        Obs.Metrics.incr ~by:(n_amp * points) "shil.grid.f_evals";
-        let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
-        Array.map
-          (fun a ->
-            let re = ref 0.0 and im = ref 0.0 in
-            for s = 0 to points - 1 do
-              let v = (a *. cos_t.(s)) +. (cp *. cos_nt.(s)) -. (sp *. sin_nt.(s)) in
-              let i = f v in
-              re := !re +. (i *. cos_t.(s));
-              im := !im -. (i *. sin_t.(s))
-            done;
-            Cx.make (!re /. float_of_int points) (!im /. float_of_int points))
-          amps)
-      phis
+  let compute_row phi =
+    (* one full row: n_amp amplitudes x points quadrature samples *)
+    Obs.Metrics.incr ~by:(n_amp * points) "shil.grid.f_evals";
+    let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
+    Array.map
+      (fun a ->
+        let re = ref 0.0 and im = ref 0.0 in
+        for s = 0 to points - 1 do
+          let v = (a *. cos_t.(s)) +. (cp *. cos_nt.(s)) -. (sp *. sin_nt.(s)) in
+          let i = f v in
+          re := !re +. (i *. cos_t.(s));
+          im := !im -. (i *. sin_t.(s))
+        done;
+        Cx.make (!re /. float_of_int points) (!im /. float_of_int points))
+      amps
   in
-  { nl; n; r; vi; phis; amps; i1; points }
+  let rows =
+    Numerics.Pool.parallel_init n_phi (fun idx ->
+        if Resilience.Fault.fire_at "grid-point" ~k:idx then
+          Error (Resilience.Fault.error ~site:"grid-point" Shil ~phase:"grid")
+        else
+          match compute_row phis.(idx) with
+          | row -> Ok row
+          | exception e ->
+            Error (Resilience.Oshil_error.of_exn Shil ~phase:"grid" e))
+  in
+  (* failed rows become NaN holes: the contour extractors already treat
+     NaN cells as "no curve here", so partial grids stay usable *)
+  let holes = ref [] in
+  let i1 =
+    Array.mapi
+      (fun idx result ->
+        match result with
+        | Ok row -> row
+        | Error e ->
+          if Resilience.Policy.fail_fast () then
+            raise (Resilience.Oshil_error.Error e);
+          Obs.Metrics.incr "resilience.grid.holes";
+          holes :=
+            { Resilience.Summary.site = Printf.sprintf "phi=%.6g" phis.(idx);
+              error = e }
+            :: !holes;
+          Array.map (fun _ -> Cx.make Float.nan Float.nan) amps)
+      rows
+  in
+  let failures = Resilience.Summary.make ~attempted:n_phi (List.rev !holes) in
+  { nl; n; r; vi; phis; amps; i1; points; failures }
 
 let t_f_field g =
   Array.mapi

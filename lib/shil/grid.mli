@@ -17,6 +17,9 @@ type t = {
   amps : float array;
   i1 : Numerics.Cx.t array array;  (** [i1.(i).(j)] at [(phis.(i), amps.(j))] *)
   points : int;  (** quadrature points used per sample *)
+  failures : Resilience.Summary.t;
+      (** rows that failed to evaluate (typed holes, NaN-filled in
+          [i1]); clean grids have [Resilience.Summary.is_clean] *)
 }
 
 val sample :
@@ -25,7 +28,13 @@ val sample :
   unit -> t
 (** Defaults: [phi_range = (0, 2 pi)], [n_phi = 121], [n_amp = 101],
     [points = 512]. [a_range] should bracket the expected lock amplitudes
-    (e.g. 40%%–120%% of the natural amplitude). *)
+    (e.g. 40%%–120%% of the natural amplitude).
+
+    A row whose evaluation raises becomes a NaN-filled typed hole in
+    [failures] (counter [resilience.grid.holes]) instead of aborting
+    the sweep — the contour extractors skip NaN cells — unless
+    {!Resilience.Policy.set_fail_fast} is on. Fault site [grid-point]
+    (by row index) injects row failures for testing. *)
 
 val t_f_field : t -> float array array
 (** [T_f(phi, A) - 1] (eq. 3 residual). *)

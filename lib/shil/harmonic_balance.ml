@@ -8,8 +8,6 @@ type solution = {
   residual : float;
 }
 
-exception No_convergence of string
-
 (* unknown vector layout: [ V1_re; V2_re; V2_im; ...; VK_re; VK_im; omega ] *)
 let pack_size k_max = 1 + (2 * (k_max - 1)) + 1
 
@@ -72,7 +70,11 @@ let solve ?(k_max = 7) ?(samples = 256) ?(max_iter = 80) ?(tol = 1e-12) nl
   let a0 =
     match Natural.predicted_amplitude nl ~r with
     | Some a -> a
-    | None -> raise (No_convergence "oscillator does not start")
+    | None ->
+      Resilience.Oshil_error.raise_ Shil ~phase:"harmonic-balance"
+        No_oscillation "oscillator does not start"
+        ~context:[ ("r", Printf.sprintf "%.6g" r) ]
+        ~remedy:"check that the small-signal loop gain exceeds 1/R"
   in
   let m = pack_size k_max in
   let u = Array.make m 0.0 in
@@ -100,9 +102,19 @@ let solve ?(k_max = 7) ?(samples = 256) ?(max_iter = 80) ?(tol = 1e-12) nl
           jac.(rr).(c) <- (rv'.(rr) -. rv.(rr)) /. h
         done
       done;
-      match Linalg.solve jac rv with
+      match
+        if Resilience.Fault.fire "hb-singular" then raise Linalg.Singular
+        else Linalg.solve jac rv
+      with
       | exception Linalg.Singular ->
-        raise (No_convergence "singular harmonic-balance Jacobian")
+        Resilience.Oshil_error.raise_ Shil ~phase:"harmonic-balance"
+          Singular_system "singular harmonic-balance Jacobian"
+          ~context:
+            [
+              ("iteration", string_of_int !it);
+              ("residual", Printf.sprintf "%.3g" !last_res);
+            ]
+          ~remedy:"perturb the initial amplitude or reduce k_max"
       | du ->
         for c = 0 to m - 1 do
           (* clamp to keep the iteration inside the basin *)
@@ -113,9 +125,15 @@ let solve ?(k_max = 7) ?(samples = 256) ?(max_iter = 80) ?(tol = 1e-12) nl
     end
   done;
   if not !converged then
-    raise
-      (No_convergence
-         (Printf.sprintf "residual %.3g after %d iterations" !last_res max_iter));
+    Resilience.Oshil_error.raise_ Shil ~phase:"harmonic-balance"
+      Solver_divergence
+      (Printf.sprintf "residual %.3g after %d iterations" !last_res max_iter)
+      ~context:
+        [
+          ("iterations", string_of_int max_iter);
+          ("residual", Printf.sprintf "%.3g" !last_res);
+        ]
+      ~remedy:"raise max_iter, loosen tol or reduce k_max";
   let coeffs, omega = unpack k_max u in
   { omega; coeffs; k_max; residual = !last_res }
 

@@ -22,16 +22,16 @@ type solution = {
   residual : float;  (** final KCL residual, A *)
 }
 
-exception No_convergence of string
-
 val solve :
   ?k_max:int -> ?samples:int -> ?max_iter:int -> ?tol:float ->
   Nonlinearity.t -> tank:Tank.t -> solution
 (** Newton on the harmonic-balance system, warm-started from the
     describing-function solution ([V_1 = A/2] at [w_c]). Defaults:
     [k_max = 7], [samples = 256] time points per period, [tol = 1e-12]
-    (relative residual). Raises {!No_convergence} (also when the
-    oscillator does not start). *)
+    (relative residual). Raises {!Resilience.Oshil_error.Error} with
+    kind [no-oscillation] when the oscillator does not start,
+    [singular-system] on a singular Jacobian and [solver-divergence]
+    when the iteration stalls. *)
 
 val amplitude : solution -> float
 (** Fundamental amplitude [2 |V_1|] (the describing function's [A]). *)

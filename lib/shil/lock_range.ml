@@ -6,39 +6,72 @@ type t = {
   f_inj_high : float;
   delta_f_inj : float;
   at_center : Solutions.point list;
+  failures : Resilience.Summary.t;
 }
 
-let phi_d_boundary ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
+(* The boundary bisection with typed holes: a probe that raises is
+   recorded and conservatively counted as unstable, shrinking (never
+   widening) the predicted range. *)
+let boundary_with_failures ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
   Obs.Span.with_ ~cat:"shil" ~name:"shil.lockrange.boundary" @@ fun () ->
+  let holes = ref [] and attempts = ref 0 in
   let stable phi_d =
+    incr attempts;
     Obs.Metrics.incr "shil.lockrange.probes";
-    Solutions.stable_exists ?points g ~phi_d
+    match
+      if Resilience.Fault.fire "lock-probe" then
+        raise
+          (Resilience.Oshil_error.Error
+             (Resilience.Fault.error ~site:"lock-probe" Shil ~phase:"lockrange"))
+      else Solutions.stable_exists ?points g ~phi_d
+    with
+    | s -> s
+    | exception e ->
+      let err = Resilience.Oshil_error.of_exn Shil ~phase:"lockrange" e in
+      if Resilience.Policy.fail_fast () then
+        raise (Resilience.Oshil_error.Error err);
+      Obs.Metrics.incr "resilience.lockrange.holes";
+      holes :=
+        { Resilience.Summary.site = Printf.sprintf "phi_d=%.6g" phi_d;
+          error = err }
+        :: !holes;
+      false
   in
-  if not (stable 0.0) then 0.0
-  else begin
-    (* grow an upper bound first: the boundary is usually well inside *)
-    let rec find_unstable lo hi =
-      if hi >= phi_d_cap then (lo, phi_d_cap)
-      else if stable hi then find_unstable hi (Float.min phi_d_cap (hi *. 2.0))
-      else (lo, hi)
-    in
-    let lo0, hi0 = find_unstable 0.0 0.05 in
-    if stable hi0 then hi0 (* stable all the way to the cap *)
+  let phi_d_max =
+    if not (stable 0.0) then 0.0
     else begin
-      let lo = ref lo0 and hi = ref hi0 in
-      while !hi -. !lo > tol do
-        let mid = 0.5 *. (!lo +. !hi) in
-        if stable mid then lo := mid else hi := mid
-      done;
-      0.5 *. (!lo +. !hi)
+      (* grow an upper bound first: the boundary is usually well inside *)
+      let rec find_unstable lo hi =
+        if hi >= phi_d_cap then (lo, phi_d_cap)
+        else if stable hi then find_unstable hi (Float.min phi_d_cap (hi *. 2.0))
+        else (lo, hi)
+      in
+      let lo0, hi0 = find_unstable 0.0 0.05 in
+      if stable hi0 then hi0 (* stable all the way to the cap *)
+      else begin
+        let lo = ref lo0 and hi = ref hi0 in
+        while !hi -. !lo > tol do
+          let mid = 0.5 *. (!lo +. !hi) in
+          if stable mid then lo := mid else hi := mid
+        done;
+        0.5 *. (!lo +. !hi)
+      end
     end
-  end
+  in
+  (phi_d_max, Resilience.Summary.make ~attempted:!attempts (List.rev !holes))
+
+let phi_d_boundary ?points ?phi_d_cap ?tol g =
+  fst (boundary_with_failures ?points ?phi_d_cap ?tol g)
 
 let predict ?points ?phi_d_cap ?tol (g : Grid.t) ~tank =
   if Float.abs ((tank : Tank.t).r -. g.r) > 1e-9 *. g.r then
     invalid_arg "Lock_range.predict: grid and tank R differ";
   Obs.Span.with_ ~cat:"shil" ~name:"shil.lockrange.predict" @@ fun () ->
-  let phi_d_max = phi_d_boundary ?points ?phi_d_cap ?tol g in
+  let phi_d_max, probe_failures =
+    boundary_with_failures ?points ?phi_d_cap ?tol g
+  in
+  (* holes from the underlying grid travel with the prediction *)
+  let failures = Resilience.Summary.merge g.failures probe_failures in
   let two_pi = 2.0 *. Float.pi in
   let n = float_of_int g.n in
   if phi_d_max <= 0.0 then
@@ -50,6 +83,7 @@ let predict ?points ?phi_d_cap ?tol (g : Grid.t) ~tank =
       f_inj_high = Float.nan;
       delta_f_inj = 0.0;
       at_center = Solutions.find ?points g ~phi_d:0.0;
+      failures;
     }
   else begin
     (* phi_d > 0 below resonance: omega(+phi_d_max) is the lower edge *)
@@ -64,6 +98,7 @@ let predict ?points ?phi_d_cap ?tol (g : Grid.t) ~tank =
       f_inj_high = n *. f_osc_high;
       delta_f_inj = n *. (f_osc_high -. f_osc_low);
       at_center = Solutions.find ?points g ~phi_d:0.0;
+      failures;
     }
   end
 

@@ -10,6 +10,9 @@ type t = {
   f_inj_high : float;
   delta_f_inj : float;  (** injection-referred lock range, Hz *)
   at_center : Solutions.point list;  (** lock points at [phi_d = 0] *)
+  failures : Resilience.Summary.t;
+      (** typed holes: failed stability probes (counted as unstable, so
+          the range only shrinks) merged with the grid's failed rows *)
 }
 
 val phi_d_boundary :
@@ -24,6 +27,11 @@ val predict :
   ?points:int -> ?phi_d_cap:float -> ?tol:float -> Grid.t -> tank:Tank.t -> t
 (** Full prediction. The grid's [r] must equal [tank.r]. The oscillator
     locks on [f_c / p .. f_c * p] style band: edges are
-    [omega_of_phase (+-phi_d_max)] (positive [phi_d] = below resonance). *)
+    [omega_of_phase (+-phi_d_max)] (positive [phi_d] = below resonance).
+
+    A stability probe that raises becomes a typed hole in [failures]
+    (counter [resilience.lockrange.holes]) and is treated as unstable
+    instead of aborting, unless {!Resilience.Policy.set_fail_fast} is
+    on. Fault site [lock-probe] injects probe failures for testing. *)
 
 val pp : Format.formatter -> t -> unit

@@ -75,7 +75,11 @@ let classify ?points nl ~n ~r ~vi ~phi_d ~h_n ~chi ~a ~v_eff =
 let natural_amplitude nl ~r =
   match Natural.predicted_amplitude nl ~r with
   | Some a -> a
-  | None -> failwith "Self_consistent: oscillator does not oscillate"
+  | None ->
+    Resilience.Oshil_error.raise_ Shil ~phase:"self-consistent" No_oscillation
+      "oscillator does not oscillate"
+      ~context:[ ("r", Printf.sprintf "%.6g" r) ]
+      ~remedy:"supply ~a_range explicitly or check the nonlinearity gain"
 
 let find ?points ?(chi_scan = 48) ?a_range nl ~tank ~n ~vi ~omega_i =
   let r = (tank : Tank.t).r in
@@ -191,6 +195,7 @@ let lock_range ?points ?(tol = 1e-4) nl ~tank ~n ~vi =
       f_inj_high = Float.nan;
       delta_f_inj = 0.0;
       at_center = [];
+      failures = Resilience.Summary.empty;
     }
   else begin
     let w_low = Tank.omega_of_phase tank ~phi_d:phi_pos in
@@ -203,5 +208,6 @@ let lock_range ?points ?(tol = 1e-4) nl ~tank ~n ~vi =
       f_inj_high = nf *. w_high /. two_pi;
       delta_f_inj = nf *. (w_high -. w_low) /. two_pi;
       at_center = [];
+      failures = Resilience.Summary.empty;
     }
   end

@@ -16,7 +16,7 @@ val run :
     solve from the previous point. The base circuit passes the
     {!Preflight} gate once up front ([?check], default [`Enforce]).
     Raises [Invalid_argument] if [source] is not an independent source,
-    {!Op.No_convergence} if a point fails. *)
+    {!Resilience.Oshil_error.Error} if a point fails. *)
 
 val voltages : t -> string -> float array
 (** Node voltage at each sweep point. *)

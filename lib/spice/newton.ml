@@ -22,6 +22,10 @@ let () =
 
 let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
   let clamp_upto = match clamp_upto with Some k -> k | None -> size in
+  (* fault sites count one occurrence per solve, so plans address the
+     k-th Newton solve of a run deterministically *)
+  let inject_singular = Resilience.Fault.fire "newton-singular" in
+  let inject_nan = Resilience.Fault.fire "device-nan" in
   let x = Array.copy x0 in
   let jac = Linalg.create size size in
   let res = Array.make size 0.0 in
@@ -31,9 +35,12 @@ let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
   while !outcome = None && !iter < options.max_iter do
     incr iter;
     assemble ~x ~jac ~res;
+    if inject_nan then res.(0) <- Float.nan;
     let res_norm = Linalg.norm_inf res in
     last_res := res_norm;
-    (match Linalg.lu_factor jac with
+    (match
+       if inject_singular then raise Linalg.Singular else Linalg.lu_factor jac
+     with
     | exception Linalg.Singular -> outcome := Some (Diverged "singular Jacobian")
     | f ->
       let dx = Linalg.lu_solve f res in

@@ -1,6 +1,6 @@
 type t = { compiled : Mna.compiled; x : float array }
 
-exception No_convergence of string
+module Policy = Resilience.Policy
 
 let attempt ?newton compiled ~gmin ~source_scale ~x0 =
   let size = Mna.size compiled in
@@ -21,11 +21,9 @@ let run ?newton ?(check = `Enforce) ?x0 circuit =
   let compiled = Mna.compile circuit in
   let size = Mna.size compiled in
   let x0 = match x0 with Some x -> x | None -> Array.make size 0.0 in
-  let direct = attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0 in
-  match direct with
-  | Ok x -> { compiled; x }
-  | Error _ ->
-    (* gmin stepping: solve with a heavy leak, then relax it *)
+  let direct () = attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0 in
+  (* gmin stepping: solve with a heavy leak, then relax it *)
+  let gmin_stepping () =
     let rec gmin_steps x = function
       | [] -> Ok x
       | g :: rest -> begin
@@ -35,27 +33,52 @@ let run ?newton ?(check = `Enforce) ?x0 circuit =
       end
     in
     let gmins = [ 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-8; 1e-10; 1e-12 ] in
-    (match gmin_steps (Array.make size 0.0) gmins with
-    | Ok x -> { compiled; x }
-    | Error _ ->
-      (* source stepping with a mild gmin *)
-      let rec src_steps x = function
-        | [] -> Ok x
-        | s :: rest -> begin
-          match attempt ?newton compiled ~gmin:1e-9 ~source_scale:s ~x0:x with
-          | Ok x' -> src_steps x' rest
-          | Error e -> Error e
-        end
-      in
-      let scales = [ 0.1; 0.2; 0.4; 0.6; 0.8; 0.9; 1.0 ] in
-      (match src_steps (Array.make size 0.0) scales with
-      | Ok x -> begin
-        (* polish without the stepping gmin *)
-        match attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0:x with
-        | Ok x' -> { compiled; x = x' }
-        | Error _ -> { compiled; x }
+    gmin_steps (Array.make size 0.0) gmins
+  in
+  (* source stepping with a mild gmin, then a polish without it *)
+  let source_stepping () =
+    let rec src_steps x = function
+      | [] -> Ok x
+      | s :: rest -> begin
+        match attempt ?newton compiled ~gmin:1e-9 ~source_scale:s ~x0:x with
+        | Ok x' -> src_steps x' rest
+        | Error e -> Error e
       end
-      | Error e -> raise (No_convergence e)))
+    in
+    let scales = [ 0.1; 0.2; 0.4; 0.6; 0.8; 0.9; 1.0 ] in
+    match src_steps (Array.make size 0.0) scales with
+    | Ok x -> begin
+      match attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0:x with
+      | Ok x' -> Ok x'
+      | Error _ -> Ok x
+    end
+    | Error e -> Error e
+  in
+  (* last resort: heavily damped Newton with an extended iteration
+     budget — tiny steps crawl down narrow basins of attraction *)
+  let damped_newton () =
+    let base = match newton with Some o -> o | None -> Newton.defaults in
+    let damped =
+      {
+        base with
+        Newton.step_limit = base.Newton.step_limit /. 8.0;
+        max_iter = base.Newton.max_iter * 4;
+      }
+    in
+    attempt ~newton:damped compiled ~gmin:1e-9 ~source_scale:1.0
+      ~x0:(Array.make size 0.0)
+  in
+  match
+    Policy.escalate ~subsystem:Spice ~phase:"op"
+      [
+        Policy.rung "direct" direct;
+        Policy.rung "gmin-stepping" gmin_stepping;
+        Policy.rung "source-stepping" source_stepping;
+        Policy.rung "damped-newton" damped_newton;
+      ]
+  with
+  | Ok x -> { compiled; x }
+  | Error e -> raise (Resilience.Oshil_error.Error e)
 
 let voltage t name = Mna.node_voltage t.compiled t.x name
 let current t name = t.x.(Mna.branch_index t.compiled name)

@@ -14,6 +14,7 @@ type options = {
   newton : Newton.options;
   gmin : float;
   step_control : step_control;
+  budget : Resilience.Policy.budget;
 }
 
 let default_options ~dt ~t_stop =
@@ -27,6 +28,7 @@ let default_options ~dt ~t_stop =
     newton = Newton.defaults;
     gmin = 1e-12;
     step_control = Fixed;
+    budget = Resilience.Policy.default_budget;
   }
 
 let adaptive ?(lte_tol = 1e-4) opts =
@@ -36,9 +38,17 @@ let adaptive ?(lte_tol = 1e-4) opts =
       Adaptive { lte_tol; dt_min = opts.dt /. 1000.0; dt_max = 10.0 *. opts.dt };
   }
 
-type result = { times : float array; signals : (probe * float array) list }
+type result = {
+  times : float array;
+  signals : (probe * float array) list;
+  failure : Resilience.Oshil_error.t option;
+      (** [Some e] when integration stopped early; the waveform holds
+          everything accumulated up to the fatal step *)
+}
 
-exception Step_failure of { t : float; msg : string }
+(* Internal unwind from deep inside the stepping loops; never escapes
+   [run_gated]. *)
+exception Fatal of Resilience.Oshil_error.t
 
 let probe_reader compiled probe =
   match probe with
@@ -128,20 +138,37 @@ let run_gated ~check circuit ~probes opts =
   in
   let x = ref (Array.copy x0) in
   if opts.t_start <= 0.0 then record 0.0 !x;
+  let tracker =
+    Resilience.Policy.track_steps ~budget:opts.budget ~subsystem:Spice
+      ~phase:"transient" ()
+  in
+  let note_rejection ~t =
+    match
+      Resilience.Policy.note_rejection
+        ~context:[ ("t", Printf.sprintf "%.6e" t) ]
+        tracker
+    with
+    | Ok () -> ()
+    | Error e -> raise (Fatal e)
+  in
   (* one Newton step of the implicit method: returns Ok x' or Error msg *)
   let solve_step ~t ~h ~integ ~state x_guess =
-    let assemble ~x ~jac ~res =
-      Mna.assemble compiled
-        ~mode:(Mna.Tran { t; h; integ; state; gmin = opts.gmin })
-        ~x ~jac ~res
-    in
-    let x', outcome =
-      Newton.solve ~options:opts.newton ~clamp_upto:(Mna.n_nodes compiled)
-        ~size ~assemble ~x0:x_guess ()
-    in
-    match outcome with
-    | Newton.Converged _ -> Ok x'
-    | Newton.Diverged msg -> Error msg
+    if Resilience.Fault.fire "tran-reject" then
+      Error "injected fault (tran-reject)"
+    else begin
+      let assemble ~x ~jac ~res =
+        Mna.assemble compiled
+          ~mode:(Mna.Tran { t; h; integ; state; gmin = opts.gmin })
+          ~x ~jac ~res
+      in
+      let x', outcome =
+        Newton.solve ~options:opts.newton ~clamp_upto:(Mna.n_nodes compiled)
+          ~size ~assemble ~x0:x_guess ()
+      in
+      match outcome with
+      | Newton.Converged _ -> Ok x'
+      | Newton.Diverged msg -> Error msg
+    end
   in
   (* advance from t by h, subdividing on failure *)
   let rec advance ~t ~h ~integ ~depth =
@@ -150,16 +177,31 @@ let run_gated ~check circuit ~probes opts =
       state := Mna.update_state compiled ~integ ~h ~prev:!state ~x:x';
       x := x'
     | Error msg ->
-      if depth >= 8 then raise (Step_failure { t = t +. h; msg })
+      note_rejection ~t:(t +. h);
+      if depth >= 8 then
+        raise
+          (Fatal
+             (Resilience.Oshil_error.make Spice ~phase:"transient" Step_failure
+                ("step failed beyond subdivision limit: " ^ msg)
+                ~context:
+                  [
+                    ("t", Printf.sprintf "%.6e" (t +. h));
+                    ("h", Printf.sprintf "%.6e" h);
+                    ("depth", string_of_int depth);
+                  ]
+                ~remedy:"reduce dt, loosen Newton tolerances or fix the model"))
       else begin
         Obs.Metrics.incr "spice.transient.step_subdivisions";
+        Obs.Metrics.incr "resilience.transient.step_halvings";
         let h2 = h /. 2.0 in
         advance ~t ~h:h2 ~integ ~depth:(depth + 1);
         advance ~t:(t +. h2) ~h:h2 ~integ ~depth:(depth + 1)
       end
   in
   let stride = max 1 opts.record_stride in
-  (match opts.step_control with
+  let failure = ref None in
+  (try
+     match opts.step_control with
   | Fixed ->
     let n_steps = int_of_float (Float.ceil ((opts.t_stop /. opts.dt) -. 1e-9)) in
     for k = 0 to n_steps - 1 do
@@ -212,15 +254,24 @@ let run_gated ~check circuit ~probes opts =
       else begin
         (* reject: restore and retry smaller *)
         Obs.Metrics.incr "spice.transient.steps_rejected";
+        note_rejection ~t:!t;
         x := x_save;
         state := state_save;
         h := Float.max dt_min (hs /. 2.0)
       end
-    done);
+    done
+   with Fatal e ->
+     (* degrade: keep the waveform accumulated so far (fail-fast mode
+        turns the hole back into an exception) *)
+     if Resilience.Policy.fail_fast () then
+       raise (Resilience.Oshil_error.Error e);
+     Obs.Metrics.incr "resilience.transient.degraded";
+     failure := Some e);
   {
     times = Array.of_list (List.rev !times);
     signals =
       List.map (fun (p, buf) -> (p, Array.of_list (List.rev !buf))) buffers;
+    failure = !failure;
   }
 
 let run ?(check = `Enforce) circuit ~probes opts =

@@ -27,11 +27,15 @@ type options = {
   newton : Newton.options;
   gmin : float;
   step_control : step_control;
+  budget : Resilience.Policy.budget;
+      (** caps on rejected steps / wall clock; exhausting one stops
+          integration with a typed [budget-exhausted] failure *)
 }
 
 val default_options : dt:float -> t_stop:float -> options
 (** Trapezoidal, [t_start = 0.], OP start, stride 1, default Newton
-    options, [gmin = 1e-12], [Fixed] stepping. *)
+    options, [gmin = 1e-12], [Fixed] stepping,
+    {!Resilience.Policy.default_budget}. *)
 
 val adaptive : ?lte_tol:float -> options -> options
 (** Switches the options to adaptive stepping ([lte_tol] default 1e-4;
@@ -40,9 +44,12 @@ val adaptive : ?lte_tol:float -> options -> options
 type result = {
   times : float array;
   signals : (probe * float array) list;  (** in the order requested *)
+  failure : Resilience.Oshil_error.t option;
+      (** [None] for a complete run; [Some e] when integration stopped
+          early (step failed beyond the subdivision limit, or a budget
+          was exhausted) — [times]/[signals] then hold the waveform
+          accumulated up to the fatal step *)
 }
-
-exception Step_failure of { t : float; msg : string }
 
 val run :
   ?check:Preflight.mode -> Circuit.t -> probes:probe list -> options ->
@@ -51,7 +58,11 @@ val run :
     circuit first passes the {!Preflight} gate ([?check], default
     [`Enforce]), which raises [Check.Diagnostic.Failed] on structural
     errors. The very first step uses backward Euler to bootstrap the
-    trapezoidal state. *)
+    trapezoidal state.
+
+    A fatal step degrades to a partial result (see {!result.failure})
+    unless {!Resilience.Policy.set_fail_fast} is on, in which case it
+    raises {!Resilience.Oshil_error.Error}. *)
 
 val signal : result -> probe -> float array
 (** Raises [Not_found] when the probe was not recorded. *)

@@ -23,7 +23,11 @@ let frequency_opt ?level s =
 let frequency ?level s =
   match frequency_opt ?level s with
   | Some f -> f
-  | None -> failwith "Measure.frequency: fewer than two rising crossings"
+  | None ->
+    Resilience.Oshil_error.raise_ Waveform ~phase:"measure"
+      Measurement_failure "fewer than two rising crossings"
+      ~context:[ ("samples", string_of_int (Signal.length s)) ]
+      ~remedy:"record a longer waveform or use frequency_opt"
 
 let amplitude (s : Signal.t) =
   let lo, hi = Numerics.Stats.min_max s.values in

@@ -139,12 +139,13 @@ let prop_calibrate_r_hits_target =
 
 let test_calibrate_unreachable () =
   let nl = Shil.Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3 in
-  Alcotest.(check bool) "unreachable target raises" true
+  Alcotest.(check bool) "unreachable target raises typed Root_failure" true
     (try
        (* tanh amplitude is bounded by ~ 4/pi R isat; 1e9 V is absurd *)
        ignore (Circuits.Calibrate.r_for_amplitude ~nl ~target_a:1e9 ());
        false
-     with Failure _ -> true)
+     with Resilience.Oshil_error.Error e ->
+       e.kind = Resilience.Oshil_error.Root_failure)
 
 let test_fit_tank_consistency () =
   (* fit, then verify the fitted tank reproduces the requested range *)

@@ -124,10 +124,12 @@ let test_tongue_monotone () =
   (* the lock band must widen monotonically with injection strength and
      contain 3 f_c at every strength *)
   let osc = Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default in
-  let pts =
+  let pts, failures =
     Experiments.Tongue_experiment.compute ~points:256
       ~vis:[ 0.01; 0.05; 0.15 ] osc ~n:3
   in
+  Alcotest.(check bool) "no holes" true
+    (Resilience.Summary.is_clean failures);
   let widths = List.map (fun (p : Experiments.Tongue_experiment.point) -> p.delta_f_inj) pts in
   (match widths with
   | [ a; b; c ] ->

@@ -607,11 +607,12 @@ let test_analysis_locks_at () =
 
 let test_analysis_requires_oscillation () =
   let dead = Nonlinearity.neg_tanh ~g0:1e-4 ~isat:1e-3 in
-  Alcotest.(check bool) "raises without a_range" true
+  Alcotest.(check bool) "raises typed No_oscillation without a_range" true
     (try
        ignore (Analysis.run { nl = dead; tank = fixture_tank } ~n:3 ~vi:0.05);
        false
-     with Failure _ -> true)
+     with Resilience.Oshil_error.Error e ->
+       e.kind = Resilience.Oshil_error.No_oscillation)
 
 
 (* ------------------------------------------------------------------ *)
@@ -676,11 +677,13 @@ let test_hb_asymmetric_k_convergence () =
     (Float.abs (f11 -. 1991777.0) <= Float.abs (f5 -. 1991777.0) +. 1.0)
 
 let test_hb_no_oscillation_raises () =
-  Alcotest.(check bool) "dead cell raises" true
+  Alcotest.(check bool) "dead cell raises typed No_oscillation" true
     (try
        ignore (Harmonic_balance.solve tanh_nl ~tank:(Tank.with_r fixture_tank 400.0));
        false
-     with Harmonic_balance.No_convergence _ -> true)
+     with Resilience.Oshil_error.Error e ->
+       e.kind = Resilience.Oshil_error.No_oscillation
+       && e.subsystem = Resilience.Oshil_error.Shil)
 
 (* ------------------------------------------------------------------ *)
 (* Self-consistent harmonic extension *)

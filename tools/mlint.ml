@@ -8,6 +8,9 @@
      obj-magic     no [Obj.magic]
      printf        no [Printf.printf] in library code (Printf.sprintf is fine)
      exit          no [exit] outside bin/ and bench/
+     failwith      no [failwith] in library code — raise a typed
+                   [Resilience.Oshil_error] (or a documented module
+                   exception) so callers can match on structure
      direct-clock  no [Unix.gettimeofday] / [Sys.time] in library code
                    outside lib/obs — use [Obs.Clock] so telemetry and
                    benches share one monotonic clock
@@ -22,6 +25,10 @@
    [dune runtest] on a bare switch. *)
 
 let exit_allowed_dirs = [ "bin"; "bench"; "tools" ]
+
+(* no allowlist inside lib/: every failure a library can raise must be
+   typed (Resilience.Oshil_error) or a documented module exception *)
+let failwith_allowed_dirs = [ "bin"; "bench"; "tools"; "test" ]
 
 (* lib/obs wraps the clock; everything outside lib/ keeps its freedom *)
 let clock_allowed_dirs = [ "obs"; "bin"; "bench"; "tools"; "test" ]
@@ -297,6 +304,11 @@ let check_tokens ~file ~dir text waivers =
       (qualified "Unix.gettimeofday" @ qualified "Sys.time")
       "direct timing call in library code; use Obs.Clock (monotonic) so \
        telemetry and benches share one clock";
+  if not (List.mem dir failwith_allowed_dirs) then
+    rule "failwith"
+      (ident_occurrences text "failwith")
+      "failwith in library code; raise a typed Resilience.Oshil_error \
+       (or a documented module exception) so callers can match on it";
   if not (List.mem dir exit_allowed_dirs) then
     rule "exit"
       (ident_occurrences text "exit"
