@@ -1,6 +1,6 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
-.PHONY: all test lint bench-smoke bench clean
+.PHONY: all test lint bench-smoke bench batch cache-smoke coverage clean
 
 all:
 	dune build
@@ -29,7 +29,26 @@ JOBS ?=
 bench:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
-	./_build/default/bench/main.exe --check-json BENCH_grid.json BENCH_lockrange.json
+	./_build/default/bench/main.exe --check-json BENCH_grid.json BENCH_lockrange.json BENCH_cache.json
+
+# Batch-run the shipped scenarios with the content-addressed cache on;
+# run it twice to see the warm-cache speedup (`oshil stats` on the
+# trace shows the cache.* counters).
+batch:
+	dune build bin/oshil.exe
+	./_build/default/bin/oshil.exe batch examples/scenarios --cache
+
+# Cache correctness: cold, warm and cache-disabled runs must produce
+# byte-identical batch reports, and the warm run must actually hit.
+cache-smoke:
+	dune build @cache-smoke
+
+# Coverage (requires bisect_ppx, not part of the default environment):
+#   opam install bisect_ppx
+coverage:
+	find . -name '*.coverage' -delete
+	dune runtest --instrument-with bisect_ppx --force
+	bisect-ppx-report summary --per-file
 
 clean:
 	dune clean

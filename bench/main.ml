@@ -277,6 +277,49 @@ let run_perf_benches ~skip_slow ~jobs () =
       speedup_vs_seq = 1.0;
       extra = [ ("dt", dt); ("t_stop", t_stop) ] @ tran_counters;
       meta = Experiments.Bench_json.host_meta ();
+    };
+  (* content-addressed cache: one cold populate of the grid against warm
+     replays from the store. The cold run pays the full quadrature plus
+     encode/disk-write; the warm runs are pure lookups. The cache is
+     scoped to a throwaway directory and switched off again afterwards
+     so no other bench sees it. *)
+  let cache_dir = Filename.temp_dir "oshil-bench-cache" "" in
+  Cache.Store.set_dir cache_dir;
+  Cache.Store.clear_memory ();
+  Cache.Store.set_enabled true;
+  let t0 = Obs.Clock.wall_s () in
+  let g_cold = sample () in
+  let cold_s = Obs.Clock.wall_s () -. t0 in
+  let g_warm, warm_s = time_best ~repeats sample in
+  let identical = g_cold.Shil.Grid.i1 = g_warm.Shil.Grid.i1 in
+  if not identical then
+    failwith "perf bench: cached Grid.sample differs from cold computation";
+  let cache_counters =
+    metered_counters [ "cache.hits"; "cache.misses" ] sample
+  in
+  Cache.Store.set_enabled false;
+  Cache.Store.clear_memory ();
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf cache_dir with Sys_error _ -> ());
+  emit_entry ~path:"BENCH_cache.json"
+    {
+      name = Printf.sprintf "grid_sample_cached_%dx%dx%d" n_phi n_amp points;
+      jobs;
+      wall_s = warm_s;
+      speedup_vs_seq = cold_s /. warm_s;
+      extra =
+        [
+          ("cold_wall_s", cold_s);
+          ("bit_identical_to_cold", if identical then 1.0 else 0.0);
+        ]
+        @ cache_counters;
+      meta = Experiments.Bench_json.host_meta ();
     }
 
 (* Bechamel's full analysis pipeline is heavyweight; we use its sampler

@@ -121,13 +121,32 @@ let obs_args =
                    cell instead of recording a typed hole and \
                    continuing with a partial result.")
   in
-  Term.(const (fun t m p f -> (t, m, p, f)) $ trace $ metrics $ inject
-        $ fail_fast)
+  let cache =
+    Arg.(value & flag
+         & info [ "cache" ]
+             ~doc:"Enable the content-addressed result cache: \
+                   describing-function grids, Fourier coefficients and \
+                   complete transient waveforms are memoized on their \
+                   full input (in-memory LRU plus an on-disk store) and \
+                   replayed bit-identically. $(b,OSHIL_CACHE=1) sets \
+                   the default.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"On-disk cache location (default $(b,out/cache); \
+                   $(b,OSHIL_CACHE_DIR) sets the default).")
+  in
+  Term.(const (fun t m p f c cd -> (t, m, p, f, c, cd)) $ trace $ metrics
+        $ inject $ fail_fast $ cache $ cache_dir)
 
-let apply_obs (trace, metrics, fault_plan, fail_fast) =
+let apply_obs (trace, metrics, fault_plan, fail_fast, cache, cache_dir) =
   Obs.configure_from_env ();
   Option.iter Obs.trace_to_file trace;
   if metrics then Obs.configure ~summary:true ~enabled:true ();
+  Cache.Store.configure_from_env ();
+  if cache then Cache.Store.set_enabled true;
+  Option.iter Cache.Store.set_dir cache_dir;
   Resilience.Fault.configure_from_env ();
   (match fault_plan with
   | None -> ()
@@ -690,6 +709,172 @@ let stats_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* batch *)
+
+let scenario_oscillator (s : Check.Scenario.t) : Shil.Analysis.oscillator =
+  match s.osc with
+  | "diffpair" | "diff-pair" | "dp" ->
+    Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
+  | "tunnel" | "td" -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
+  | _ ->
+    (* tanh/custom: the scenario's own cell and tank (lint has already
+       rejected unknown oscillator names before we get here) *)
+    let g0 = Option.value s.g0 ~default:2e-3 in
+    let isat = Option.value s.isat ~default:1e-3 in
+    let r, l, c = Check.Scenario.resolve_tank s in
+    {
+      nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
+      tank = Shil.Tank.make ~r ~l ~c;
+    }
+
+(* Per-scenario outcome carried out of the worker pool. The JSON body is
+   rendered inside the worker (pure string building) so the report
+   assembly after the join is a plain concatenation in input order —
+   byte-identical no matter how the pool scheduled the work. *)
+type batch_outcome =
+  | Batch_ok of string
+  | Batch_lint_error of string
+
+(* %.17g round-trips every double exactly: the report is a faithful
+   witness for the cold-vs-warm bit-identity check, not a rounded view *)
+let jf v =
+  if Float.is_nan v then {|"nan"|}
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let batch_scenario file =
+  let module D = Check.Diagnostic in
+  let s, parse_diags = Check.Scenario.parse_file file in
+  let nl = scenario_nonlinearity s in
+  let diags = parse_diags @ Check.Scenario.check ?nl s in
+  if D.errors diags <> [] then
+    Batch_lint_error
+      (Printf.sprintf
+         {|"status":"lint-error","errors":%d,"warnings":%d,"diagnostics":%s|}
+         (D.count_severity D.Error diags)
+         (D.count_severity D.Warning diags)
+         (D.list_to_json diags))
+  else begin
+    let osc = scenario_oscillator s in
+    let a_range =
+      match (s.a_lo, s.a_hi) with
+      | Some lo, Some hi -> Some (lo, hi)
+      | _ -> None
+    in
+    let report =
+      Shil.Analysis.run ~check:`Off ?points:s.points ?n_phi:s.n_phi
+        ?n_amp:s.n_amp ?a_range osc ~n:s.n ~vi:s.vi
+    in
+    let lr = report.lock_range in
+    let stable =
+      List.length
+        (List.filter
+           (fun (p : Shil.Solutions.point) -> p.stable)
+           report.locks_at_center)
+    in
+    Batch_ok
+      (Printf.sprintf
+         {|"status":"ok","osc":"%s","n":%d,"vi":%s,"natural_amplitude":%s,"locks_at_center":%d,"stable_locks":%d,"lock_range":{"phi_d_max":%s,"f_inj_low":%s,"f_inj_high":%s,"delta_f_inj":%s},"grid_holes":%d|}
+         (D.json_escape s.osc) s.n (jf s.vi)
+         (match report.natural_amplitude with
+         | Some a -> jf a
+         | None -> "null")
+         (List.length report.locks_at_center)
+         stable (jf lr.phi_d_max) (jf lr.f_inj_low) (jf lr.f_inj_high)
+         (jf lr.delta_f_inj)
+         (Resilience.Summary.failed report.grid.failures))
+  end
+
+let batch_cmd =
+  let dir_arg =
+    Arg.(value & pos 0 dir "examples/scenarios"
+         & info [] ~docv:"DIR"
+             ~doc:"Directory of $(b,.scn) scenario files (searched \
+                   non-recursively, run in name order).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON report to $(docv) instead of stdout.")
+  in
+  let run obs jobs dir out =
+    apply_obs obs;
+    apply_jobs jobs;
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter is_scenario_file
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+      |> Array.of_list
+    in
+    if Array.length files = 0 then begin
+      Format.eprintf "oshil batch: no .scn files in %s@." dir;
+      exit 2
+    end;
+    (* one scenario per pool task: a scenario that dies (no oscillation,
+       solver blow-up, injected fault) becomes a typed error slot, the
+       rest of the batch completes, and the shared cache stays warm
+       across scenarios that hit the same grids *)
+    let outcomes =
+      Numerics.Pool.parallel_try_map_array ~subsystem:Shil ~phase:"batch"
+        batch_scenario files
+    in
+    let body file = function
+      | Ok (Batch_ok b) | Ok (Batch_lint_error b) ->
+        Printf.sprintf {|{"file":"%s",%s}|} (Check.Diagnostic.json_escape file) b
+      | Error e ->
+        Printf.sprintf {|{"file":"%s","status":"error","error":"%s"}|}
+          (Check.Diagnostic.json_escape file)
+          (Check.Diagnostic.json_escape (Resilience.Oshil_error.to_string e))
+    in
+    let count p = Array.length (Array.of_seq (Seq.filter p (Array.to_seq outcomes))) in
+    let n_ok = count (function Ok (Batch_ok _) -> true | _ -> false) in
+    let n_lint = count (function Ok (Batch_lint_error _) -> true | _ -> false) in
+    let n_err = count (function Error _ -> true | _ -> false) in
+    let results =
+      Array.to_list (Array.mapi (fun i o -> "  " ^ body files.(i) o) outcomes)
+    in
+    let report =
+      Printf.sprintf
+        "{\"scenarios\":%d,\"ok\":%d,\"lint_errors\":%d,\"errors\":%d,\"results\":[\n%s\n]}\n"
+        (Array.length files) n_ok n_lint n_err
+        (String.concat ",\n" results)
+    in
+    (match out with
+    | None -> print_string report
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc report));
+    let failures =
+      List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun i o ->
+                match o with
+                | Error e ->
+                  [ { Resilience.Summary.site = files.(i); error = e } ]
+                | Ok _ -> [])
+              outcomes))
+    in
+    let summary =
+      Resilience.Summary.make ~attempted:(Array.length files) failures
+    in
+    Format.eprintf "batch: %d scenario(s), %d ok, %d lint error(s), %d error(s)@."
+      (Array.length files) n_ok n_lint n_err;
+    if not (Resilience.Summary.is_clean summary) then
+      Format.eprintf "%a@." Resilience.Summary.pp summary;
+    if n_lint + n_err > 0 then exit 1
+  in
+  let term = Term.(const run $ obs_args $ jobs_arg $ dir_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run every .scn scenario in a directory through the SHIL \
+             analysis pipeline (parallel, per-scenario failure \
+             isolation, shared result cache) and emit a JSON report.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* figures / experiments *)
 
 let figures_cmd =
@@ -764,8 +949,8 @@ let () =
     Cmd.group info
       [
         natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
-        transient_cmd; netlist_cmd; lint_cmd; stats_cmd; figures_cmd;
-        experiments_cmd;
+        transient_cmd; netlist_cmd; lint_cmd; stats_cmd; batch_cmd;
+        figures_cmd; experiments_cmd;
       ]
   in
   (* typed solver errors get a rendered diagnostic and a distinct exit

@@ -1,0 +1,106 @@
+(* Classic doubly-linked-list LRU: the hashtable maps keys to list
+   nodes, the list orders nodes most-recent first. All operations are
+   O(1) except eviction sweeps, which are O(evicted). *)
+
+type node = {
+  key : string;
+  mutable data : string;
+  mutable prev : node option;  (* towards MRU *)
+  mutable next : node option;  (* towards LRU *)
+}
+
+type t = {
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable bytes : int;
+  max_entries : int;
+  max_bytes : int;
+  mutable evictions : int;
+}
+
+(* hashtable + list-node bookkeeping per entry, roughly *)
+let entry_overhead = 64
+
+let entry_bytes node =
+  String.length node.key + String.length node.data + entry_overhead
+
+let create ?(max_entries = 512) ?(max_bytes = 64 * 1024 * 1024) () =
+  if max_entries < 1 then invalid_arg "Lru.create: max_entries must be >= 1";
+  {
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    max_entries;
+    max_bytes;
+    evictions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.data
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let drop_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl node.key;
+    t.bytes <- t.bytes - entry_bytes node;
+    t.evictions <- t.evictions + 1
+
+let add t key data =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    t.bytes <- t.bytes - entry_bytes node;
+    node.data <- data;
+    t.bytes <- t.bytes + entry_bytes node;
+    unlink t node;
+    push_front t node
+  | None ->
+    let node = { key; data; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    t.bytes <- t.bytes + entry_bytes node;
+    push_front t node);
+  while Hashtbl.length t.tbl > t.max_entries do
+    drop_lru t
+  done;
+  (* never evict the entry just inserted: an oversized blob degrades to
+     a one-slot cache instead of an insert/evict livelock *)
+  while t.bytes > t.max_bytes && Hashtbl.length t.tbl > 1 do
+    drop_lru t
+  done
+
+let length t = Hashtbl.length t.tbl
+let bytes t = t.bytes
+let evictions t = t.evictions
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.bytes <- 0;
+  t.evictions <- 0

@@ -3,13 +3,44 @@ module Fourier = Numerics.Fourier
 
 let default_points = 1024
 
+(* Single Fourier coefficients are small and re-requested constantly by
+   the solvers (Natural, Solutions, Lock_range all probe the same
+   amplitudes), so they get a memory-only cache tier — writing a 16-byte
+   complex to disk would cost more than recomputing it. Keys carry every
+   input of the quadrature; [vi]/[phi] are folded in as plain fields so
+   single-tone and two-tone coefficients share one kind. *)
+let coeff_key ~nl_key ~n ~a ~vi ~phi ~k ~points =
+  let open Cache.Key in
+  v ~kind:"shil.df" ~version:1
+    [
+      str "nl" nl_key;
+      int "n" n;
+      float "a" a;
+      float "vi" vi;
+      float "phi" phi;
+      int "k" k;
+      int "points" points;
+    ]
+
+let cached_coeff ~n ~a ~vi ~phi ~k ~points nl compute =
+  match Nonlinearity.cache_key nl with
+  | None -> compute ()
+  | Some nl_key ->
+    let key = coeff_key ~nl_key ~n ~a ~vi ~phi ~k ~points in
+    (Cache.Store.find_or_compute ~disk:false ~key
+       ~encode:Cache.Store.to_marshal ~decode:Cache.Store.of_marshal compute
+      : Cx.t)
+
 let i1 ?(points = default_points) nl ~a =
-  let f theta = Nonlinearity.eval nl (a *. cos theta) in
-  Cx.re (Fourier.coeff ~n:points ~f ~k:1 ())
+  Cx.re
+    (cached_coeff ~n:1 ~a ~vi:0.0 ~phi:0.0 ~k:1 ~points nl (fun () ->
+         let f theta = Nonlinearity.eval nl (a *. cos theta) in
+         Fourier.coeff ~n:points ~f ~k:1 ()))
 
 let ik ?(points = default_points) nl ~a ~k =
-  let f theta = Nonlinearity.eval nl (a *. cos theta) in
-  Fourier.coeff ~n:points ~f ~k ()
+  cached_coeff ~n:1 ~a ~vi:0.0 ~phi:0.0 ~k ~points nl (fun () ->
+      let f theta = Nonlinearity.eval nl (a *. cos theta) in
+      Fourier.coeff ~n:points ~f ~k ())
 
 let two_tone_input nl ~n ~a ~vi ~phi theta =
   Nonlinearity.eval nl
@@ -18,14 +49,16 @@ let two_tone_input nl ~n ~a ~vi ~phi theta =
 let i1_two_tone ?(points = default_points) nl ~n ~a ~vi ~phi =
   if n < 1 then invalid_arg "Describing_function: n must be >= 1";
   Obs.Metrics.incr "shil.df.i1_evals";
-  let f = two_tone_input nl ~n ~a ~vi ~phi in
-  Fourier.coeff ~n:points ~f ~k:1 ()
+  cached_coeff ~n ~a ~vi ~phi ~k:1 ~points nl (fun () ->
+      let f = two_tone_input nl ~n ~a ~vi ~phi in
+      Fourier.coeff ~n:points ~f ~k:1 ())
 
 let ik_two_tone ?(points = default_points) nl ~n ~a ~vi ~phi ~k =
   if n < 1 then invalid_arg "Describing_function: n must be >= 1";
   Obs.Metrics.incr "shil.df.i1_evals";
-  let f = two_tone_input nl ~n ~a ~vi ~phi in
-  Fourier.coeff ~n:points ~f ~k ()
+  cached_coeff ~n ~a ~vi ~phi ~k ~points nl (fun () ->
+      let f = two_tone_input nl ~n ~a ~vi ~phi in
+      Fourier.coeff ~n:points ~f ~k ())
 
 let t_f_free ?points nl ~r ~a =
   if a <= 0.0 then invalid_arg "Describing_function.t_f_free: a must be > 0";

@@ -1,15 +1,25 @@
 module Interp = Numerics.Interp
 
-type t = { name : string; f : float -> float; df : float -> float }
+(* [key], when present, is a canonical identity string for caching: two
+   values with equal keys must compute identical currents for every
+   input. Closures built from unknown functions get [None] and are
+   simply never cached. *)
+type t = {
+  name : string;
+  key : string option;
+  f : float -> float;
+  df : float -> float;
+}
 
 let numeric_df f v =
   let h = 1e-6 *. (1.0 +. Float.abs v) in
   (f (v +. h) -. f (v -. h)) /. (2.0 *. h)
 
-let make ?(name = "custom") ?df f =
-  { name; f; df = (match df with Some d -> d | None -> numeric_df f) }
+let make ?(name = "custom") ?key ?df f =
+  { name; key; f; df = (match df with Some d -> d | None -> numeric_df f) }
 
 let name t = t.name
+let cache_key t = t.key
 let eval t v = t.f v
 let deriv t v = t.df v
 
@@ -20,12 +30,14 @@ let neg_tanh ~g0 ~isat =
     let c = cosh (g0 *. v /. isat) in
     -.g0 /. (c *. c)
   in
-  { name = "neg_tanh"; f; df }
+  let key = Some (Printf.sprintf "neg_tanh(g0=%h,isat=%h)" g0 isat) in
+  { name = "neg_tanh"; key; f; df }
 
 let cubic ~g1 ~g3 =
   let f v = (-.g1 *. v) +. (g3 *. v *. v *. v) in
   let df v = -.g1 +. (3.0 *. g3 *. v *. v) in
-  { name = "cubic"; f; df }
+  let key = Some (Printf.sprintf "cubic(g1=%h,g3=%h)" g1 g3) in
+  { name = "cubic"; key; f; df }
 
 (* Paper appendix §VI-C model (same constants as Spice.Device.paper_tunnel;
    duplicated here so the core theory library stays independent of the
@@ -45,26 +57,49 @@ let paper_tunnel_iv v =
   let g_d = is *. dex /. (eta *. vth) in
   (i_tun +. i_d, g_tun +. g_d)
 
-let tunnel_diode ?(params = paper_tunnel_iv) ~bias () =
+let tunnel_diode ?params ~bias () =
+  (* only the paper's built-in model gets an identity: a caller-supplied
+     [params] closure has no canonical description, so the result is
+     uncacheable rather than wrongly shared *)
+  let params, key =
+    match params with
+    | None ->
+      (paper_tunnel_iv, Some (Printf.sprintf "tunnel_paper(bias=%h)" bias))
+    | Some p -> (p, None)
+  in
   let i0, _ = params bias in
   let f v = fst (params (bias +. v)) -. i0 in
   let df v = snd (params (bias +. v)) in
-  { name = "tunnel_diode"; f; df }
+  { name = "tunnel_diode"; key; f; df }
 
 let of_table ?(name = "table") ~vs ~is () =
   let itp = Interp.pchip ~xs:vs ~ys:is in
-  { name; f = Interp.eval itp; df = Interp.eval_deriv itp }
+  (* the sampled arrays fully determine the interpolant, so their bytes
+     are a faithful identity; the digest keeps the key fixed-size *)
+  let key =
+    Some
+      (Printf.sprintf "table(%s,%s)"
+         (Digest.to_hex (Digest.string (Marshal.to_string (vs, is) [])))
+         name)
+  in
+  { name; key; f = Interp.eval itp; df = Interp.eval_deriv itp }
 
 let shift_bias t vb =
   let i0 = t.f vb in
   {
     name = t.name ^ "+bias";
+    key = Option.map (fun k -> Printf.sprintf "bias(%s,vb=%h)" k vb) t.key;
     f = (fun v -> t.f (vb +. v) -. i0);
     df = (fun v -> t.df (vb +. v));
   }
 
 let scale_current t k =
-  { name = t.name; f = (fun v -> k *. t.f v); df = (fun v -> k *. t.df v) }
+  {
+    name = t.name;
+    key = Option.map (fun ky -> Printf.sprintf "scale(%s,k=%h)" ky k) t.key;
+    f = (fun v -> k *. t.f v);
+    df = (fun v -> k *. t.df v);
+  }
 
 let sample t ~v_min ~v_max ~n =
   if n < 2 then invalid_arg "Nonlinearity.sample";

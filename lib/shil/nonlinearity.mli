@@ -6,11 +6,24 @@
 
 type t
 
-val make : ?name:string -> ?df:(float -> float) -> (float -> float) -> t
+val make :
+  ?name:string -> ?key:string -> ?df:(float -> float) -> (float -> float) -> t
 (** [make f] wraps a function; missing [df] is computed by central
-    differences with a relative step of 1e-6. *)
+    differences with a relative step of 1e-6. [key], when given, declares
+    a canonical cache identity (see {!cache_key}) — only supply it if the
+    string fully determines [f] bit-for-bit. *)
 
 val name : t -> string
+
+val cache_key : t -> string option
+(** Canonical identity for content-addressed caching: equal keys
+    guarantee bitwise-equal currents for every input. [None] (custom
+    closures, caller-supplied tunnel models) means "uncacheable" and
+    makes every kernel keyed on this nonlinearity bypass the cache.
+    Built-in constructors ([neg_tanh], [cubic], the default
+    [tunnel_diode], [of_table]) always carry keys; [shift_bias] and
+    [scale_current] derive wrapped keys from the inner one. *)
+
 val eval : t -> float -> float
 val deriv : t -> float -> float
 

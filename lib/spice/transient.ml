@@ -274,6 +274,31 @@ let run_gated ~check circuit ~probes opts =
     failure = !failure;
   }
 
+(* Everything the integrator reads is pure data once behavioural
+   sources are excluded, so the circuit (device list, insertion order
+   preserved), the probe list and the full option record are canonically
+   encoded by [Marshal] and folded into the key as digests. Bump the
+   version whenever the stepping algorithm or the result layout
+   changes. *)
+let cache_key ~check circuit ~probes opts =
+  let open Cache.Key in
+  v ~kind:"spice.transient" ~version:1
+    [
+      str "circuit"
+        (digest_of_string (Marshal.to_string (Circuit.devices circuit) []));
+      str "probes" (digest_of_string (Marshal.to_string probes []));
+      str "opts" (digest_of_string (Marshal.to_string opts []));
+      str "check"
+        (match check with `Enforce -> "enforce" | `Warn -> "warn"
+        | `Off -> "off");
+    ]
+
+let cacheable circuit =
+  not
+    (List.exists
+       (function Device.Nonlinear_cs _ -> true | _ -> false)
+       (Circuit.devices circuit))
+
 let run ?(check = `Enforce) circuit ~probes opts =
   if opts.dt <= 0.0 || opts.t_stop <= 0.0 then
     invalid_arg "Transient.run: dt and t_stop must be positive";
@@ -283,6 +308,17 @@ let run ?(check = `Enforce) circuit ~probes opts =
         ("t_stop", Printf.sprintf "%g" opts.t_stop);
         ("dt", Printf.sprintf "%g" opts.dt);
       ]
-    (fun () -> run_gated ~check circuit ~probes opts)
+  @@ fun () ->
+  if not (Cache.Store.enabled () && cacheable circuit) then
+    run_gated ~check circuit ~probes opts
+  else
+    let key = cache_key ~check circuit ~probes opts in
+    (* only complete runs are stored: a waveform truncated by a solver
+       failure is a degraded artifact, not a reusable result *)
+    (Cache.Store.find_or_compute ~key
+       ~cache_if:(fun r -> Option.is_none r.failure)
+       ~encode:Cache.Store.to_marshal ~decode:Cache.Store.of_marshal
+       (fun () -> run_gated ~check circuit ~probes opts)
+      : result)
 
 let signal r probe = List.assoc probe r.signals

@@ -62,7 +62,14 @@ val run :
 
     A fatal step degrades to a partial result (see {!result.failure})
     unless {!Resilience.Policy.set_fail_fast} is on, in which case it
-    raises {!Resilience.Oshil_error.Error}. *)
+    raises {!Resilience.Oshil_error.Error}.
+
+    When the content-addressed cache is enabled ([Cache.Store], the
+    [--cache] flag), complete runs ([failure = None]) of circuits
+    without behavioural [Nonlinear_cs] devices are memoized on the full
+    (circuit, probes, options, check-mode) input and replayed
+    bit-identically; partial runs and closure-bearing circuits always
+    recompute. *)
 
 val signal : result -> probe -> float array
 (** Raises [Not_found] when the probe was not recorded. *)

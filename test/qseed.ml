@@ -1,0 +1,31 @@
+(* Deterministic, reproducible qcheck plumbing shared by every test
+   executable.
+
+   Every property test runs from one pinned seed so failures reproduce
+   exactly: the resolved seed is embedded in the Alcotest case name
+   (`... [seed=3405691582]`), so a failing CI line already tells you how
+   to rerun it locally:
+
+     QCHECK_SEED=3405691582 dune runtest
+
+   QCHECK_SEED overrides the pinned default; QCHECK_VERBOSE / QCHECK_LONG
+   keep their stock qcheck-alcotest meaning. *)
+
+let default_seed = 0xCAFE5EED
+
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> default_seed
+
+(* Each test gets a state derived from (seed, test name), not a shared
+   one: tests then reproduce individually, in any order, under any
+   filter — rerunning one test does not need the whole suite's RNG
+   history. *)
+let rand_for name =
+  Random.State.make [| seed; Hashtbl.hash (name : string) |]
+
+let qtest ?(count = 100) name gen prop =
+  let name = Printf.sprintf "%s [seed=%d]" name seed in
+  QCheck_alcotest.to_alcotest ~rand:(rand_for name)
+    (QCheck.Test.make ~count ~name gen prop)

@@ -4,8 +4,7 @@
 let check_float ?(eps = 1e-9) msg expected got =
   Alcotest.(check (float eps)) msg expected got
 
-let qtest ?(count = 50) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qtest ?(count = 50) name gen prop = Qseed.qtest ~count name gen prop
 
 (* ------------------------------------------------------------------ *)
 (* Tanh oscillator *)

@@ -39,9 +39,8 @@ let test_nice_ticks () =
   | _ -> Alcotest.fail "too few ticks"
 
 let prop_ticks_sorted =
-  QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:100 ~name:"scale: ticks sorted and inside"
-       QCheck.(pair (float_range (-100.0) 100.0) (float_range 0.1 100.0))
+  Qseed.qtest ~count:100 "scale: ticks sorted and inside"
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range 0.1 100.0))
        (fun (lo, span) ->
          let hi = lo +. span in
          let ticks = Scale.nice_ticks ~lo ~hi ~count:8 in
@@ -50,7 +49,7 @@ let prop_ticks_sorted =
            | _ -> true
          in
          sorted ticks
-         && List.for_all (fun t -> t >= lo -. 1e-6 && t <= hi +. 1e-6) ticks))
+         && List.for_all (fun t -> t >= lo -. 1e-6 && t <= hi +. 1e-6) ticks)
 
 let test_tick_label () =
   Alcotest.(check string) "zero" "0" (Scale.tick_label 0.0);

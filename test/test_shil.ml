@@ -7,8 +7,7 @@ module Angle = Numerics.Angle
 let check_float ?(eps = 1e-9) msg expected got =
   Alcotest.(check (float eps)) msg expected got
 
-let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qtest ?(count = 100) name gen prop = Qseed.qtest ~count name gen prop
 
 (* Shared fixtures: the paper's illustration oscillator (negative tanh). *)
 let tanh_nl = Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3

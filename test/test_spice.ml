@@ -5,8 +5,7 @@ open Spice
 let check_float ?(eps = 1e-9) msg expected got =
   Alcotest.(check (float eps)) msg expected got
 
-let qtest ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qtest ?(count = 200) name gen prop = Qseed.qtest ~count name gen prop
 
 (* ------------------------------------------------------------------ *)
 (* Wave *)

@@ -3,8 +3,7 @@
 let check_float ?(eps = 1e-9) msg expected got =
   Alcotest.(check (float eps)) msg expected got
 
-let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+let qtest ?(count = 100) name gen prop = Qseed.qtest ~count name gen prop
 
 let sine ?(n = 4000) ?(t1 = 1.0) ?(freq = 10.0) ?(ampl = 1.0) ?(phase = 0.0)
     ?(offset = 0.0) () =
