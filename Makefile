@@ -1,6 +1,7 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
-.PHONY: all test lint bench-smoke bench batch cache-smoke coverage clean
+.PHONY: all test lint bench-smoke bench batch cache-smoke kernel-smoke \
+        coverage clean
 
 all:
 	dune build
@@ -42,6 +43,12 @@ batch:
 # byte-identical batch reports, and the warm run must actually hit.
 cache-smoke:
 	dune build @cache-smoke
+
+# Batch-kernel correctness: `oshil shil` must be byte-identical with
+# the batch kernels disabled (OSHIL_NO_BATCH=1), and the harmonic
+# counters must appear in the telemetry replay.
+kernel-smoke:
+	dune build @kernel-smoke
 
 # Coverage (requires bisect_ppx, not part of the default environment):
 #   opam install bisect_ppx

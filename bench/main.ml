@@ -184,6 +184,22 @@ let emit_entry ~path (entry : Experiments.Bench_json.entry) =
   Printf.printf "  wrote %s (jobs=%d, wall=%.4fs, speedup_vs_seq=%.2fx)\n%!"
     path entry.jobs entry.wall_s entry.speedup_vs_seq
 
+(* max relative disagreement between two grids, for pinning the
+   symmetry-reduced quadrature against the exact one *)
+let grid_max_rel_err (a : Shil.Grid.t) (b : Shil.Grid.t) =
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j za ->
+          let zb = b.Shil.Grid.i1.(i).(j) in
+          let d = Numerics.Cx.abs (Numerics.Cx.sub za zb) in
+          let scale = Numerics.Cx.abs za +. 1e-18 in
+          if d /. scale > !err then err := d /. scale)
+        row)
+    a.Shil.Grid.i1;
+  !err
+
 let run_perf_benches ~skip_slow ~jobs () =
   Printf.printf "=== tracked perf benches (parallel kernels; jobs=%d)\n%!" jobs;
   let tanh_nl = Shil.Nonlinearity.neg_tanh ~g0:2e-3 ~isat:1e-3 in
@@ -194,16 +210,34 @@ let run_perf_benches ~skip_slow ~jobs () =
     Shil.Grid.sample ~points ~n_phi ~n_amp tanh_nl ~n:3 ~r:1e3 ~vi:0.2
       ~a_range:(0.3, 1.45) ()
   in
-  (* warm the trig-table cache so neither side pays table construction *)
+  let sample_red () =
+    Shil.Grid.sample ~reduction:`Symmetry ~points ~n_phi ~n_amp tanh_nl ~n:3
+      ~r:1e3 ~vi:0.2 ~a_range:(0.3, 1.45) ()
+  in
+  (* warm the trig-table cache so no timed side pays table construction *)
   ignore (sample ());
+  (* three tiers, slowest to fastest: the scalar closure fallback (the
+     pre-batch-kernel code path), the bit-identical batch kernels, and
+     the opt-in symmetry-reduced quadrature (tracked wall_s) *)
+  Numerics.Kernel.set_batch_enabled false;
+  let g_scalar, scalar_s = time_best ~repeats sample in
+  Numerics.Kernel.set_batch_enabled true;
+  let g_batch, batch_s = time_best ~repeats sample in
+  let batch_identical = g_scalar.Shil.Grid.i1 = g_batch.Shil.Grid.i1 in
+  if not batch_identical then
+    failwith "perf bench: batch Grid.sample differs from the scalar fallback";
+  ignore (sample_red ());
   Numerics.Pool.set_jobs 1;
-  let g_seq, seq_s = time_best ~repeats sample in
+  let g_seq, seq_s = time_best ~repeats sample_red in
   Numerics.Pool.set_jobs jobs;
-  let g_par, par_s = time_best ~repeats sample in
+  let g_par, par_s = time_best ~repeats sample_red in
   let identical = g_seq.Shil.Grid.i1 = g_par.Shil.Grid.i1 in
   if not identical then
     failwith "perf bench: parallel Grid.sample differs from sequential";
-  let grid_counters = metered_counters [ "shil.grid.f_evals" ] sample in
+  let red_err = grid_max_rel_err g_batch g_par in
+  if not (red_err < 1e-6) then
+    failwith "perf bench: symmetry-reduced grid drifted from the exact grid";
+  let grid_counters = metered_counters [ "shil.grid.f_evals" ] sample_red in
   emit_entry ~path:"BENCH_grid.json"
     {
       name = Printf.sprintf "grid_sample_%dx%dx%d" n_phi n_amp points;
@@ -217,32 +251,65 @@ let run_perf_benches ~skip_slow ~jobs () =
           ("n_amp", float_of_int n_amp);
           ("points", float_of_int points);
           ("bit_identical_to_seq", if identical then 1.0 else 0.0);
+          ("scalar_wall_s", scalar_s);
+          ("batch_wall_s", batch_s);
+          ("batch_bit_identical_to_scalar", if batch_identical then 1.0 else 0.0);
+          ("speedup_batch_vs_scalar", scalar_s /. batch_s);
+          ("speedup_vs_scalar", scalar_s /. par_s);
+          ("reduced_max_rel_err", red_err);
+          ("vec_tanh", if Numerics.Kernel.vec_tanh_available () then 1.0 else 0.0);
         ]
         @ grid_counters;
       meta = Experiments.Bench_json.host_meta ();
     };
-  (* lock-range boundary search: Solutions.find stability scans dominate *)
-  let lr_grid =
-    if skip_slow then g_par
+  (* lock-range boundary search: Solutions.find stability scans dominate;
+     the quadratures inherit the grid's reduction mode *)
+  let lr_grid_exact =
+    if skip_slow then g_batch
     else
       Shil.Grid.sample ~points:256 ~n_phi:61 ~n_amp:51 tanh_nl ~n:3 ~r:1e3
         ~vi:0.2 ~a_range:(0.3, 1.45) ()
   in
-  let boundary () = Shil.Lock_range.phi_d_boundary ~tol:1e-3 lr_grid in
-  ignore (boundary ());
+  let lr_grid_red =
+    if skip_slow then g_par
+    else
+      Shil.Grid.sample ~reduction:`Symmetry ~points:256 ~n_phi:61 ~n_amp:51
+        tanh_nl ~n:3 ~r:1e3 ~vi:0.2 ~a_range:(0.3, 1.45) ()
+  in
+  let boundary g () = Shil.Lock_range.phi_d_boundary ~tol:1e-3 g in
+  ignore (boundary lr_grid_exact ());
+  Numerics.Kernel.set_batch_enabled false;
+  let b_scalar, scalar_s = time_best ~repeats (boundary lr_grid_exact) in
+  Numerics.Kernel.set_batch_enabled true;
+  let b_batch, batch_s = time_best ~repeats (boundary lr_grid_exact) in
+  if b_scalar <> b_batch then
+    failwith "perf bench: batch phi_d_boundary differs from the scalar fallback";
+  ignore (boundary lr_grid_red ());
   Numerics.Pool.set_jobs 1;
-  let b_seq, seq_s = time_best ~repeats boundary in
+  let b_seq, seq_s = time_best ~repeats (boundary lr_grid_red) in
   Numerics.Pool.set_jobs jobs;
-  let b_par, par_s = time_best ~repeats boundary in
+  let b_par, par_s = time_best ~repeats (boundary lr_grid_red) in
   if b_seq <> b_par then
     failwith "perf bench: parallel phi_d_boundary differs from sequential";
+  if Float.abs (b_par -. b_batch) > 0.02 then
+    failwith "perf bench: reduced-mode lock boundary drifted from exact";
   emit_entry ~path:"BENCH_lockrange.json"
     {
       name = "lock_range_phi_d_boundary";
       jobs;
       wall_s = par_s;
       speedup_vs_seq = seq_s /. par_s;
-      extra = [ ("seq_wall_s", seq_s); ("phi_d_max", b_par); ("tol", 1e-3) ];
+      extra =
+        [
+          ("seq_wall_s", seq_s);
+          ("phi_d_max", b_par);
+          ("tol", 1e-3);
+          ("scalar_wall_s", scalar_s);
+          ("batch_wall_s", batch_s);
+          ("exact_phi_d_max", b_batch);
+          ("speedup_batch_vs_scalar", scalar_s /. batch_s);
+          ("speedup_vs_scalar", scalar_s /. par_s);
+        ];
       meta = Experiments.Bench_json.host_meta ();
     };
   (* spice transient on the behavioural tanh oscillator: sequential (the

@@ -222,11 +222,18 @@ let shil_cmd =
          & info [ "finj" ] ~docv:"HZ"
              ~doc:"Injection frequency; default n x f_c.")
   in
-  let run obs jobs choice custom n vi finj ascii =
+  let reduced_arg =
+    Arg.(value & flag
+         & info [ "reduced" ]
+             ~doc:"Use the symmetry-reduced quadrature (faster, \
+                   tolerance-grade; see Describing_function.reduction).")
+  in
+  let run obs jobs choice custom n vi finj reduced ascii =
     apply_obs obs;
     apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
-    let report = Shil.Analysis.run osc ~n ~vi in
+    let reduction = if reduced then `Symmetry else `Exact in
+    let report = Shil.Analysis.run ~reduction osc ~n ~vi in
     Format.printf "%a@." Shil.Analysis.pp report;
     (match finj with
     | None -> ()
@@ -258,7 +265,7 @@ let shil_cmd =
   in
   let term =
     Term.(const run $ obs_args $ jobs_arg $ osc_arg $ custom_args $ n_arg
-          $ vi_arg $ finj_arg $ ascii_arg)
+          $ vi_arg $ finj_arg $ reduced_arg $ ascii_arg)
   in
   Cmd.v
     (Cmd.info "shil" ~doc:"Full SHIL analysis: locks, stability, states, lock range (§III).")

@@ -49,10 +49,7 @@ let extraction_fv ?(v_span = 2.6) ?(steps = 240) p =
             { name = "VM"; np = "ndr"; nn = "0"; wave = Spice.Wave.Dc (p.vdd -. (v /. 2.0)) };
         ])
   in
-  let vs =
-    Array.init (steps + 1) (fun k ->
-        -.v_span +. (2.0 *. v_span *. float_of_int k /. float_of_int steps))
-  in
+  let vs = Numerics.Kernel.linspace (-.v_span) v_span (steps + 1) in
   let is = Array.make (steps + 1) 0.0 in
   (* every bias point solves the same topology: pre-flight it once *)
   Spice.Preflight.gate (build 0.0);

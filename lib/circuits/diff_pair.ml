@@ -58,10 +58,7 @@ let extraction_fv ?(v_span = 0.85) ?(steps = 240) p =
   in
   (* sweep outward from v = 0 in both directions so the Newton
      continuation tracks the physical branch of the saturated junctions *)
-  let vs =
-    Array.init (steps + 1) (fun k ->
-        -.v_span +. (2.0 *. v_span *. float_of_int k /. float_of_int steps))
-  in
+  let vs = Numerics.Kernel.linspace (-.v_span) v_span (steps + 1) in
   let is = Array.make (steps + 1) 0.0 in
   (* every bias point solves the same topology: pre-flight it once *)
   Spice.Preflight.gate (build 0.0);

@@ -38,10 +38,7 @@ let extraction_fv ?(v_span = 0.6) ?(steps = 240) p =
         Spice.Device.Tunnel_diode { name = "TD"; np = "a"; nn = "0"; p = p.tunnel };
       ]
   in
-  let vs =
-    Array.init (steps + 1) (fun k ->
-        -0.1 +. ((v_span +. 0.1) *. float_of_int k /. float_of_int steps))
-  in
+  let vs = Numerics.Kernel.linspace (-0.1) v_span (steps + 1) in
   let is =
     Array.map
       (fun v ->

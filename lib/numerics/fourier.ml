@@ -7,12 +7,8 @@ let two_pi = 2.0 *. Float.pi
 
 let project_sampled x ~cos_t ~sin_t =
   let n = Array.length x in
-  let re = ref 0.0 and im = ref 0.0 in
-  for s = 0 to n - 1 do
-    re := !re +. (x.(s) *. cos_t.(s));
-    im := !im -. (x.(s) *. sin_t.(s))
-  done;
-  Cx.make (!re /. float_of_int n) (!im /. float_of_int n)
+  let re, im = Kernel.dot2 ~n x ~cos_t ~sin_t in
+  Cx.make (re /. float_of_int n) (im /. float_of_int n)
 
 let coeffs ?(n = 1024) ~f ~kmax () =
   assert (n >= 1 && kmax >= 0);

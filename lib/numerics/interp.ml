@@ -153,6 +153,64 @@ let eval t x =
     a +. (dx *. (b +. (dx *. (c +. (dx *. d)))))
   end
 
+(* Batch evaluation with a warm-started interval search: quadrature
+   waveforms are piecewise-smooth, so consecutive samples almost always
+   land in the same or a neighbouring knot interval. Walking from the
+   previous interval (and falling back to binary search only on long
+   jumps) amortizes [interval] to O(1) per sample. Each element computes
+   exactly the [eval] expressions, so results are bit-identical to the
+   scalar loop. Supports [src == dst]: slot [i] is read before it is
+   written. *)
+let eval_batch ?n t ~src ~dst =
+  let n = match n with Some n -> n | None -> Array.length src in
+  if n < 0 || n > Array.length src || n > Array.length dst then
+    invalid_arg "Interp.eval_batch";
+  let nk = Array.length t.xs in
+  let last = ref 0 in
+  for idx = 0 to n - 1 do
+    let x = src.(idx) +. t.x_shift in
+    let i =
+      if x <= t.xs.(0) then 0
+      else if x >= t.xs.(nk - 1) then nk - 2
+      else begin
+        (* walk from the previous hit; give up after a few steps *)
+        let i = ref (if !last > nk - 2 then nk - 2 else !last) in
+        let steps = ref 0 in
+        let wandering = ref true in
+        while !wandering do
+          if !steps > 4 then begin
+            i := interval t x;
+            wandering := false
+          end
+          else if t.xs.(!i) > x then begin
+            decr i;
+            incr steps
+          end
+          else if t.xs.(!i + 1) <= x then begin
+            incr i;
+            incr steps
+          end
+          else wandering := false
+        done;
+        !i
+      end
+    in
+    last := i;
+    let a, b, c, d = t.coeffs.(i) in
+    dst.(idx) <-
+      (if x < t.xs.(0) then t.ys.(0) +. (b *. (x -. t.xs.(0)))
+       else if x > t.xs.(nk - 1) then begin
+         let _, b, c, d = t.coeffs.(nk - 2) in
+         let h = t.xs.(nk - 1) -. t.xs.(nk - 2) in
+         let slope_end = b +. (2.0 *. c *. h) +. (3.0 *. d *. h *. h) in
+         t.ys.(nk - 1) +. (slope_end *. (x -. t.xs.(nk - 1)))
+       end
+       else begin
+         let dx = x -. t.xs.(i) in
+         a +. (dx *. (b +. (dx *. (c +. (dx *. d)))))
+       end)
+  done
+
 let eval_deriv t x =
   let x = x +. t.x_shift in
   let n = Array.length t.xs in

@@ -1,0 +1,108 @@
+(* See kernel.mli for the bit-identity / tolerance-grade contract. The
+   C externs live in kernel_stubs.c; every exported wrapper bounds-checks
+   [n] before handing raw arrays to C. *)
+
+let two_pi = 2.0 *. Float.pi
+
+(* mlint: allow local-linspace — this is the canonical definition *)
+let linspace a b n =
+  Array.init n (fun k -> a +. ((b -. a) *. float_of_int k /. float_of_int (n - 1)))
+
+(* Runtime switch for the scalar-fallback escape hatch: benches and the
+   kernel-smoke byte-diff run the same binary twice, once per mode. *)
+let batch_on =
+  ref
+    (match Sys.getenv_opt "OSHIL_NO_BATCH" with
+    | None | Some "" | Some "0" -> true
+    | Some _ -> false)
+
+let batch_enabled () = !batch_on
+let set_batch_enabled b = batch_on := b
+
+(* Per-domain scratch: a free list per requested length, in domain-local
+   storage so pool workers never contend or share buffers. *)
+let scratch : (int, float array list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let with_bufs ~len k fn =
+  if len < 0 || k < 0 then invalid_arg "Kernel.with_bufs";
+  let tbl = Domain.DLS.get scratch in
+  let free =
+    match Hashtbl.find_opt tbl len with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add tbl len r;
+      r
+  in
+  let rec take acc i =
+    if i = 0 then acc
+    else
+      match !free with
+      | b :: rest ->
+        free := rest;
+        take (b :: acc) (i - 1)
+      | [] -> take (Array.make len 0.0 :: acc) (i - 1)
+  in
+  let bufs = Array.of_list (take [] k) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun b -> free := b :: !free) bufs)
+    (fun () -> fn bufs)
+
+let check2 name n a b =
+  if n < 0 || n > Array.length a || n > Array.length b then invalid_arg name
+
+let dot2 ?n x ~cos_t ~sin_t =
+  let n = match n with Some n -> n | None -> Array.length x in
+  check2 "Kernel.dot2" n cos_t sin_t;
+  if n > Array.length x then invalid_arg "Kernel.dot2";
+  let re = ref 0.0 and im = ref 0.0 in
+  for s = 0 to n - 1 do
+    re := !re +. (x.(s) *. cos_t.(s));
+    im := !im -. (x.(s) *. sin_t.(s))
+  done;
+  (!re, !im)
+
+let synth_tone ~a ~cos_t ~dst ~n =
+  check2 "Kernel.synth_tone" n cos_t dst;
+  for s = 0 to n - 1 do
+    dst.(s) <- a *. cos_t.(s)
+  done
+
+let synth_two_tone ~a ~cos_t ~inj_cos ~inj_sin ~dst ~n =
+  check2 "Kernel.synth_two_tone" n cos_t dst;
+  check2 "Kernel.synth_two_tone" n inj_cos inj_sin;
+  for s = 0 to n - 1 do
+    dst.(s) <- (a *. cos_t.(s)) +. inj_cos.(s) -. inj_sin.(s)
+  done
+
+let synth_two_tone_direct ~a ~w ~tone ~phi ~cos_t ~points ~dst ~n =
+  check2 "Kernel.synth_two_tone_direct" n cos_t dst;
+  let nf = float_of_int tone in
+  for s = 0 to n - 1 do
+    let theta = two_pi *. float_of_int s /. float_of_int points in
+    dst.(s) <- (a *. cos_t.(s)) +. (w *. cos ((nf *. theta) +. phi))
+  done
+
+external c_neg_tanh_batch :
+  float array -> float array -> int -> float -> float -> unit
+  = "oshil_neg_tanh_batch"
+[@@noalloc]
+
+external c_neg_tanh_batch_fast :
+  float array -> float array -> int -> float -> float -> unit
+  = "oshil_neg_tanh_batch_fast"
+[@@noalloc]
+
+external c_vec_tanh_available : unit -> bool = "oshil_vec_tanh_available"
+[@@noalloc]
+
+let neg_tanh_batch ~g0 ~isat ~src ~dst ~n =
+  check2 "Kernel.neg_tanh_batch" n src dst;
+  c_neg_tanh_batch src dst n g0 isat
+
+let neg_tanh_batch_fast ~g0 ~isat ~src ~dst ~n =
+  check2 "Kernel.neg_tanh_batch_fast" n src dst;
+  c_neg_tanh_batch_fast src dst n g0 isat
+
+let vec_tanh_available = c_vec_tanh_available

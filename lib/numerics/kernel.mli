@@ -1,0 +1,87 @@
+(** Flat-array batch kernels for the describing-function hot path.
+
+    Everything the quadrature inner loops need, expressed over reusable
+    [float array] buffers: waveform synthesis, fused Fourier projection
+    and batched special functions. Two contracts coexist:
+
+    - {b bit-identity}: [dot2], [synth_tone], [synth_two_tone] and
+      [neg_tanh_batch] perform exactly the float operations, in exactly
+      the association and order, of the historical per-sample loops in
+      [Shil.Grid.sample] / [Numerics.Fourier.coeff]. Rewiring those call
+      sites through this module changes no output bit, so cache keys
+      keyed on the quadrature keep their version.
+    - {b tolerance-grade}: [neg_tanh_batch_fast] (SIMD tanh via libmvec
+      where available) is accurate to a few ulp but not bit-identical;
+      only opt-in reduced paths behind bumped cache-key versions may use
+      it.
+
+    Buffer ownership: callers obtain scratch via {!with_bufs}; the
+    arrays are per-domain (never shared across [Pool] workers), valid
+    only inside the callback, and returned to the domain-local free list
+    afterwards. Never retain them. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n >= 2] uniformly spaced samples with
+    [x.(0) = a] and [x.(n-1) = b], computed as
+    [a +. ((b -. a) *. float k /. float (n - 1))] — the single shared
+    definition (mlint flags new private copies in [lib/]). *)
+
+val batch_enabled : unit -> bool
+(** Whether batch implementations are allowed. [false] forces every
+    [Nonlinearity.eval_batch] through the scalar [f] fallback — the
+    pre-batching code path — which benches and smoke tests use to
+    measure and byte-compare scalar vs batch. Initialised from the
+    [OSHIL_NO_BATCH] environment variable (set non-empty, non-"0" to
+    disable batching). *)
+
+val set_batch_enabled : bool -> unit
+
+val with_bufs : len:int -> int -> (float array array -> 'a) -> 'a
+(** [with_bufs ~len k f] calls [f] with [k] scratch arrays of length
+    [len] from the current domain's free list (allocating on first use),
+    returning them when [f] finishes. Contents are unspecified on entry.
+    Reentrant: nested calls receive distinct arrays. *)
+
+val dot2 :
+  ?n:int -> float array -> cos_t:float array -> sin_t:float array ->
+  float * float
+(** [dot2 x ~cos_t ~sin_t] is [(Σ x.(s)·cos_t.(s), −Σ x.(s)·sin_t.(s))]
+    for [s = 0 .. n-1] ([n] defaults to [Array.length x]), accumulated
+    in ascending [s] with one add per term — the exact summation order
+    of the historical projection loops, so results are bit-identical to
+    them. *)
+
+val synth_tone : a:float -> cos_t:float array -> dst:float array -> n:int -> unit
+(** [dst.(s) <- a *. cos_t.(s)] for [s < n]. *)
+
+val synth_two_tone :
+  a:float -> cos_t:float array -> inj_cos:float array ->
+  inj_sin:float array -> dst:float array -> n:int -> unit
+(** [dst.(s) <- ((a *. cos_t.(s)) +. inj_cos.(s)) -. inj_sin.(s)] — the
+    grid row waveform with the per-row injection terms
+    [cp *. cos_nt.(s)] / [sp *. sin_nt.(s)] hoisted into buffers; same
+    association as the historical inline expression. *)
+
+val synth_two_tone_direct :
+  a:float -> w:float -> tone:int -> phi:float -> cos_t:float array ->
+  points:int -> dst:float array -> n:int -> unit
+(** [dst.(s) <- (a *. cos_t.(s)) +. (w *. cos ((tone·θ_s) +. phi))] with
+    [θ_s = 2π s / points] recomputed per sample — bit-identical to the
+    historical [Describing_function.two_tone_input] closure when
+    [cos_t] is the [(points, 1)] trig table and [w = 2.0 *. vi]. *)
+
+val neg_tanh_batch :
+  g0:float -> isat:float -> src:float array -> dst:float array -> n:int -> unit
+(** [dst.(i) <- -.isat *. tanh (g0 *. src.(i) /. isat)] for [i < n],
+    evaluated in C against the same libm — bit-identical to the OCaml
+    expression. Supports [src == dst]. *)
+
+val neg_tanh_batch_fast :
+  g0:float -> isat:float -> src:float array -> dst:float array -> n:int -> unit
+(** Tolerance-grade variant: SIMD [tanh] (glibc libmvec, AVX2) when
+    available, the scalar loop otherwise. Accurate to a few ulp; never
+    use on a bit-identity path. Supports [src == dst]. *)
+
+val vec_tanh_available : unit -> bool
+(** Whether {!neg_tanh_batch_fast} actually dispatches to SIMD on this
+    build/host (reported in bench records). *)

@@ -1,0 +1,111 @@
+/* Batch nonlinearity kernels for Numerics.Kernel.
+ *
+ * Two tiers:
+ *   - oshil_neg_tanh_batch: scalar loop calling the process libm tanh,
+ *     evaluating exactly the OCaml expression
+ *     [-. isat *. tanh (g0 *. v /. isat)] operation for operation. The
+ *     same libm function on the same doubles yields the same bits, so
+ *     this is safe on the bit-identity (default) path; it only removes
+ *     the per-sample closure/caml_apply overhead.
+ *   - oshil_neg_tanh_batch_fast: 4-wide SIMD tanh via glibc's libmvec
+ *     (_ZGVdN4v_tanh), accurate to a few ulp but NOT bit-identical.
+ *     Only the tolerance-grade symmetry-reduced path may use it. Gated
+ *     at compile time on x86-64 + glibc >= 2.35 (libm.so is a linker
+ *     script that pulls libmvec AS_NEEDED, so no extra link flags) and
+ *     at run time on AVX2; otherwise it falls back to the scalar loop.
+ *
+ * Compiled with -ffp-contract=off (see dune) so the compiler can never
+ * fuse float operations differently from the OCaml definitions.
+ */
+
+#include <caml/mlvalues.h>
+#include <math.h>
+
+/* Flat float arrays: an OCaml [float array] is a Double_array_tag block
+   whose payload is a packed C double[]. The caller (Kernel) bounds-checks
+   n against both array lengths before entering C. */
+#define DBL(v) ((double *) Op_val(v))
+
+CAMLprim value oshil_neg_tanh_batch(value src, value dst, value vn,
+                                    value vg0, value visat)
+{
+  const double *s = DBL(src);
+  double *d = DBL(dst);
+  long n = Long_val(vn);
+  double g0 = Double_val(vg0), isat = Double_val(visat);
+  for (long i = 0; i < n; i++)
+    d[i] = -isat * tanh(g0 * s[i] / isat);
+  return Val_unit;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && defined(__GLIBC__) \
+    && defined(__GLIBC_PREREQ)
+#if __GLIBC_PREREQ(2, 35)
+#define OSHIL_HAVE_VEC_TANH 1
+#endif
+#endif
+
+#ifdef OSHIL_HAVE_VEC_TANH
+
+/* AVX2 variant of the libmvec vector-math ABI: 4 doubles per call.
+   aligned(8) keeps loads/stores unaligned-safe. */
+typedef double oshil_v4d __attribute__((vector_size(32), aligned(8)));
+extern oshil_v4d oshil_vtanh4(oshil_v4d) __asm__("_ZGVdN4v_tanh");
+
+__attribute__((target("avx2")))
+static void oshil_neg_tanh_fast_avx2(const double *s, double *d, long n,
+                                     double g0, double isat)
+{
+  const double r = g0 / isat;
+  const oshil_v4d vr = { r, r, r, r };
+  const oshil_v4d vm = { -isat, -isat, -isat, -isat };
+  long i = 0;
+  for (; i + 4 <= n; i += 4) {
+    oshil_v4d x;
+    __builtin_memcpy(&x, s + i, sizeof x);
+    x = oshil_vtanh4(x * vr) * vm;
+    __builtin_memcpy(d + i, &x, sizeof x);
+  }
+  for (; i < n; i++)
+    d[i] = -isat * tanh(s[i] * r);
+}
+
+#endif /* OSHIL_HAVE_VEC_TANH */
+
+static int oshil_vec_tanh_ok(void)
+{
+#ifdef OSHIL_HAVE_VEC_TANH
+  static int ok = -1;
+  if (ok < 0) {
+    __builtin_cpu_init();
+    ok = __builtin_cpu_supports("avx2") ? 1 : 0;
+  }
+  return ok;
+#else
+  return 0;
+#endif
+}
+
+CAMLprim value oshil_vec_tanh_available(value unit)
+{
+  (void) unit;
+  return Val_bool(oshil_vec_tanh_ok());
+}
+
+CAMLprim value oshil_neg_tanh_batch_fast(value src, value dst, value vn,
+                                         value vg0, value visat)
+{
+  const double *s = DBL(src);
+  double *d = DBL(dst);
+  long n = Long_val(vn);
+  double g0 = Double_val(vg0), isat = Double_val(visat);
+#ifdef OSHIL_HAVE_VEC_TANH
+  if (oshil_vec_tanh_ok()) {
+    oshil_neg_tanh_fast_avx2(s, d, n, g0, isat);
+    return Val_unit;
+  }
+#endif
+  for (long i = 0; i < n; i++)
+    d[i] = -isat * tanh(g0 * s[i] / isat);
+  return Val_unit;
+}

@@ -4,14 +4,32 @@ let two_pi = 2.0 *. Float.pi
    harmonic k wants the same table, and a SHIL analysis asks for it
    millions of times (once per describing-function sample), so the cache
    hit rate is effectively 1. Guarded by a mutex because grid rows are
-   sampled from worker domains. *)
-let cache : (int * int, float array * float array) Hashtbl.t = Hashtbl.create 16
+   sampled from worker domains. Each entry carries a last-use tick so
+   eviction under pressure drops the least-recently-used tables instead
+   of wiping the process-lifetime hot (points, 1)/(points, n) entries
+   mid-analysis. *)
+type entry = { tables : float array * float array; mutable last_use : int }
+
+let cache : (int * int, entry) Hashtbl.t = Hashtbl.create 16
 let cache_mutex = Mutex.create ()
+let tick = ref 0
 
 (* Signals of arbitrary length also land here (coeff_sampled on a
-   transient tail), so bound the footprint; a reset is cheap next to
-   recomputing one table. *)
+   transient tail), so bound the footprint. At the limit, evict the
+   stalest half: the recently-used quadrature tables survive, and the
+   batched eviction amortizes the sort. *)
 let max_entries = 64
+
+(* caller holds [cache_mutex] *)
+let evict_lru () =
+  let entries =
+    Hashtbl.fold (fun key e acc -> (e.last_use, key) :: acc) cache []
+  in
+  let by_age = List.sort (fun (a, _) (b, _) -> Int.compare a b) entries in
+  let drop = List.length by_age - (max_entries / 2) in
+  List.iteri
+    (fun i (_, key) -> if i < drop then Hashtbl.remove cache key)
+    by_age
 
 let compute ~points ~k =
   let cos_t =
@@ -27,19 +45,28 @@ let get ~points ~k =
   if points < 1 then invalid_arg "Trig_tables.get: points must be >= 1";
   let key = (points, k) in
   Mutex.lock cache_mutex;
+  incr tick;
   match Hashtbl.find_opt cache key with
-  | Some v ->
+  | Some e ->
+    e.last_use <- !tick;
     Mutex.unlock cache_mutex;
-    v
+    e.tables
   | None ->
     (* compute outside the lock; a racing duplicate computes the exact
        same floats, so whichever insertion wins is equivalent *)
     Mutex.unlock cache_mutex;
     let v = compute ~points ~k in
     Mutex.lock cache_mutex;
-    if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
-    if not (Hashtbl.mem cache key) then Hashtbl.add cache key v;
-    let v' = match Hashtbl.find_opt cache key with Some v' -> v' | None -> v in
+    incr tick;
+    if Hashtbl.length cache >= max_entries then evict_lru ();
+    (match Hashtbl.find_opt cache key with
+    | None -> Hashtbl.add cache key { tables = v; last_use = !tick }
+    | Some e -> e.last_use <- !tick);
+    let v' =
+      match Hashtbl.find_opt cache key with
+      | Some e -> e.tables
+      | None -> v
+    in
     Mutex.unlock cache_mutex;
     v'
 

@@ -13,7 +13,12 @@
     switching call sites to the cache is bit-preserving there.
 
     Thread-safe: may be called concurrently from pool workers. Returned
-    arrays are shared; treat them as read-only. *)
+    arrays are shared; treat them as read-only.
+
+    The cache is bounded; under pressure it evicts the least-recently
+    used half of the entries, so the hot quadrature tables of a running
+    analysis are never dropped mid-run by a burst of one-off
+    signal-length requests. *)
 
 val get : points:int -> k:int -> float array * float array
 (** [get ~points ~k] is [(cos_table, sin_table)], both of length

@@ -37,9 +37,11 @@ type shil_report = {
   grid : Grid.t;
   locks_at_center : Solutions.point list;
   lock_range : Lock_range.t;
+  injection_harmonic : Numerics.Cx.t option;
 }
 
-let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
+let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range ?reduction osc ~n ~vi
+    =
   gate ~mode:check ?points ?n_phi ?n_amp ?a_range osc ~n ~vi;
   Obs.Span.with_ ~cat:"shil" ~name:"shil.analysis.run"
     ~attrs:[ ("n", string_of_int n); ("vi", Printf.sprintf "%g" vi) ]
@@ -63,9 +65,26 @@ let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
         "oscillator has no stable natural oscillation"
         ~remedy:"supply ~a_range explicitly"
   in
-  let grid = Grid.sample ?points ?n_phi ?n_amp osc.nl ~n ~r ~vi ~a_range () in
+  let grid =
+    Grid.sample ?points ?n_phi ?n_amp ?reduction osc.nl ~n ~r ~vi ~a_range ()
+  in
   let locks_at_center = Solutions.find ?points grid ~phi_d:0.0 in
   let lock_range = Lock_range.predict ?points grid ~tank:osc.tank in
+  (* diagnostic: the n-th harmonic of the current at the reference
+     amplitude — how much of the injected tone the nonlinearity itself
+     regenerates. Uses the amplitude the study actually centred on. *)
+  let injection_harmonic =
+    let ref_a =
+      match locks_at_center with
+      | (p : Solutions.point) :: _ -> Some p.a
+      | [] -> natural_amplitude
+    in
+    Option.map
+      (fun a ->
+        Describing_function.ik_two_tone ?points ?reduction osc.nl ~n ~a ~vi
+          ~phi:0.0 ~k:n)
+      ref_a
+  in
   {
     osc;
     n;
@@ -75,6 +94,7 @@ let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range osc ~n ~vi =
     grid;
     locks_at_center;
     lock_range;
+    injection_harmonic;
   }
 
 let locks_at ?points report ~f_inj =
@@ -95,4 +115,8 @@ let pp ppf r =
       fprintf ppf "  phi = %.4f rad, A = %.6g V, %s@," p.phi p.a
         (if p.stable then "stable" else "unstable"))
     r.locks_at_center;
+  (match r.injection_harmonic with
+  | Some z ->
+    fprintf ppf "injection harmonic |I%d| = %.6g A@," r.n (Numerics.Cx.abs z)
+  | None -> ());
   fprintf ppf "%a@]" Lock_range.pp r.lock_range

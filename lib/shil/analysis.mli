@@ -15,6 +15,11 @@ type shil_report = {
   grid : Grid.t;
   locks_at_center : Solutions.point list;  (** at [omega_i = omega_c] *)
   lock_range : Lock_range.t;
+  injection_harmonic : Numerics.Cx.t option;
+      (** [I_n(A, V_i, 0)] at the first centre-frequency lock amplitude
+          (or the natural amplitude): how much of the injected tone the
+          nonlinearity regenerates. [None] when no reference amplitude
+          exists. *)
 }
 
 val preflight :
@@ -26,11 +31,14 @@ val preflight :
 
 val run :
   ?check:Check.Diagnostic.gate_mode -> ?points:int -> ?n_phi:int ->
-  ?n_amp:int -> ?a_range:float * float -> oscillator -> n:int ->
+  ?n_amp:int -> ?a_range:float * float ->
+  ?reduction:Describing_function.reduction -> oscillator -> n:int ->
   vi:float -> shil_report
 (** Natural-oscillation solve, describing-function grid around the
     natural amplitude (default [a_range] = 25%%–125%% of it), lock points
-    at centre frequency, and lock range.
+    at centre frequency, and lock range. [?reduction] selects the
+    quadrature mode for the grid and every downstream solve (default
+    [`Exact]; see {!Describing_function.reduction}).
 
     The configuration first passes {!preflight} under the [?check] gate
     policy (default [`Enforce]): errors raise [Check.Diagnostic.Failed],

@@ -12,39 +12,71 @@ val default_points : int
 (** Quadrature points per period (1024). Spectral accuracy: doubling the
     count is only needed for extremely sharp nonlinearities. *)
 
-val i1 : ?points:int -> Nonlinearity.t -> a:float -> float
+type reduction = [ `Exact | `Symmetry ]
+(** Quadrature mode. [`Exact] (the default everywhere) evaluates the
+    full period with bit-identical batch kernels — results and cache
+    keys are unchanged from the scalar implementation. [`Symmetry]
+    exploits the odd-[f] half-period identity (for odd [f], odd [n] and
+    odd harmonic [k], the projected integrand is π-periodic, so half the
+    samples suffice) and synthesizes the injection tone from trig tables
+    with tolerance-grade (not bit-identical) nonlinearity batches;
+    results agree with [`Exact] to quadrature accuracy and are cached
+    under a bumped key version. When the preconditions do not hold
+    ([Nonlinearity.odd] is false, even [n] or [k], odd [points]) the
+    point count silently stays at the full period. *)
+
+val coeff_key :
+  ?reduction:reduction -> nl_key:string -> n:int -> a:float -> vi:float ->
+  phi:float -> k:int -> points:int -> unit -> Cache.Key.t
+(** The content address of one cached coefficient (exposed for tests and
+    tooling). [`Exact] keys are version 1 — unchanged since the scalar
+    kernel; [`Symmetry] keys are version 2 with a [red=sym] field. *)
+
+val i1 : ?points:int -> ?reduction:reduction -> Nonlinearity.t -> a:float -> float
 (** Single-tone fundamental coefficient [I_1(A)] — real by symmetry
     (footnote 3 of the paper). *)
 
-val ik : ?points:int -> Nonlinearity.t -> a:float -> k:int -> Numerics.Cx.t
+val ik :
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> a:float -> k:int ->
+  Numerics.Cx.t
 (** Single-tone [k]-th coefficient. *)
 
+val two_tone_input :
+  Nonlinearity.t -> n:int -> a:float -> vi:float -> phi:float -> float -> float
+(** The scalar per-θ evaluation
+    [f (A cos θ + 2 V_i cos (n θ + phi))] — the historical reference
+    closure, kept public so equivalence tests can pit the batch kernels
+    against it via {!Numerics.Fourier.coeff}. *)
+
 val i1_two_tone :
-  ?points:int -> Nonlinearity.t -> n:int -> a:float -> vi:float ->
-  phi:float -> Numerics.Cx.t
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> n:int -> a:float ->
+  vi:float -> phi:float -> Numerics.Cx.t
 (** [I_1(A, V_i, phi)] for the input
     [A cos theta + 2 V_i cos (n theta + phi)] (Fig. 8). [n >= 1]. *)
 
 val ik_two_tone :
-  ?points:int -> Nonlinearity.t -> n:int -> a:float -> vi:float ->
-  phi:float -> k:int -> Numerics.Cx.t
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> n:int -> a:float ->
+  vi:float -> phi:float -> k:int -> Numerics.Cx.t
 
-val t_f_free : ?points:int -> Nonlinearity.t -> r:float -> a:float -> float
+val t_f_free :
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> r:float -> a:float ->
+  float
 (** Free-running loop gain (eq. 2): [T_f(A) = -R I_1(A) / (A/2)].
     [A > 0]. *)
 
-val t_f : ?points:int -> Nonlinearity.t -> n:int -> r:float -> a:float ->
-  vi:float -> phi:float -> float
+val t_f :
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> n:int -> r:float ->
+  a:float -> vi:float -> phi:float -> float
 (** Injected loop gain (eq. 3):
     [T_f(A,V_i,phi) = -R Re(I_1(A,V_i,phi)) / (A/2)]. *)
 
 val t_cap_f :
-  ?points:int -> Nonlinearity.t -> n:int -> r:float -> a:float -> vi:float ->
-  phi:float -> phi_d:float -> float
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> n:int -> r:float ->
+  a:float -> vi:float -> phi:float -> phi_d:float -> float
 (** The magnitude form (eq. 5):
     [T_F = |R I_1 cos(phi_d) / (A/2)|]. *)
 
 val arg_minus_i1 :
-  ?points:int -> Nonlinearity.t -> n:int -> a:float -> vi:float ->
-  phi:float -> float
+  ?points:int -> ?reduction:reduction -> Nonlinearity.t -> n:int -> a:float ->
+  vi:float -> phi:float -> float
 (** [angle (-I_1(A, V_i, phi))], the left side of eq. 4. *)

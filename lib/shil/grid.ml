@@ -1,4 +1,6 @@
 module Cx = Numerics.Cx
+module Df = Describing_function
+module Kernel = Numerics.Kernel
 
 type t = {
   nl : Nonlinearity.t;
@@ -9,19 +11,21 @@ type t = {
   amps : float array;
   i1 : Cx.t array array;
   points : int;
+  reduction : Df.reduction;
   failures : Resilience.Summary.t;
 }
 
-let linspace a b n =
-  Array.init n (fun k -> a +. ((b -. a) *. float_of_int k /. float_of_int (n - 1)))
-
 (* Content address of one grid evaluation: every input that can move a
    single output bit is a field. [phis]/[amps] are derived from the
-   ranges by [linspace], so only the ranges need to appear. Bump the
-   version if the quadrature or the row layout ever changes. *)
-let cache_key ~nl_key ~n ~r ~vi ~p_lo ~p_hi ~n_phi ~n_amp ~a_lo ~a_hi ~points =
+   ranges by [Kernel.linspace], so only the ranges need to appear. The
+   [`Exact] key stays at version 1: the batch kernels reproduce the
+   scalar quadrature bit for bit, so grids cached before the batch
+   rewrite remain valid. [`Symmetry] grids are tolerance-grade and hash
+   under version 2 plus an explicit reduction field. *)
+let cache_key ~reduction ~nl_key ~n ~r ~vi ~p_lo ~p_hi ~n_phi ~n_amp ~a_lo
+    ~a_hi ~points =
   let open Cache.Key in
-  v ~kind:"shil.grid" ~version:1
+  let fields =
     [
       str "nl" nl_key;
       int "n" n;
@@ -35,9 +39,13 @@ let cache_key ~nl_key ~n ~r ~vi ~p_lo ~p_hi ~n_phi ~n_amp ~a_lo ~a_hi ~points =
       float "a_hi" a_hi;
       int "points" points;
     ]
+  in
+  match reduction with
+  | `Exact -> v ~kind:"shil.grid" ~version:1 fields
+  | `Symmetry -> v ~kind:"shil.grid" ~version:2 (fields @ [ str "red" "sym" ])
 
 let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
-    ?(n_amp = 101) nl ~n ~r ~vi ~a_range () =
+    ?(n_amp = 101) ?(reduction = `Exact) nl ~n ~r ~vi ~a_range () =
   if n_phi < 2 || n_amp < 2 then invalid_arg "Grid.sample: need >= 2 samples";
   let a_lo, a_hi = a_range in
   if a_lo <= 0.0 || a_hi <= a_lo then invalid_arg "Grid.sample: bad a_range";
@@ -50,8 +58,8 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
         ("points", string_of_int points);
       ]
   @@ fun () ->
-  let phis = linspace p_lo p_hi n_phi in
-  let amps = linspace a_lo a_hi n_amp in
+  let phis = Kernel.linspace p_lo p_hi n_phi in
+  let amps = Kernel.linspace a_lo a_hi n_amp in
   (* cacheable iff the nonlinearity carries a canonical identity; the
      stored value is just the [i1] matrix — [phis]/[amps] are rebuilt
      deterministically above, and only clean grids (no typed holes) are
@@ -59,8 +67,8 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
   let key =
     Option.map
       (fun nl_key ->
-        cache_key ~nl_key ~n ~r ~vi ~p_lo ~p_hi ~n_phi ~n_amp ~a_lo ~a_hi
-          ~points)
+        cache_key ~reduction ~nl_key ~n ~r ~vi ~p_lo ~p_hi ~n_phi ~n_amp ~a_lo
+          ~a_hi ~points)
       (Nonlinearity.cache_key nl)
   in
   let cached =
@@ -81,37 +89,62 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
       amps;
       i1;
       points;
+      reduction;
       failures = Resilience.Summary.make ~attempted:n_phi [];
     }
   | None ->
   (* hot loop: the trig tables shared by every (phi, A) sample come from
-     the process-wide cache, so the quadrature reduces to nonlinearity
-     evaluations and fused multiply-adds; equivalent to Df.i1_two_tone on
-     each node *)
+     the process-wide cache, and the per-row quadrature runs on the flat
+     batch kernels — waveform synthesis into per-domain scratch buffers,
+     one fused nonlinearity batch, one fused projection. On the [`Exact]
+     path this performs the historical scalar operations in the same
+     order, so each cell is bit-identical to Df.i1_two_tone's exact
+     quadrature structure (and to the pre-batch implementation). *)
   let cos_t, sin_t = Numerics.Trig_tables.get ~points ~k:1 in
   let cos_nt, sin_nt = Numerics.Trig_tables.get ~points ~k:n in
-  let f = Nonlinearity.eval nl in
+  let exact = match reduction with `Exact -> true | `Symmetry -> false in
+  (* [`Symmetry]: odd f and odd n make the projected integrand
+     π-periodic, so half the quadrature samples suffice (harmonic k = 1
+     is odd) *)
+  let half =
+    (not exact) && Nonlinearity.odd nl && n land 1 = 1 && points land 1 = 0
+  in
+  let m = if half then points / 2 else points in
+  let compute_row phi =
+    (* one full row: n_amp amplitudes x m quadrature samples *)
+    Obs.Metrics.incr ~by:(n_amp * m) "shil.grid.f_evals";
+    let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
+    Kernel.with_bufs ~len:points 4 @@ fun bufs ->
+    let inj_cos = bufs.(0)
+    and inj_sin = bufs.(1)
+    and wave = bufs.(2)
+    and cur = bufs.(3) in
+    for s = 0 to m - 1 do
+      inj_cos.(s) <- cp *. cos_nt.(s);
+      inj_sin.(s) <- sp *. sin_nt.(s)
+    done;
+    Array.map
+      (fun a ->
+        Kernel.synth_two_tone ~a ~cos_t ~inj_cos ~inj_sin ~dst:wave ~n:m;
+        if exact then Nonlinearity.eval_batch ~n:m nl ~src:wave ~dst:cur
+        else Nonlinearity.eval_batch_fast ~n:m nl ~src:wave ~dst:cur;
+        let re, im = Kernel.dot2 ~n:m cur ~cos_t ~sin_t in
+        Cx.make (re /. float_of_int m) (im /. float_of_int m))
+      amps
+  in
+  (* [`Symmetry] over the default symmetric phi range also mirrors
+     whole rows: I1(A, Vi, 2π − phi) = conj I1(A, Vi, phi) for any real
+     f (the prop_conjugate identity), so only the first half of the phi
+     rows is computed and the rest are conjugate copies. *)
+  let mirror =
+    (not exact) && p_lo = 0.0 && p_hi = 2.0 *. Float.pi && n_phi > 2
+  in
+  let n_work = if mirror then (n_phi + 1) / 2 else n_phi in
   (* rows of the (phi, A) grid are independent: fan them out over the
      default pool. Each row writes only its own slot, so the parallel
      result is bit-identical to the sequential Array.map. *)
-  let compute_row phi =
-    (* one full row: n_amp amplitudes x points quadrature samples *)
-    Obs.Metrics.incr ~by:(n_amp * points) "shil.grid.f_evals";
-    let cp = 2.0 *. vi *. cos phi and sp = 2.0 *. vi *. sin phi in
-    Array.map
-      (fun a ->
-        let re = ref 0.0 and im = ref 0.0 in
-        for s = 0 to points - 1 do
-          let v = (a *. cos_t.(s)) +. (cp *. cos_nt.(s)) -. (sp *. sin_nt.(s)) in
-          let i = f v in
-          re := !re +. (i *. cos_t.(s));
-          im := !im -. (i *. sin_t.(s))
-        done;
-        Cx.make (!re /. float_of_int points) (!im /. float_of_int points))
-      amps
-  in
-  let rows =
-    Numerics.Pool.parallel_init n_phi (fun idx ->
+  let work =
+    Numerics.Pool.parallel_init n_work (fun idx ->
         if Resilience.Fault.fire_at "grid-point" ~k:idx then
           Error (Resilience.Fault.error ~site:"grid-point" Shil ~phase:"grid")
         else
@@ -119,6 +152,14 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
           | row -> Ok row
           | exception e ->
             Error (Resilience.Oshil_error.of_exn Shil ~phase:"grid" e))
+  in
+  let rows =
+    Array.init n_phi (fun idx ->
+        if idx < n_work then work.(idx)
+        else
+          match work.(n_phi - 1 - idx) with
+          | Ok row -> Ok (Array.map Cx.conj row)
+          | Error e -> Error e)
   in
   (* failed rows become NaN holes: the contour extractors already treat
      NaN cells as "no curve here", so partial grids stay usable *)
@@ -144,7 +185,7 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
     Option.iter
       (fun key -> Cache.Store.add ~key ~encode:Cache.Store.to_marshal i1)
       key;
-  { nl; n; r; vi; phis; amps; i1; points; failures }
+  { nl; n; r; vi; phis; amps; i1; points; reduction; failures }
 
 let t_f_field g =
   Array.mapi
@@ -198,8 +239,24 @@ let phase_cos_ok g ~phi_d (phi, a) =
   mag > 0.0
   && ((Cx.re m *. cos phi_d) -. (Cx.im m *. sin phi_d)) /. mag > 0.0
 
+(* The C_{T_f,1} extraction is phi_d-invariant (§III-C), and a boundary
+   search probes the SAME grid dozens of times with different phi_d —
+   each probe re-deriving the field and re-running marching squares is
+   pure overhead. One-slot memo keyed by grid identity: the access
+   pattern is always "many probes against the latest grid". A lost race
+   just recomputes an identical value. *)
+let tf_memo = Atomic.make None
+
 let t_f_curve g =
-  Contour.polylines ~xs:g.phis ~ys:g.amps ~field:(t_f_field g) ~level:0.0
+  match Atomic.get tf_memo with
+  (* mlint: allow phys-eq — identity-keyed memo *)
+  | Some (g', curves) when g' == g -> curves
+  | _ ->
+    let curves =
+      Contour.polylines ~xs:g.phis ~ys:g.amps ~field:(t_f_field g) ~level:0.0
+    in
+    Atomic.set tf_memo (Some (g, curves));
+    curves
 
 let phase_curve g ~phi_d =
   let segs =

@@ -17,24 +17,45 @@ type t = {
   amps : float array;
   i1 : Numerics.Cx.t array array;  (** [i1.(i).(j)] at [(phis.(i), amps.(j))] *)
   points : int;  (** quadrature points used per sample *)
+  reduction : Describing_function.reduction;
+      (** quadrature mode the grid was sampled with; downstream solvers
+          ([Solutions], [Lock_range]) inherit it for their own
+          describing-function probes *)
   failures : Resilience.Summary.t;
       (** rows that failed to evaluate (typed holes, NaN-filled in
           [i1]); clean grids have [Resilience.Summary.is_clean] *)
 }
 
+val cache_key :
+  reduction:Describing_function.reduction -> nl_key:string -> n:int ->
+  r:float -> vi:float -> p_lo:float -> p_hi:float -> n_phi:int -> n_amp:int ->
+  a_lo:float -> a_hi:float -> points:int -> Cache.Key.t
+(** The content address of one grid evaluation (exposed for tests and
+    tooling). [`Exact] keys are version 1 — unchanged since the scalar
+    kernel, because the batch rewrite is bit-identical; [`Symmetry] keys
+    are version 2 with a [red=sym] field. *)
+
 val sample :
   ?points:int -> ?phi_range:float * float -> ?n_phi:int -> ?n_amp:int ->
+  ?reduction:Describing_function.reduction ->
   Nonlinearity.t -> n:int -> r:float -> vi:float -> a_range:float * float ->
   unit -> t
 (** Defaults: [phi_range = (0, 2 pi)], [n_phi = 121], [n_amp = 101],
-    [points = 512]. [a_range] should bracket the expected lock amplitudes
-    (e.g. 40%%–120%% of the natural amplitude).
+    [points = 512], [reduction = `Exact]. [a_range] should bracket the
+    expected lock amplitudes (e.g. 40%%–120%% of the natural amplitude).
+
+    [`Exact] grids are bit-identical to the historical scalar kernel.
+    [~reduction:`Symmetry] grids are tolerance-grade: for an odd
+    nonlinearity and odd [n] each row integrates half a period, and over
+    the default symmetric [phi_range] only half the rows are computed —
+    the rest are conjugate mirrors ([I1(2π−φ) = conj I1(φ)]).
 
     A row whose evaluation raises becomes a NaN-filled typed hole in
     [failures] (counter [resilience.grid.holes]) instead of aborting
     the sweep — the contour extractors skip NaN cells — unless
     {!Resilience.Policy.set_fail_fast} is on. Fault site [grid-point]
-    (by row index) injects row failures for testing. *)
+    (by computed-row index) injects row failures for testing; under
+    [`Symmetry] mirroring, a failed source row also holes its mirror. *)
 
 val t_f_field : t -> float array array
 (** [T_f(phi, A) - 1] (eq. 3 residual). *)

@@ -6,12 +6,22 @@
 
 type t
 
+type batch_fn = src:float array -> dst:float array -> n:int -> unit
+(** A fused slice evaluation: [dst.(i) <- f src.(i)] for [i < n]. Must
+    support [src == dst] (slot [i] is read before it is written). *)
+
 val make :
-  ?name:string -> ?key:string -> ?df:(float -> float) -> (float -> float) -> t
+  ?name:string -> ?key:string -> ?df:(float -> float) -> ?batch:batch_fn ->
+  ?odd:bool -> (float -> float) -> t
 (** [make f] wraps a function; missing [df] is computed by central
     differences with a relative step of 1e-6. [key], when given, declares
     a canonical cache identity (see {!cache_key}) — only supply it if the
-    string fully determines [f] bit-for-bit. *)
+    string fully determines [f] bit-for-bit. [batch], when given, must be
+    bit-identical to mapping [f] (it feeds cached, key-versioned
+    quadratures). [odd] (default [false]) declares the mathematical
+    symmetry [f (-v) = -f v], which licenses the half-period quadrature
+    reduction of [Describing_function]'s [`Symmetry] mode — only set it
+    if the symmetry is exact. *)
 
 val name : t -> string
 
@@ -26,6 +36,28 @@ val cache_key : t -> string option
 
 val eval : t -> float -> float
 val deriv : t -> float -> float
+
+val eval_batch : ?n:int -> t -> src:float array -> dst:float array -> unit
+(** [eval_batch t ~src ~dst] stores [eval t src.(i)] into [dst.(i)] for
+    [i < n] ([n] defaults to [Array.length src]) — bit-identical to the
+    scalar loop, whether it dispatches to a fused batch implementation
+    ([neg_tanh], [cubic], the built-in [tunnel_diode], [of_table], and
+    [shift_bias]/[scale_current] wrappers thereof) or falls back to
+    per-element [eval]. [Numerics.Kernel.set_batch_enabled false] forces
+    the fallback, which benches use as the scalar reference. Supports
+    [src == dst]. *)
+
+val eval_batch_fast : ?n:int -> t -> src:float array -> dst:float array -> unit
+(** Tolerance-grade variant: uses a faster, not-bit-identical batch
+    implementation when one exists (SIMD tanh for [neg_tanh] on capable
+    hosts), [eval_batch] behaviour otherwise. Results may differ from
+    [eval] in the last ulps — only the symmetry-reduced quadratures
+    (bumped cache-key versions) consume this. *)
+
+val odd : t -> bool
+(** Whether [f (-v) = -f v] holds mathematically ([neg_tanh], [cubic],
+    and [scale_current] of an odd nonlinearity). Gates the half-period
+    reduction; [false] is always safe. *)
 
 val neg_tanh : g0:float -> isat:float -> t
 (** The paper's illustration nonlinearity: [f v = -. isat *. tanh (g0 *. v

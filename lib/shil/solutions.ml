@@ -11,10 +11,10 @@ type point = {
   det : float;
 }
 
-let residuals ?points nl ~n ~r ~vi ~phi_d (phi, a) =
+let residuals ?points ?reduction nl ~n ~r ~vi ~phi_d (phi, a) =
   if a <= 0.0 then (1e6, 1e6)
   else begin
-    let i1 = Df.i1_two_tone ?points nl ~n ~a ~vi ~phi in
+    let i1 = Df.i1_two_tone ?points ?reduction nl ~n ~a ~vi ~phi in
     let m = Cx.neg i1 in
     let mag = Cx.abs m in
     let r1 = (r *. Cx.re m /. (a /. 2.0)) -. 1.0 in
@@ -28,20 +28,21 @@ let residuals ?points nl ~n ~r ~vi ~phi_d (phi, a) =
 (* Reduced restoring flow (§VI-B3): dA/dt = F1 = T_F - 1, dphi/dt = F2 =
    -(angle(-I1) + phi_d). Stability = eigenvalues of d(F1,F2)/d(A,phi) in
    the left half plane <=> trace < 0 and det > 0. *)
-let flow ?points nl ~n ~r ~vi ~phi_d ~phi ~a =
-  let i1 = Df.i1_two_tone ?points nl ~n ~a ~vi ~phi in
+let flow ?points ?reduction nl ~n ~r ~vi ~phi_d ~phi ~a =
+  let i1 = Df.i1_two_tone ?points ?reduction nl ~n ~a ~vi ~phi in
   let m = Cx.neg i1 in
   let f1 = (2.0 *. r *. Cx.abs m *. cos phi_d /. a) -. 1.0 in
   let f2 = -.Angle.wrap_pi (Cx.arg m +. phi_d) in
   (f1, f2)
 
-let classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a =
+let classify ?points ?reduction nl ~n ~r ~vi ~phi_d ~phi ~a =
   let ha = 1e-5 *. (1.0 +. Float.abs a) in
   let hp = 1e-5 in
-  let f1_pa, f2_pa = flow ?points nl ~n ~r ~vi ~phi_d ~phi ~a:(a +. ha) in
-  let f1_ma, f2_ma = flow ?points nl ~n ~r ~vi ~phi_d ~phi ~a:(a -. ha) in
-  let f1_pp, f2_pp = flow ?points nl ~n ~r ~vi ~phi_d ~phi:(phi +. hp) ~a in
-  let f1_mp, f2_mp = flow ?points nl ~n ~r ~vi ~phi_d ~phi:(phi -. hp) ~a in
+  let flow = flow ?points ?reduction nl ~n ~r ~vi ~phi_d in
+  let f1_pa, f2_pa = flow ~phi ~a:(a +. ha) in
+  let f1_ma, f2_ma = flow ~phi ~a:(a -. ha) in
+  let f1_pp, f2_pp = flow ~phi:(phi +. hp) ~a in
+  let f1_mp, f2_mp = flow ~phi:(phi -. hp) ~a in
   let j11 = (f1_pa -. f1_ma) /. (2.0 *. ha) in
   let j12 = (f1_pp -. f1_mp) /. (2.0 *. hp) in
   let j21 = (f2_pa -. f2_ma) /. (2.0 *. ha) in
@@ -50,8 +51,8 @@ let classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a =
   let det = (j11 *. j22) -. (j12 *. j21) in
   { phi; a; stable = trace < 0.0 && det > 0.0; trace; det }
 
-let refine ?points nl ~n ~r ~vi ~phi_d ~phi0 ~a0 =
-  let f = residuals ?points nl ~n ~r ~vi ~phi_d in
+let refine ?points ?reduction nl ~n ~r ~vi ~phi_d ~phi0 ~a0 =
+  let f = residuals ?points ?reduction nl ~n ~r ~vi ~phi_d in
   try Some (Roots.newton2d ~tol:1e-12 ~f ~x0:(phi0, a0) ())
   with Roots.No_convergence _ -> None
 
@@ -60,6 +61,8 @@ let find ?points (g : Grid.t) ~phi_d =
     ~attrs:[ ("phi_d", Printf.sprintf "%g" phi_d) ]
   @@ fun () ->
   let nl = g.nl and n = g.n and r = g.r and vi = g.vi in
+  (* downstream probes quadrate in the same mode the grid was built in *)
+  let reduction = g.reduction in
   let curves = Grid.t_f_curve g in
   (* residual of eq. 4 along the T_f = 1 curve, wrapped *)
   let phase_res phi a =
@@ -93,10 +96,10 @@ let find ?points (g : Grid.t) ~phi_d =
   let refined =
     Numerics.Pool.parallel_map_array ~chunk:1
       (fun (phi0, a0) ->
-        match refine ?points nl ~n ~r ~vi ~phi_d ~phi0 ~a0 with
+        match refine ?points ~reduction nl ~n ~r ~vi ~phi_d ~phi0 ~a0 with
         | Some (phi, a) when a > 0.0 ->
           (* reject the spurious cos <= 0 branch *)
-          let i1 = Df.i1_two_tone ?points nl ~n ~a ~vi ~phi in
+          let i1 = Df.i1_two_tone ?points ~reduction nl ~n ~a ~vi ~phi in
           let m = Cx.neg i1 in
           if Float.abs (Angle.wrap_pi (Cx.arg m +. phi_d)) < Float.pi /. 2.0
           then Some (Angle.wrap_two_pi phi, a)
@@ -125,7 +128,7 @@ let find ?points (g : Grid.t) ~phi_d =
   (* stability scan: 8 flow evaluations per point, independent per point *)
   let pts =
     Numerics.Pool.parallel_map_array ~chunk:1
-      (fun (phi, a) -> classify ?points nl ~n ~r ~vi ~phi_d ~phi ~a)
+      (fun (phi, a) -> classify ?points ~reduction nl ~n ~r ~vi ~phi_d ~phi ~a)
       (Array.of_list dedup)
     |> Array.to_list
   in

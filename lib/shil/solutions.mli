@@ -10,13 +10,15 @@ type point = {
 }
 
 val residuals :
-  ?points:int -> Nonlinearity.t -> n:int -> r:float -> vi:float ->
+  ?points:int -> ?reduction:Describing_function.reduction ->
+  Nonlinearity.t -> n:int -> r:float -> vi:float ->
   phi_d:float -> float * float -> float * float
 (** [(T_f - 1, sin(angle(-I_1) + phi_d))] at [(phi, a)] — the exact
     (non-gridded) residual pair that {!refine} drives to zero. *)
 
 val classify :
-  ?points:int -> Nonlinearity.t -> n:int -> r:float -> vi:float ->
+  ?points:int -> ?reduction:Describing_function.reduction ->
+  Nonlinearity.t -> n:int -> r:float -> vi:float ->
   phi_d:float -> phi:float -> a:float -> point
 (** Stability from the reduced phase/amplitude flow
     [dA/dt ∝ T_F - 1], [dphi/dt ∝ -(angle(-I_1) + phi_d)]:
@@ -29,7 +31,8 @@ val find :
 (** All lock points at tank phase [phi_d]: walks the gridded [C_{T_f,1}]
     polylines, brackets sign changes of the (wrapped) phase residual along
     them, refines each with a damped 2-D Newton on the exact residuals,
-    deduplicates, and classifies stability. Sorted by [phi]. *)
+    deduplicates, and classifies stability. Sorted by [phi]. The
+    refinement quadratures run in the grid's own [reduction] mode. *)
 
 val stable_exists : ?points:int -> Grid.t -> phi_d:float -> bool
 

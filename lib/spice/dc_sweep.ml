@@ -16,9 +16,10 @@ let run ?newton ?(check = `Enforce) ~circuit ~source ~start ~stop ~steps () =
   Preflight.gate ~mode:check circuit;
   let compiled = Mna.compile circuit in
   let prev_x = ref None in
+  let vs = Numerics.Kernel.linspace start stop (steps + 1) in
   let points =
     Array.init (steps + 1) (fun k ->
-        let v = start +. ((stop -. start) *. float_of_int k /. float_of_int steps) in
+        let v = vs.(k) in
         let c = with_source_value circuit ~source v in
         let op = Op.run ?newton ~check:`Off ?x0:!prev_x c in
         prev_x := Some op.Op.x;

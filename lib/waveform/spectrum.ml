@@ -9,11 +9,8 @@ let compute ?(hann = true) (s : Signal.t) =
   (* resampling onto the power-of-two grid is a binary search per point
      (O(n log n) total) and dominates for long transients; the points are
      independent, so split them across the pool *)
-  let xs =
-    Numerics.Pool.parallel_init n (fun k ->
-        let t = t0 +. ((t1 -. t0) *. float_of_int k /. float_of_int (n - 1)) in
-        Signal.value_at s t)
-  in
+  let ts = Numerics.Kernel.linspace t0 t1 n in
+  let xs = Numerics.Pool.parallel_init n (fun k -> Signal.value_at s ts.(k)) in
   let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
   let coherent_gain = ref 0.0 in
   let windowed =

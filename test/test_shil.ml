@@ -306,8 +306,7 @@ let test_small_signal_gain () =
 let circle_field xs ys radius =
   Array.map (fun x -> Array.map (fun y -> (x *. x) +. (y *. y) -. (radius *. radius)) ys) xs
 
-let linspace a b n =
-  Array.init n (fun k -> a +. ((b -. a) *. float_of_int k /. float_of_int (n - 1)))
+let linspace = Numerics.Kernel.linspace
 
 let test_contour_circle () =
   let xs = linspace (-2.0) 2.0 81 and ys = linspace (-2.0) 2.0 81 in

@@ -14,6 +14,9 @@
      direct-clock  no [Unix.gettimeofday] / [Sys.time] in library code
                    outside lib/obs — use [Obs.Clock] so telemetry and
                    benches share one monotonic clock
+     local-linspace no local [let linspace] definitions — the canonical
+                   one lives in [Numerics.Kernel] (bit-identical uniform
+                   sampling everywhere, one expression to audit)
 
    A line can waive a rule with the comment [(* mlint: allow CODE *)]
    placed on the same line (or the line above) as the offending token.
@@ -295,6 +298,24 @@ let check_tokens ~file ~dir text waivers =
     List.rev !out
   in
   rule "obj-magic" (qualified "Obj.magic") "Obj.magic defeats the type system";
+  (* a [linspace] binding is a reimplementation (or shadowing) of the
+     canonical Numerics.Kernel.linspace: one uniform-sampling expression
+     keeps grids bit-identical across the code base *)
+  rule "local-linspace"
+    (ident_occurrences text "linspace"
+    |> List.filter (fun pos ->
+           (* only definitions: the identifier right before must be [let]
+              (fun-arg shadowing is too rare to chase lexically) *)
+           let rec skip_ws i =
+             if i >= 0 && (text.[i] = ' ' || text.[i] = '\t') then
+               skip_ws (i - 1)
+             else i
+           in
+           let j = skip_ws (pos - 1) in
+           j >= 2 && String.sub text (j - 2) 3 = "let"
+           && (j = 2 || not (is_ident_char text.[j - 3]))))
+    "local linspace definition; use Numerics.Kernel.linspace (waive with \
+     (* mlint: allow local-linspace *) only for the canonical definition)";
   rule "printf"
     (qualified "Printf.printf" @ qualified "print_endline"
     @ qualified "print_string")
