@@ -1,7 +1,7 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
-.PHONY: all test lint bench-smoke bench batch cache-smoke kernel-smoke \
-        coverage clean
+.PHONY: all test lint analyze bench-smoke bench batch cache-smoke \
+        kernel-smoke coverage clean
 
 all:
 	dune build
@@ -14,6 +14,13 @@ test:
 lint:
 	dune build @lint
 	dune exec bin/oshil.exe -- lint examples/netlists/*.cir examples/scenarios/*.scn
+
+# Typed-AST static analysis (tools/dsa): walks the .cmt artifacts of
+# every lib/ module and enforces the domain-safety / cache-purity /
+# float-order / raise-escape contracts. --strict also fails on
+# warnings (bad or unused waivers).
+analyze:
+	dune build @analyze
 
 # CI smoke: build, run the tier-1 tests, then run the bench harness in
 # its fast configuration (--only-bench --skip-slow) and verify that the
@@ -28,8 +35,8 @@ bench-smoke:
 # JOBS=N) to control the pool size of the parallel kernels.
 JOBS ?=
 bench:
-	dune build bench/main.exe
-	./_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
+	dune build bench/main.exe @analyze
+	OSHIL_DSA_FINDINGS=0 ./_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
 	./_build/default/bench/main.exe --check-json BENCH_grid.json BENCH_lockrange.json BENCH_cache.json
 
 # Batch-run the shipped scenarios with the content-addressed cache on;

@@ -10,7 +10,7 @@ type t
 val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
 (** Defaults: 512 entries, 64 MiB of payload. [max_entries >= 1];
     [max_bytes] counts key + data bytes plus a small per-entry
-    overhead. *)
+    overhead. Raises [Invalid_argument] if [max_entries < 1]. *)
 
 val find : t -> string -> string option
 (** Refreshes the entry's recency on hit. *)

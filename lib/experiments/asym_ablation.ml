@@ -6,7 +6,9 @@ let cell () : Shil.Analysis.oscillator =
   in
   let wc = 2.0 *. Float.pi *. 2e6 in
   {
-    nl = Shil.Nonlinearity.make ~name:"asym_clip" f;
+    nl =
+      Shil.Nonlinearity.make ~name:"asym_clip"
+        ~key:"asym_clip(g1=2e-3,g3=0.6e-3,kc=5e-3,vc=0.8)" f;
     tank = Shil.Tank.make ~r:1.2e3 ~l:(150.0 /. wc) ~c:(1.0 /. (150.0 *. wc));
   }
 

@@ -15,9 +15,13 @@ let host_meta () =
       ("os_type", Sys.os_type);
     ]
   in
-  match Sys.getenv_opt "OSHIL_GIT_REV" with
-  | Some rev when String.trim rev <> "" -> base @ [ ("git_rev", String.trim rev) ]
-  | _ -> base
+  let opt key = function
+    | Some v when String.trim v <> "" -> [ (key, String.trim v) ]
+    | _ -> []
+  in
+  base
+  @ opt "git_rev" (Sys.getenv_opt "OSHIL_GIT_REV")
+  @ opt "dsa_findings" (Sys.getenv_opt "OSHIL_DSA_FINDINGS")
 
 let json_float x =
   if Float.is_nan x then "null"

@@ -35,8 +35,13 @@ type entry = {
 
 val host_meta : unit -> (string * string) list
 (** Execution context for bench records: recommended domain count,
-    OCaml version, OS type, and — when the [OSHIL_GIT_REV] environment
-    variable is set and non-empty — the git revision CI baked in. *)
+    OCaml version, OS type, and — when the corresponding environment
+    variables are set and non-empty — [git_rev] from [OSHIL_GIT_REV]
+    (the revision CI baked in) and [dsa_findings] from
+    [OSHIL_DSA_FINDINGS] (the unwaived static-analysis finding count at
+    measurement time; the bench harnesses run behind the [@analyze]
+    alias and record ["0"], asserting the tree was analyzer-clean when
+    the numbers were taken). *)
 
 exception Parse_error of string
 

@@ -2,7 +2,9 @@
 
     Used to turn DC-sweep [i = f(v)] tables extracted from the circuit
     simulator into smooth nonlinearities for the describing-function
-    machinery. Knot abscissae must be strictly increasing. *)
+    machinery. Knot abscissae must be strictly increasing; the
+    constructors raise [Invalid_argument] on a length mismatch, fewer
+    than two knots, or non-increasing abscissae. *)
 
 type t
 (** An interpolant with an evaluation domain [[x_min, x_max]]. Evaluation
@@ -25,7 +27,8 @@ val eval_batch : ?n:int -> t -> src:float array -> dst:float array -> unit
     [i < n] ([n] defaults to [Array.length src]), bit-identical to the
     scalar loop. The knot-interval search is warm-started from the
     previous sample, which amortizes it to O(1) on piecewise-smooth
-    inputs (quadrature waveforms). Supports [src == dst]. *)
+    inputs (quadrature waveforms). Supports [src == dst]. Raises
+    [Invalid_argument] if [n] exceeds either array's length. *)
 
 val eval_deriv : t -> float -> float
 (** First derivative of the interpolant (exact for the polynomial pieces;

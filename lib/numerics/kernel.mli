@@ -40,7 +40,8 @@ val with_bufs : len:int -> int -> (float array array -> 'a) -> 'a
 (** [with_bufs ~len k f] calls [f] with [k] scratch arrays of length
     [len] from the current domain's free list (allocating on first use),
     returning them when [f] finishes. Contents are unspecified on entry.
-    Reentrant: nested calls receive distinct arrays. *)
+    Reentrant: nested calls receive distinct arrays. Raises
+    [Invalid_argument] if [len] or [k] is negative. *)
 
 val dot2 :
   ?n:int -> float array -> cos_t:float array -> sin_t:float array ->
@@ -49,7 +50,8 @@ val dot2 :
     for [s = 0 .. n-1] ([n] defaults to [Array.length x]), accumulated
     in ascending [s] with one add per term — the exact summation order
     of the historical projection loops, so results are bit-identical to
-    them. *)
+    them. Raises [Invalid_argument] if [n] exceeds any array's
+    length. *)
 
 val synth_tone : a:float -> cos_t:float array -> dst:float array -> n:int -> unit
 (** [dst.(s) <- a *. cos_t.(s)] for [s < n]. *)

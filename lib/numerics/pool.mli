@@ -28,9 +28,10 @@ type t
     ([k - 1] workers plus the submitting domain). *)
 
 val create : size:int -> t
-(** [create ~size] spawns [size - 1] worker domains. [size >= 1];
-    a size-1 pool has no workers and runs everything in the caller.
-    Pools not shut down explicitly are shut down [at_exit]. *)
+(** [create ~size] spawns [size - 1] worker domains. [size >= 1]
+    (raises [Invalid_argument] otherwise); a size-1 pool has no workers
+    and runs everything in the caller. Pools not shut down explicitly
+    are shut down [at_exit]. *)
 
 val size : t -> int
 
@@ -50,9 +51,10 @@ val default_size : unit -> int
 (** Effective job count the default pool would use right now. *)
 
 val set_jobs : int -> unit
-(** [set_jobs n] forces the default-pool size to [n] (>= 1), shutting
-    down and re-creating the default pool if it was already running at
-    a different size. This is what [--jobs] flags call. *)
+(** [set_jobs n] forces the default-pool size to [n] (>= 1, raises
+    [Invalid_argument] otherwise), shutting down and re-creating the
+    default pool if it was already running at a different size. This is
+    what [--jobs] flags call. *)
 
 val get_default : unit -> t option
 (** The default pool, created on first use; [None] when the effective
@@ -95,7 +97,8 @@ val stats : unit -> stats
     All entry points take [?pool]; when omitted they use
     {!get_default}. [?chunk] overrides the scheduling grain (default:
     enough chunks for ~4 per domain, load-balanced but deterministic
-    in result). *)
+    in result). Raises [Invalid_argument] on a negative element count
+    or a [chunk < 1]. *)
 
 val parallel_for : ?pool:t -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] runs [f 0 .. f (n-1)], any order, all complete

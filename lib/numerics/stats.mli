@@ -1,4 +1,6 @@
-(** Descriptive statistics over float arrays (non-empty unless noted). *)
+(** Descriptive statistics over float arrays (non-empty unless noted;
+    an empty array — or a [linear_fit] length mismatch — raises
+    [Invalid_argument]). *)
 
 val mean : float array -> float
 val variance : float array -> float

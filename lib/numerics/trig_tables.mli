@@ -22,7 +22,8 @@
 
 val get : points:int -> k:int -> float array * float array
 (** [get ~points ~k] is [(cos_table, sin_table)], both of length
-    [points], with [cos_table.(s) = cos (2π k s / points)]. *)
+    [points], with [cos_table.(s) = cos (2π k s / points)]. Raises
+    [Invalid_argument] if [points < 1]. *)
 
 val clear : unit -> unit
 (** Drop all cached tables (tests / memory pressure). *)

@@ -286,6 +286,7 @@ let finish acc : Registry.snapshot =
     counters = sorted_bindings acc.counters;
     gauges = sorted_bindings acc.gauges;
     hists =
+      (* dsa: allow float-order — bindings are collected into a list and sorted by unique key before any float is combined *)
       Hashtbl.fold (fun k (b, c) l -> (k, b, c) :: l) acc.hists []
       |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b);
   }

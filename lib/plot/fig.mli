@@ -2,7 +2,8 @@
 
     Build a figure with {!create} and the [add_*] functions (each returns
     the extended figure), then hand it to {!Svg_render} or
-    {!Ascii_render}. *)
+    {!Ascii_render}. [add_line] and [add_scatter] raise
+    [Invalid_argument] on an [xs]/[ys] length mismatch. *)
 
 type color = { r : int; g : int; b : int }
 

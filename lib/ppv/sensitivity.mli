@@ -19,7 +19,8 @@ val compute : ?jac_eps:float -> f:Numerics.Ode.system -> Orbit.t -> t
     monodromy matrix for the unit multiplier; Jacobians of [f] are
     finite-difference with relative step [jac_eps] (default 1e-7).
     Raises [Failure] when the unit multiplier is missing (not an
-    oscillator orbit). *)
+    oscillator orbit) and [Invalid_argument] on a state dimension other
+    than 2. *)
 
 val at : t -> float -> float array
 (** Periodic interpolation of the PPV. *)

@@ -51,6 +51,7 @@ let parse_spec spec =
         match int_of_string_opt s with
         | Some n when n >= 0 -> n
         | _ ->
+          (* dsa: allow raise-escape — Bad_spec is internal: [parse] converts it to [Error] before it crosses the interface *)
           raise (Bad_spec (Printf.sprintf "invalid %s %S in fault %S" what s spec))
       in
       let start = parse_int "start" start_s in
@@ -60,12 +61,14 @@ let parse_spec spec =
         | Some s ->
           let n = parse_int "count" s in
           if n = 0 then
+            (* dsa: allow raise-escape — Bad_spec is internal: [parse] converts it to [Error] before it crosses the interface *)
             raise (Bad_spec (Printf.sprintf "zero count in fault %S" spec));
           n
       in
       (name, { start; count })
   in
   if not (List.mem_assoc name site_names) then
+    (* dsa: allow raise-escape — Bad_spec is internal: [parse] converts it to [Error] before it crosses the interface *)
     raise
       (Bad_spec
          (Printf.sprintf "unknown fault site %S (known: %s)" name

@@ -9,7 +9,9 @@ val segments :
 (** [field.(i).(j)] is the value at [(xs.(i), ys.(j))]. Returns the level
     crossings of each grid cell with linear interpolation along the
     edges; ambiguous (saddle) cells are disambiguated with the cell-centre
-    average. Cells containing non-finite values are skipped. *)
+    average. Cells containing non-finite values are skipped. Raises
+    [Invalid_argument] if [field]'s dimensions do not match
+    [xs]/[ys]. *)
 
 val polylines :
   xs:float array -> ys:float array -> field:float array array ->

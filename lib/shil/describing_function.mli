@@ -6,7 +6,10 @@
     [i = sum_k I_k exp(j k theta)]. A single tone [A cos theta] makes
     every [I_k] real; the two-tone SHIL input
     [A cos theta + 2 V_i cos (n theta + phi)] makes [I_1] complex and a
-    function of [(A, V_i, phi)]. *)
+    function of [(A, V_i, phi)].
+
+    Argument domains: [n >= 1] and, for the time-domain maps below,
+    [a > 0]; violations raise [Invalid_argument]. *)
 
 val default_points : int
 (** Quadrature points per period (1024). Spectral accuracy: doubling the

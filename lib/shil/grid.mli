@@ -42,7 +42,9 @@ val sample :
   unit -> t
 (** Defaults: [phi_range = (0, 2 pi)], [n_phi = 121], [n_amp = 101],
     [points = 512], [reduction = `Exact]. [a_range] should bracket the
-    expected lock amplitudes (e.g. 40%%–120%% of the natural amplitude).
+    expected lock amplitudes (e.g. 40%%–120%% of the natural amplitude);
+    raises [Invalid_argument] on fewer than 2 samples per axis or a
+    non-positive/empty [a_range].
 
     [`Exact] grids are bit-identical to the historical scalar kernel.
     [~reduction:`Symmetry] grids are tolerance-grade: for an odd

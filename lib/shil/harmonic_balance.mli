@@ -31,7 +31,7 @@ val solve :
     (relative residual). Raises {!Resilience.Oshil_error.Error} with
     kind [no-oscillation] when the oscillator does not start,
     [singular-system] on a singular Jacobian and [solver-divergence]
-    when the iteration stalls. *)
+    when the iteration stalls; [Invalid_argument] if [k_max < 1]. *)
 
 val amplitude : solution -> float
 (** Fundamental amplitude [2 |V_1|] (the describing function's [A]). *)

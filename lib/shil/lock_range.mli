@@ -25,7 +25,8 @@ val phi_d_boundary :
 
 val predict :
   ?points:int -> ?phi_d_cap:float -> ?tol:float -> Grid.t -> tank:Tank.t -> t
-(** Full prediction. The grid's [r] must equal [tank.r]. The oscillator
+(** Full prediction. The grid's [r] must equal [tank.r] (raises
+    [Invalid_argument] otherwise). The oscillator
     locks on [f_c / p .. f_c * p] style band: edges are
     [omega_of_phase (+-phi_d_max)] (positive [phi_d] = below resonance).
 

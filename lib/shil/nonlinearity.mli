@@ -2,7 +2,11 @@
     of the LC oscillator (Fig. 1b of the paper).
 
     The describing-function machinery only requires point evaluation; the
-    derivative is used for small-signal checks and stability heuristics. *)
+    derivative is used for small-signal checks and stability heuristics.
+
+    Constructors validate their numeric domains ([neg_tanh] needs
+    positive [g0]/[isat], [of_table] a well-formed table, [sample] at
+    least two points) and raise [Invalid_argument] on violation. *)
 
 type t
 

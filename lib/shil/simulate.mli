@@ -46,4 +46,5 @@ val lock_edge :
   float
 (** Binary search for a lock edge in injection frequency. For [`Low] the
     band edge has unlocked below / locked above; [`High] the reverse.
-    [tol] is in Hz (default [1e-5 * f_lo]). *)
+    [tol] is in Hz (default [1e-5 * f_lo]). Raises [Invalid_argument]
+    when the bracket does not actually straddle the edge. *)

@@ -8,7 +8,7 @@
 type t = private { r : float; l : float; c : float }
 
 val make : r:float -> l:float -> c:float -> t
-(** All values must be positive. *)
+(** All values must be positive; raises [Invalid_argument] otherwise. *)
 
 val with_r : t -> float -> t
 
@@ -23,7 +23,8 @@ val phase : t -> omega:float -> float
 
 val omega_of_phase : t -> phi_d:float -> float
 (** Inverse of {!phase}: the unique positive frequency at which the tank
-    contributes [phi_d]. Requires [|phi_d| < pi/2]. *)
+    contributes [phi_d]. Requires [|phi_d| < pi/2] (raises
+    [Invalid_argument]). *)
 
 val circle_point : t -> b_center:Numerics.Cx.t -> phi_d:float -> Numerics.Cx.t
 (** Circle property (§VI-B1): given the output phasor [b_center] at the

@@ -149,6 +149,7 @@ let run_gated ~check circuit ~probes opts =
         tracker
     with
     | Ok () -> ()
+    (* dsa: allow raise-escape — Fatal is internal control flow: the integration loop catches it and surfaces [result.failure] *)
     | Error e -> raise (Fatal e)
   in
   (* one Newton step of the implicit method: returns Ok x' or Error msg *)
@@ -179,6 +180,7 @@ let run_gated ~check circuit ~probes opts =
     | Error msg ->
       note_rejection ~t:(t +. h);
       if depth >= 8 then
+        (* dsa: allow raise-escape — Fatal is internal control flow: the integration loop catches it and surfaces [result.failure] *)
         raise
           (Fatal
              (Resilience.Oshil_error.make Spice ~phase:"transient" Step_failure

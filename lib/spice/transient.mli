@@ -35,7 +35,8 @@ type options = {
 val default_options : dt:float -> t_stop:float -> options
 (** Trapezoidal, [t_start = 0.], OP start, stride 1, default Newton
     options, [gmin = 1e-12], [Fixed] stepping,
-    {!Resilience.Policy.default_budget}. *)
+    {!Resilience.Policy.default_budget}. {!run} raises
+    [Invalid_argument] unless [dt] and [t_stop] are positive. *)
 
 val adaptive : ?lte_tol:float -> options -> options
 (** Switches the options to adaptive stepping ([lte_tol] default 1e-4;

@@ -27,9 +27,11 @@ val is_steady : ?window_fraction:float -> ?rel_tol:float -> Signal.t -> bool
 val fundamental : Signal.t -> freq:float -> Numerics.Cx.t
 (** One-sided phasor of the component at [freq]: the real waveform
     [2|X| cos(2 pi f t + arg X)] matches the signal's component. Uses an
-    integer number of periods from the tail of the signal. *)
+    integer number of periods from the tail of the signal. Raises
+    [Invalid_argument] when the signal is shorter than one period. *)
 
 val phase_vs_reference : Signal.t -> freq:float -> windows:int -> float array
 (** Splits the signal into [windows] equal spans and returns the phase (in
     radians, unwrapped) of the [freq] component in each — a locked
-    oscillator shows a flat profile, an unlocked one a steady drift. *)
+    oscillator shows a flat profile, an unlocked one a steady drift.
+    Raises [Invalid_argument] if [windows < 1]. *)

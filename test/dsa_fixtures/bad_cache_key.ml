@@ -1,0 +1,15 @@
+(* dsa fixture: cache-purity violations — a nonlinearity built without
+   a canonical identity, and a Cache.Key preimage fed from module-level
+   mutable state and a nondeterministic clock. Expected findings:
+   [cache-purity] (three). *)
+
+let uncacheable = Shil.Nonlinearity.make ~name:"mystery" (fun v -> -.v)
+
+let seen : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let impure_key () =
+  Cache.Key.v ~kind:"fixture.bad" ~version:1
+    [
+      Cache.Key.int "population" (Hashtbl.length seen);
+      Cache.Key.float "now" (Sys.time ());
+    ]

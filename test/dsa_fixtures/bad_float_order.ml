@@ -1,0 +1,7 @@
+(* dsa fixture: a float sum accumulated directly by [Hashtbl.fold] —
+   iteration order is unspecified, so the result depends on the table's
+   internal layout. Expected finding: [float-order]. *)
+
+let weights : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let total () = Hashtbl.fold (fun _ w acc -> acc +. w) weights 0.0

@@ -1,0 +1,8 @@
+(* dsa fixture: a shared ref written from a Pool closure — the
+   canonical domain-escape. Expected finding: [domain-escape]. *)
+
+let total = ref 0.0
+
+let race n =
+  Numerics.Pool.parallel_for ~n (fun i -> total := !total +. float_of_int i);
+  !total

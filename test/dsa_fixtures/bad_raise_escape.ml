@@ -1,0 +1,6 @@
+(* dsa fixture: [Invalid_argument] escaping through a public interface
+   whose .mli never mentions it. Expected finding: [raise-escape]. *)
+
+let checked_sqrt x =
+  if x < 0.0 then invalid_arg "checked_sqrt: negative input";
+  sqrt x

@@ -1,0 +1,5 @@
+(* The interface is silent about the exception — that silence is the
+   defect this fixture pins. *)
+
+val checked_sqrt : float -> float
+(** Square root of a non-negative number. *)

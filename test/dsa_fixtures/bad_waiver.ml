@@ -1,0 +1,9 @@
+(* dsa fixture: a waiver without a justification does not suppress —
+   the finding stays and the waiver itself is reported. Expected
+   findings: [float-order] (error) and [bad-waiver] (warning). *)
+
+let weights : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let total () =
+  (* dsa: allow float-order *)
+  Hashtbl.fold (fun _ w acc -> acc +. w) weights 0.0

@@ -1,0 +1,10 @@
+(* dsa fixture: cache-pure counterparts — the nonlinearity declares its
+   identity and the key depends only on the function's arguments.
+   Expected findings: none. *)
+
+let cacheable =
+  Shil.Nonlinearity.make ~name:"neg_id" ~key:"neg_id(v1)" (fun v -> -.v)
+
+let pure_key ~n ~vi =
+  Cache.Key.v ~kind:"fixture.ok" ~version:1
+    [ Cache.Key.int "n" n; Cache.Key.float "vi" vi ]

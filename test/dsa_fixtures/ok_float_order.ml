@@ -1,0 +1,10 @@
+(* dsa fixture: the deterministic way to reduce a float table — iterate
+   the keys in sorted order, then fold. Expected findings: none. *)
+
+let weights : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let total () =
+  let keys =
+    List.sort String.compare (List.of_seq (Hashtbl.to_seq_keys weights))
+  in
+  List.fold_left (fun acc k -> acc +. Hashtbl.find weights k) 0.0 keys

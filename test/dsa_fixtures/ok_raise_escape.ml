@@ -1,0 +1,14 @@
+(* dsa fixture: exceptions handled the sanctioned ways — documented in
+   the module's own .mli, caught by a lexically enclosing handler, or
+   raised as the typed [Resilience.Oshil_error]. Expected findings:
+   none. *)
+
+let checked_sqrt x =
+  if x < 0.0 then invalid_arg "checked_sqrt: negative input";
+  sqrt x
+
+let caught_locally () = try failwith "internal" with Failure _ -> 0
+
+let typed_failure () =
+  Resilience.Oshil_error.raise_ Shil ~phase:"fixture" Measurement_failure
+    "typed errors always pass"

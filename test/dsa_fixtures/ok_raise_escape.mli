@@ -1,0 +1,7 @@
+val checked_sqrt : float -> float
+(** Square root. Raises [Invalid_argument] on a negative input — the
+    documentation this line provides is exactly what the [raise-escape]
+    rule checks for. *)
+
+val caught_locally : unit -> int
+val typed_failure : unit -> 'a

@@ -1,0 +1,12 @@
+(* dsa fixture: a justified waiver suppresses its finding; a justified
+   waiver that matches nothing is reported as [unused-waiver].
+   Expected findings: [unused-waiver] (warning) only. *)
+
+let weights : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let total () =
+  (* dsa: allow float-order — fixture: single-entry table populated by the test itself *)
+  Hashtbl.fold (fun _ w acc -> acc +. w) weights 0.0
+
+(* dsa: allow domain-escape — fixture: nothing on the next line uses a pool *)
+let unrelated = 42

@@ -44,7 +44,17 @@ let test_bench_json_host_meta () =
   List.iter
     (fun k ->
       Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k meta))
-    [ "host_domains"; "ocaml_version"; "os_type" ]
+    [ "host_domains"; "ocaml_version"; "os_type" ];
+  Unix.putenv "OSHIL_DSA_FINDINGS" "0";
+  let with_env = Experiments.Bench_json.host_meta () in
+  Unix.putenv "OSHIL_DSA_FINDINGS" "";
+  Alcotest.(check (option string))
+    "dsa_findings picked up from env" (Some "0")
+    (List.assoc_opt "dsa_findings" with_env);
+  let without = Experiments.Bench_json.host_meta () in
+  Alcotest.(check (option string))
+    "empty env var omitted" None
+    (List.assoc_opt "dsa_findings" without)
 
 (* Output plumbing *)
 

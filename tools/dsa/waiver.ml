@@ -1,0 +1,145 @@
+type t = { line : int; code : string; justified : bool; mutable used : bool }
+
+let is_code_char = function
+  | 'a' .. 'z' | '0' .. '9' | '-' -> true
+  | _ -> false
+
+(* A justification is whatever non-blank text follows the code inside
+   the comment, optionally introduced by an ASCII or Unicode dash. A
+   bare closing "*)" right after the code means no justification. *)
+let parse_comment ~line body waivers =
+  let prefix = "dsa: allow " in
+  let plen = String.length prefix in
+  let blen = String.length body in
+  let line_at =
+    (* line of offset [k] within the comment body *)
+    fun k ->
+      let l = ref line in
+      for i = 0 to min k (blen - 1) - 1 do
+        if body.[i] = '\n' then incr l
+      done;
+      !l
+  in
+  let rec find k =
+    if k + plen > blen then ()
+    else if String.sub body k plen = prefix then begin
+      let j = ref (k + plen) in
+      let b = Buffer.create 16 in
+      while !j < blen && is_code_char body.[!j] do
+        Buffer.add_char b body.[!j];
+        incr j
+      done;
+      if Buffer.length b > 0 then begin
+        (* skip blanks and dash introducers, then require any text *)
+        let skip = function
+          | ' ' | '\t' | '-' -> true
+          | c -> Char.code c land 0x80 <> 0 (* UTF-8 dash bytes *)
+        in
+        let p = ref !j in
+        while !p < blen && skip body.[!p] do
+          incr p
+        done;
+        let justified = ref false in
+        let q = ref !p in
+        while (not !justified) && !q < blen do
+          (match body.[!q] with
+          | ' ' | '\t' | '\n' | '\r' -> ()
+          | _ -> justified := true);
+          incr q
+        done;
+        waivers :=
+          {
+            line = line_at k;
+            code = Buffer.contents b;
+            justified = !justified;
+            used = false;
+          }
+          :: !waivers
+      end;
+      find !j
+    end
+    else find (k + 1)
+  in
+  find 0
+
+let scan src =
+  let n = String.length src in
+  let waivers = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let start = !i + 2 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if src.[!i] = '\n' then incr line
+        else if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          incr i
+        end
+        else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          incr i;
+          if !depth = 0 then
+            parse_comment ~line:start_line
+              (String.sub src start (!i - 1 - start))
+              waivers
+        end;
+        incr i
+      done
+    end
+    else if c = '"' then begin
+      (* ordinary string: skip so a quoted "dsa: allow" is inert *)
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        (if src.[!i] = '\\' && !i + 1 < n then incr i
+         else if src.[!i] = '"' then fin := true
+         else if src.[!i] = '\n' then incr line);
+        incr i
+      done
+    end
+    else if
+      c = '{' && !i + 1 < n
+      && (src.[!i + 1] = '|'
+         || src.[!i + 1] = '_'
+         || (src.[!i + 1] >= 'a' && src.[!i + 1] <= 'z'))
+    then begin
+      (* quoted string {id|...|id}: skip verbatim *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z'))
+      do
+        incr j
+      done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let close = "|" ^ id ^ "}" in
+        let clen = String.length close in
+        let k = ref (!j + 1) in
+        let fin = ref false in
+        while (not !fin) && !k + clen <= n do
+          if String.sub src !k clen = close then fin := true
+          else begin
+            if src.[!k] = '\n' then incr line;
+            incr k
+          end
+        done;
+        i := (if !fin then !k + clen else n)
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  List.rev !waivers
+
+let covers w ~code ~line =
+  w.justified && w.code = code && (w.line = line || w.line = line - 1)

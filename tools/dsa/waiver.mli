@@ -1,0 +1,27 @@
+(** Waiver comments for the [dsa] analyzer.
+
+    A finding is waived by a comment on the same line or the line above:
+
+    {v (* dsa: allow CODE — justification *) v}
+
+    unlike [mlint], the justification is {e required}: a waiver without
+    one does not suppress anything and is itself reported (code
+    [bad-waiver]), so every intentional exception to a determinism
+    contract leaves a written trace next to the code it excuses. *)
+
+type t = {
+  line : int;  (** line the [dsa: allow] token appears on *)
+  code : string;  (** rule code being waived *)
+  justified : bool;  (** a non-empty justification follows the code *)
+  mutable used : bool;  (** set when the waiver suppresses a finding *)
+}
+
+val scan : string -> t list
+(** [scan source] extracts every waiver from the comments of an OCaml
+    source text, in file order. Comments are parsed with nesting;
+    string literals are not entered (a ["dsa: allow"] inside a string
+    is ignored). *)
+
+val covers : t -> code:string -> line:int -> bool
+(** Same-line-or-line-above rule, code must match, justification
+    required. *)

@@ -1,0 +1,30 @@
+(* Regression fixture for mlint's comment/string stripper: every rule
+   trigger below sits inside a quoted-string literal and must NOT be
+   reported. The [{id_with_underscore|...|id_with_underscore}] form is
+   the historical bug — the delimiter-id scanner dropped '_' and leaked
+   the body into the lexical rules. Not compiled; linted by the rule in
+   ../dune. *)
+
+let plain = {|p == q && compare a b != 0|}
+
+let underscored_id =
+  {assert_msg|failwith "x == y"; Obj.magic; Printf.printf|assert_msg}
+
+let multi_line =
+  {sql_query|
+    SELECT * FROM runs WHERE a == b
+      AND status != 'failed'  -- compare, failwith, exit
+  |sql_query}
+
+let nested_after = "ordinary == string"
+
+(* a quoted string whose body contains a fake closing delimiter for a
+   different id: the scanner must keep skipping to the real one *)
+let tricky = {outer_id|body with |inner| and |outer} then really |outer_id}
+
+let used_so_unused_var_warnings_stay_off =
+  String.length plain
+  + String.length underscored_id
+  + String.length multi_line
+  + String.length nested_after
+  + String.length tricky

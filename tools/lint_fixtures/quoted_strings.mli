@@ -1,0 +1,9 @@
+(* Interface for the stripper regression fixture (mlint's missing-mli
+   rule applies to every directory it is pointed at). *)
+
+val plain : string
+val underscored_id : string
+val multi_line : string
+val nested_after : string
+val tricky : string
+val used_so_unused_var_warnings_stay_off : int

@@ -146,10 +146,15 @@ let strip src =
     end
     else if c = '{' && !i + 1 < n
             && (src.[!i + 1] = '|'
+               || src.[!i + 1] = '_'
                || (src.[!i + 1] >= 'a' && src.[!i + 1] <= 'z')) then begin
-      (* possible quoted string {id|...|id} *)
+      (* possible quoted string {id|...|id}; the delimiter id is lowercase
+         letters and underscores *)
       let j = ref (!i + 1) in
-      while !j < n && src.[!j] >= 'a' && src.[!j] <= 'z' do
+      while
+        !j < n
+        && (src.[!j] = '_' || (src.[!j] >= 'a' && src.[!j] <= 'z'))
+      do
         incr j
       done;
       if !j < n && src.[!j] = '|' then begin
