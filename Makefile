@@ -1,7 +1,7 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
-.PHONY: all test lint analyze bench-smoke bench batch cache-smoke \
-        kernel-smoke coverage clean
+.PHONY: all test lint analyze bench-smoke bench bench-compare report \
+        batch cache-smoke kernel-smoke coverage clean
 
 all:
 	dune build
@@ -38,6 +38,25 @@ bench:
 	dune build bench/main.exe @analyze
 	OSHIL_DSA_FINDINGS=0 ./_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
 	./_build/default/bench/main.exe --check-json BENCH_grid.json BENCH_lockrange.json BENCH_cache.json
+
+# Regression sentinel: record fresh bench results into FRESH_DIR and
+# re-judge them against the committed BENCH_*.json baselines with
+# per-metric directions and tolerances (see lib/experiments/
+# bench_compare.mli for the policy). Exits nonzero on any regression.
+FRESH_DIR ?= _bench_fresh
+bench-compare:
+	dune build bench/main.exe
+	mkdir -p $(FRESH_DIR)
+	cd $(FRESH_DIR) && ../_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
+	./_build/default/bench/main.exe --fresh-dir $(FRESH_DIR) \
+	  --compare BENCH_grid.json BENCH_lockrange.json BENCH_transient.json BENCH_cache.json
+
+# Run-health report from a solver trace recorded with
+# `oshil ... --trace TRACE --events`.  Usage: make report TRACE=out/health.jsonl
+TRACE ?= out/health.jsonl
+report:
+	dune build bin/oshil.exe
+	./_build/default/bin/oshil.exe stats report $(TRACE)
 
 # Batch-run the shipped scenarios with the content-addressed cache on;
 # run it twice to see the warm-cache speedup (`oshil stats` on the

@@ -26,6 +26,8 @@ type opts = {
   jobs : int option;
   trace : string option;
   check_json : string list;
+  compare : string list;
+  fresh_dir : string;
 }
 
 let usage_lines =
@@ -38,6 +40,12 @@ let usage_lines =
     "  --jobs N           pool size for parallel kernels (>= 1)";
     "  --trace FILE       write a telemetry trace (.jsonl = event log)";
     "  --check-json F...  validate emitted bench JSON files and exit";
+    "  --fresh-dir DIR    directory holding fresh records for --compare";
+    "                     (default: current directory; give it before";
+    "                     --compare)";
+    "  --compare F...     regression sentinel: compare each baseline";
+    "                     record F against the same-named fresh record";
+    "                     in --fresh-dir; exit 1 on any regression";
   ]
 
 let usage_error msg =
@@ -63,6 +71,11 @@ let parse_args () =
     | "--check-json" :: rest ->
       if rest = [] then usage_error "--check-json expects at least one file"
       else { o with check_json = rest }
+    | "--fresh-dir" :: v :: rest -> go { o with fresh_dir = v } rest
+    | [ "--fresh-dir" ] -> usage_error "--fresh-dir expects a directory"
+    | "--compare" :: rest ->
+      if rest = [] then usage_error "--compare expects at least one baseline"
+      else { o with compare = rest }
     | ("--help" | "-h") :: _ ->
       List.iter print_endline usage_lines;
       exit 0
@@ -70,7 +83,8 @@ let parse_args () =
   in
   go
     { fast = false; skip_bench = false; only_bench = false; skip_slow = false;
-      jobs = None; trace = None; check_json = [] }
+      jobs = None; trace = None; check_json = []; compare = [];
+      fresh_dir = Filename.current_dir_name }
     (List.tl (Array.to_list Sys.argv))
 
 let figures_dir = "out/figures"
@@ -176,6 +190,28 @@ let metered_counters names f =
     ignore (finish ());
     raise e
 
+(* Allocation footprint of one representative run, measured outside the
+   timed repeats (a quick_stat pair brackets the run, so the timing
+   numbers never include it). Word counts are per-run deltas of the
+   calling domain; the explicit minor collections flush the allocation
+   counter, which on OCaml 5.1 only updates at minor-GC boundaries.
+   The regression sentinel tracks these with a 25% band. *)
+let gc_fields f =
+  Gc.minor ();
+  let g0 = Gc.quick_stat () in
+  ignore (f ());
+  Gc.minor ();
+  let g1 = Gc.quick_stat () in
+  [
+    ("gc_minor_words", g1.Gc.minor_words -. g0.Gc.minor_words);
+    ("gc_promoted_words", g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    ("gc_major_words", g1.Gc.major_words -. g0.Gc.major_words);
+    ( "gc_minor_collections",
+      float_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections) );
+    ( "gc_major_collections",
+      float_of_int (g1.Gc.major_collections - g0.Gc.major_collections) );
+  ]
+
 let emit_entry ~path (entry : Experiments.Bench_json.entry) =
   Experiments.Bench_json.write ~path entry;
   (* self-check: the file we just wrote must round-trip *)
@@ -238,6 +274,7 @@ let run_perf_benches ~skip_slow ~jobs () =
   if not (red_err < 1e-6) then
     failwith "perf bench: symmetry-reduced grid drifted from the exact grid";
   let grid_counters = metered_counters [ "shil.grid.f_evals" ] sample_red in
+  let grid_gc = gc_fields sample_red in
   emit_entry ~path:"BENCH_grid.json"
     {
       name = Printf.sprintf "grid_sample_%dx%dx%d" n_phi n_amp points;
@@ -259,7 +296,7 @@ let run_perf_benches ~skip_slow ~jobs () =
           ("reduced_max_rel_err", red_err);
           ("vec_tanh", if Numerics.Kernel.vec_tanh_available () then 1.0 else 0.0);
         ]
-        @ grid_counters;
+        @ grid_counters @ grid_gc;
       meta = Experiments.Bench_json.host_meta ();
     };
   (* lock-range boundary search: Solutions.find stability scans dominate;
@@ -309,7 +346,8 @@ let run_perf_benches ~skip_slow ~jobs () =
           ("exact_phi_d_max", b_batch);
           ("speedup_batch_vs_scalar", scalar_s /. batch_s);
           ("speedup_vs_scalar", scalar_s /. par_s);
-        ];
+        ]
+        @ gc_fields (boundary lr_grid_red);
       meta = Experiments.Bench_json.host_meta ();
     };
   (* spice transient on the behavioural tanh oscillator: sequential (the
@@ -342,7 +380,8 @@ let run_perf_benches ~skip_slow ~jobs () =
       jobs;
       wall_s = tran_s;
       speedup_vs_seq = 1.0;
-      extra = [ ("dt", dt); ("t_stop", t_stop) ] @ tran_counters;
+      extra = [ ("dt", dt); ("t_stop", t_stop) ] @ tran_counters
+              @ gc_fields tran;
       meta = Experiments.Bench_json.host_meta ();
     };
   (* content-addressed cache: one cold populate of the grid against warm
@@ -364,6 +403,7 @@ let run_perf_benches ~skip_slow ~jobs () =
   let cache_counters =
     metered_counters [ "cache.hits"; "cache.misses" ] sample
   in
+  let cache_gc = gc_fields sample in
   Cache.Store.set_enabled false;
   Cache.Store.clear_memory ();
   let rec rm_rf path =
@@ -385,7 +425,7 @@ let run_perf_benches ~skip_slow ~jobs () =
           ("cold_wall_s", cold_s);
           ("bit_identical_to_cold", if identical then 1.0 else 0.0);
         ]
-        @ cache_counters;
+        @ cache_counters @ cache_gc;
       meta = Experiments.Bench_json.host_meta ();
     }
 
@@ -508,6 +548,48 @@ let run_benchmarks ~skip_slow () =
       | None -> ())
     (List.sort compare names)
 
+(* Regression sentinel entry point: each baseline record is compared to
+   the same-named record in [fresh_dir]. Exit 1 on any gated finding or
+   unreadable record. *)
+let run_compare ~fresh_dir baselines =
+  Printf.printf "=== bench regression sentinel (fresh records from %s)\n%!"
+    fresh_dir;
+  let io_ok = ref true in
+  let read_record path =
+    match Experiments.Bench_json.read ~path with
+    | e -> Some e
+    | exception Experiments.Bench_json.Parse_error msg ->
+      Printf.eprintf "%s: PARSE ERROR: %s\n" path msg;
+      io_ok := false;
+      None
+    | exception Sys_error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      io_ok := false;
+      None
+  in
+  let findings =
+    List.concat_map
+      (fun bpath ->
+        let fpath = Filename.concat fresh_dir (Filename.basename bpath) in
+        match read_record bpath with
+        | None -> []
+        | Some baseline -> begin
+          match read_record fpath with
+          | None -> []
+          | Some fresh ->
+            if baseline.Experiments.Bench_json.name <> fresh.name then
+              Printf.printf
+                "  note: %s: baseline bench %S vs fresh %S (problem size \
+                 changed; comparing anyway)\n"
+                (Filename.basename bpath)
+                baseline.Experiments.Bench_json.name fresh.name;
+            Experiments.Bench_compare.compare_entries ~baseline ~fresh
+        end)
+      baselines
+  in
+  Format.printf "%a@." Experiments.Bench_compare.pp findings;
+  if not (Experiments.Bench_compare.gate findings && !io_ok) then exit 1
+
 let check_json files =
   let ok = ref true in
   List.iter
@@ -534,6 +616,7 @@ let check_json files =
 let () =
   let o = parse_args () in
   if o.check_json <> [] then check_json o.check_json
+  else if o.compare <> [] then run_compare ~fresh_dir:o.fresh_dir o.compare
   else begin
     Obs.configure_from_env ();
     Option.iter Obs.trace_to_file o.trace;

@@ -104,6 +104,17 @@ let obs_args =
                    counters) on stderr at exit. $(b,OSHIL_METRICS=1) sets \
                    the default.")
   in
+  let events =
+    Arg.(value & flag
+         & info [ "events" ]
+             ~doc:"Also record the high-volume solver-introspection event \
+                   stream (per-Newton-iteration residuals, step \
+                   accept/reject, bisection probes, cache locality, pool \
+                   utilization, GC samples) into the trace, for \
+                   $(b,oshil stats report). Off by default — implies \
+                   nothing about numerics: results stay bit-identical. \
+                   $(b,OSHIL_EVENTS=1) sets the default.")
+  in
   let inject =
     Arg.(value & opt (some string) None
          & info [ "inject-fault" ] ~docv:"PLAN"
@@ -137,13 +148,15 @@ let obs_args =
              ~doc:"On-disk cache location (default $(b,out/cache); \
                    $(b,OSHIL_CACHE_DIR) sets the default).")
   in
-  Term.(const (fun t m p f c cd -> (t, m, p, f, c, cd)) $ trace $ metrics
-        $ inject $ fail_fast $ cache $ cache_dir)
+  Term.(const (fun t m e p f c cd -> (t, m, e, p, f, c, cd)) $ trace
+        $ metrics $ events $ inject $ fail_fast $ cache $ cache_dir)
 
-let apply_obs (trace, metrics, fault_plan, fail_fast, cache, cache_dir) =
+let apply_obs (trace, metrics, events, fault_plan, fail_fast, cache, cache_dir)
+    =
   Obs.configure_from_env ();
   Option.iter Obs.trace_to_file trace;
   if metrics then Obs.configure ~summary:true ~enabled:true ();
+  if events then Obs.configure ~events:true ();
   Cache.Store.configure_from_env ();
   if cache then Cache.Store.set_enabled true;
   Option.iter Cache.Store.set_dir cache_dir;
@@ -652,15 +665,28 @@ let lint_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats *)
 
+let stats_files_arg =
+  Arg.(non_empty & pos_all string []
+       & info [] ~docv:"TRACE"
+           ~doc:"JSONL telemetry trace(s), as written by \
+                 $(b,--trace FILE.jsonl) or $(b,OSHIL_TRACE). Several \
+                 files merge: counters and histograms sum, spans and \
+                 events interleave in timestamp order, gauges keep \
+                 their maximum — the merge is independent of the order \
+                 the files are listed in. Prefix with the keyword \
+                 $(b,report) for the run-health report.")
+
+let stats_load files =
+  match Obs.Trace_read.load_many files with
+  | exception Obs.Trace_read.Parse_error msg ->
+    Format.eprintf "oshil stats: %s@." msg;
+    exit 1
+  | exception Sys_error msg ->
+    Format.eprintf "oshil stats: %s@." msg;
+    exit 1
+  | s -> s
+
 let stats_cmd =
-  let files_arg =
-    Arg.(non_empty & pos_all file []
-         & info [] ~docv:"TRACE"
-             ~doc:"JSONL telemetry trace(s), as written by \
-                   $(b,--trace FILE.jsonl) or $(b,OSHIL_TRACE). Several \
-                   files merge: counters and histograms sum, spans \
-                   concatenate.")
-  in
   let assert_arg =
     Arg.(value & opt_all string []
          & info [ "assert-counter" ] ~docv:"NAME[:MIN]"
@@ -669,15 +695,67 @@ let stats_cmd =
                    fault-injection smoke tests use this to pin each \
                    recovery path to its $(b,resilience.*) counter.")
   in
-  let run files asserts =
-    match Obs.Trace_read.load_many files with
-    | exception Obs.Trace_read.Parse_error msg ->
-      Format.eprintf "oshil stats: %s@." msg;
-      exit 1
-    | exception Sys_error msg ->
-      Format.eprintf "oshil stats: %s@." msg;
-      exit 1
-    | s ->
+  let compare_arg =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"Take exactly two $(b,TRACE) files and print a \
+                   side-by-side run-health diff (counters, span time, \
+                   quantiles, solver convergence) with relative deltas \
+                   instead of merging them.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"With $(b,report): emit deterministic JSON instead of \
+                   the human table (same trace always renders to the \
+                   same bytes).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"With $(b,report): write the report to $(docv) instead \
+                   of stdout.")
+  in
+  let run_report files json out =
+    let r = Obs.Report.of_snapshot (stats_load files) in
+    let body =
+      if json then Obs.Report.to_json r
+      else Format.asprintf "%a@." Obs.Report.pp r
+    in
+    match out with
+    | None -> print_string body
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc body)
+  in
+  let run files asserts compare json out =
+    (* [stats report T...] — the leading keyword selects the run-health
+       report (cmdliner 1.3 sub-commands cannot coexist with a default
+       term that takes positionals, so the dispatch is by hand) *)
+    match files with
+    | "report" :: rest ->
+      if rest = [] then begin
+        Format.eprintf "oshil stats report: no TRACE files given@.";
+        exit 2
+      end;
+      run_report rest json out
+    | _ ->
+    if compare then begin
+      match files with
+      | [ fa; fb ] ->
+        let ra = Obs.Report.of_snapshot (stats_load [ fa ]) in
+        let rb = Obs.Report.of_snapshot (stats_load [ fb ]) in
+        Obs.Report.pp_compare Format.std_formatter ~label_a:fa ~label_b:fb
+          ra rb;
+        Format.print_newline ()
+      | _ ->
+        Format.eprintf
+          "oshil stats: --compare takes exactly two TRACE files (got %d)@."
+          (List.length files);
+        exit 2
+    end
+    else begin
+      let s = stats_load files in
       Format.printf "%a@." Obs.Sink.summary s;
       let check spec =
         let name, min_v =
@@ -707,12 +785,20 @@ let stats_cmd =
         end
       in
       if List.exists not (List.map check asserts) then exit 1
+    end
   in
-  let term = Term.(const run $ files_arg $ assert_arg) in
+  let term =
+    Term.(const run $ stats_files_arg $ assert_arg $ compare_arg $ json_arg
+          $ out_arg)
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Replay JSONL telemetry traces into the summary table \
-             (per-span time totals, solver counters, histograms).")
+       ~doc:"Replay JSONL telemetry traces: summary table (default), \
+             run-health report ($(b,oshil stats report TRACE...) — \
+             per-solver convergence rates, worst-converging grid cells, \
+             self/total span time, step control, brackets, cache \
+             locality, allocation; record with $(b,--trace FILE.jsonl \
+             --events) first), or two-trace $(b,--compare) diff.")
     term
 
 (* ------------------------------------------------------------------ *)

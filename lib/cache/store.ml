@@ -128,10 +128,15 @@ let decoded ~tier ~decode blob =
 
 let find ?(disk = true) ~key ~decode () =
   if not (enabled ()) then None
-  else
+  else begin
+    (* per-access locality event: which tier served this key's kind *)
+    let outcome = ref "miss" in
     let hit =
       match memory_find key with
-      | Some blob -> decoded ~tier:"cache.memory_hits" ~decode blob
+      | Some blob ->
+        let v = decoded ~tier:"cache.memory_hits" ~decode blob in
+        if v <> None then outcome := "memory";
+        v
       | None -> (
         if not disk then None
         else
@@ -139,11 +144,18 @@ let find ?(disk = true) ~key ~decode () =
           | None -> None
           | Some blob ->
             let v = decoded ~tier:"cache.disk_hits" ~decode blob in
-            if v <> None then memory_add key blob;
+            if v <> None then begin
+              memory_add key blob;
+              outcome := "disk"
+            end;
             v)
     in
     (match hit with None -> Obs.Metrics.incr "cache.misses" | Some _ -> ());
+    if Obs.Event.enabled () then
+      Obs.Event.emit
+        (Obs.Event.Cache_access { kind = Key.kind key; outcome = !outcome });
     hit
+  end
 
 let add ?(disk = true) ~key ~encode v =
   if enabled () then begin

@@ -1,0 +1,167 @@
+(* Bench regression sentinel: compare a fresh BENCH_*.json record
+   against a committed baseline, metric by metric, with per-metric
+   directions and relative thresholds. Pure record-vs-record logic so
+   the gate is unit-testable without running any bench. *)
+
+type direction =
+  | Lower_better of float  (** regression if fresh > baseline * (1+tol) *)
+  | Higher_better of float  (** regression if fresh < baseline * (1-tol) *)
+  | Witness  (** 0/1 invariant flag: must not drop below the baseline *)
+  | Ceiling of float  (** absolute bound: regression if fresh > bound *)
+  | Informational  (** recorded, never gated (configuration echoes) *)
+
+(* Metric policy, keyed on the JSON field name. Timing is the noisiest
+   (machine load, turbo states), so wall-clock tolerances are wide and
+   the CI gate stays warn-only; counter metrics are deterministic and
+   get tight bounds; witness flags (bit-identity) must never decay. *)
+let classify name =
+  let has_suffix s = String.length name >= String.length s
+    && String.sub name (String.length name - String.length s)
+         (String.length s) = s
+  in
+  let has_prefix p = String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  if name = "wall_s" || has_suffix "_wall_s" then Lower_better 0.5
+  else if has_prefix "speedup" then Higher_better 0.3
+  else if has_prefix "bit_identical" || has_suffix "bit_identical_to_scalar"
+  then Witness
+  else if name = "reduced_max_rel_err" then Ceiling 1e-6
+  else if has_prefix "gc_" then Lower_better 0.25
+  else if
+    has_prefix "shil_" || has_prefix "spice_" || has_prefix "cache_"
+    || has_prefix "numerics_"
+  then Lower_better 0.05
+  else Informational
+
+type verdict = Ok | Improved | Regression | New_metric | Missing_metric
+
+type finding = {
+  bench : string;  (** record name, e.g. [grid_sample_121x101x512] *)
+  metric : string;
+  baseline : float;  (** nan when the metric is new *)
+  fresh : float;  (** nan when the metric disappeared *)
+  verdict : verdict;
+  note : string;
+}
+
+let rel_delta ~baseline ~fresh =
+  if baseline = 0.0 then if fresh = 0.0 then 0.0 else Float.infinity
+  else (fresh -. baseline) /. Float.abs baseline
+
+let judge ~bench ~metric ~baseline ~fresh =
+  let delta = rel_delta ~baseline ~fresh in
+  let pct = 100.0 *. delta in
+  match classify metric with
+  | Informational ->
+    { bench; metric; baseline; fresh; verdict = Ok; note = "info" }
+  | Witness ->
+    if fresh < baseline then
+      { bench; metric; baseline; fresh; verdict = Regression;
+        note = "witness flag dropped" }
+    else { bench; metric; baseline; fresh; verdict = Ok; note = "witness" }
+  | Ceiling bound ->
+    if fresh > bound then
+      { bench; metric; baseline; fresh; verdict = Regression;
+        note = Printf.sprintf "exceeds ceiling %g" bound }
+    else
+      { bench; metric; baseline; fresh; verdict = Ok;
+        note = Printf.sprintf "<= ceiling %g" bound }
+  | Lower_better tol ->
+    if fresh > baseline *. (1.0 +. tol) then
+      { bench; metric; baseline; fresh; verdict = Regression;
+        note = Printf.sprintf "+%.1f%% > +%.0f%% tolerance" pct
+            (100.0 *. tol) }
+    else if fresh < baseline *. (1.0 -. tol) then
+      { bench; metric; baseline; fresh; verdict = Improved;
+        note = Printf.sprintf "%.1f%%" pct }
+    else
+      { bench; metric; baseline; fresh; verdict = Ok;
+        note = Printf.sprintf "%+.1f%%" pct }
+  | Higher_better tol ->
+    if fresh < baseline *. (1.0 -. tol) then
+      { bench; metric; baseline; fresh; verdict = Regression;
+        note = Printf.sprintf "%.1f%% < -%.0f%% tolerance" pct
+            (100.0 *. tol) }
+    else if fresh > baseline *. (1.0 +. tol) then
+      { bench; metric; baseline; fresh; verdict = Improved;
+        note = Printf.sprintf "%+.1f%%" pct }
+    else
+      { bench; metric; baseline; fresh; verdict = Ok;
+        note = Printf.sprintf "%+.1f%%" pct }
+
+(* The comparable metrics of a record: the two fixed numeric fields plus
+   every numeric extra. [meta] strings (host, git rev) are ignored. *)
+let metrics_of (e : Bench_json.entry) =
+  ("wall_s", e.wall_s) :: ("speedup_vs_seq", e.speedup_vs_seq) :: e.extra
+
+let compare_entries ~(baseline : Bench_json.entry)
+    ~(fresh : Bench_json.entry) =
+  let bench = baseline.name in
+  let bm = metrics_of baseline and fm = metrics_of fresh in
+  let compared =
+    List.map
+      (fun (metric, bv) ->
+        match List.assoc_opt metric fm with
+        | Some fv -> judge ~bench ~metric ~baseline:bv ~fresh:fv
+        | None ->
+          (* a tracked metric that disappeared is a regression of the
+             record schema itself, whatever its direction was *)
+          if classify metric = Informational then
+            { bench; metric; baseline = bv; fresh = Float.nan;
+              verdict = Ok; note = "info (absent in fresh)" }
+          else
+            { bench; metric; baseline = bv; fresh = Float.nan;
+              verdict = Missing_metric; note = "metric disappeared" })
+      bm
+  in
+  (* metrics only the fresh record has (e.g. newly added gc fields) are
+     surfaced but never gated: committed baselines predate them *)
+  let added =
+    List.filter_map
+      (fun (metric, fv) ->
+        if List.mem_assoc metric bm then None
+        else
+          Some
+            { bench; metric; baseline = Float.nan; fresh = fv;
+              verdict = New_metric; note = "new metric (not in baseline)" })
+      fm
+  in
+  compared @ added
+
+let regressions findings =
+  List.filter
+    (fun f ->
+      match f.verdict with
+      | Regression | Missing_metric -> true
+      | Ok | Improved | New_metric -> false)
+    findings
+
+let gate findings = regressions findings = []
+
+let verdict_tag = function
+  | Ok -> "ok"
+  | Improved -> "improved"
+  | Regression -> "REGRESSION"
+  | New_metric -> "new"
+  | Missing_metric -> "MISSING"
+
+let pp_finding ppf f =
+  let num v = if Float.is_nan v then "-" else Printf.sprintf "%.6g" v in
+  Format.fprintf ppf "  %-34s %-30s %12s %12s  %-10s %s" f.bench f.metric
+    (num f.baseline) (num f.fresh) (verdict_tag f.verdict) f.note
+
+let pp ppf findings =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "  %-34s %-30s %12s %12s  %-10s %s" "bench" "metric"
+    "baseline" "fresh" "verdict" "note";
+  List.iter
+    (fun f ->
+      (* the quiet verdicts stay out of the table unless interesting *)
+      match f.verdict with
+      | Ok -> ()
+      | _ -> Format.fprintf ppf "@,%a" pp_finding f)
+    findings;
+  let n_reg = List.length (regressions findings) in
+  Format.fprintf ppf "@,  %d metric(s) compared, %d regression(s)@]"
+    (List.length findings) n_reg

@@ -1,0 +1,57 @@
+(** Bench regression sentinel: record-vs-record comparison of
+    BENCH_*.json perf records with per-metric directions and relative
+    thresholds.
+
+    The policy lives in {!classify}: wall-clock metrics tolerate wide
+    (+50%) swings because timing is machine-noisy, speedups may shrink
+    30%, deterministic solver/cache counters get a tight 5% band,
+    allocation ([gc_] fields) 25%, bit-identity witness flags must
+    never drop,
+    and [reduced_max_rel_err] is bounded by the absolute ceiling the
+    bench itself asserts. Everything else (problem sizes, tolerances,
+    measured physical values) is informational and never gated.
+
+    Used by [bench/main.exe --compare] and unit-tested directly. *)
+
+type direction =
+  | Lower_better of float  (** regression if fresh > baseline * (1+tol) *)
+  | Higher_better of float  (** regression if fresh < baseline * (1-tol) *)
+  | Witness  (** 0/1 invariant flag: must not drop below the baseline *)
+  | Ceiling of float  (** absolute bound: regression if fresh > bound *)
+  | Informational  (** recorded, never gated *)
+
+val classify : string -> direction
+(** Metric policy by JSON field name. *)
+
+type verdict =
+  | Ok
+  | Improved
+  | Regression
+  | New_metric  (** only in fresh (e.g. newly tracked): never gated *)
+  | Missing_metric  (** gated metric absent from fresh: a regression *)
+
+type finding = {
+  bench : string;
+  metric : string;
+  baseline : float;  (** nan when the metric is new *)
+  fresh : float;  (** nan when the metric disappeared *)
+  verdict : verdict;
+  note : string;
+}
+
+val rel_delta : baseline:float -> fresh:float -> float
+
+val compare_entries :
+  baseline:Bench_json.entry -> fresh:Bench_json.entry -> finding list
+(** All findings for one record pair: every baseline metric judged
+    against the fresh value, plus [New_metric] rows for fresh-only
+    fields. *)
+
+val regressions : finding list -> finding list
+(** The gating subset: [Regression] and [Missing_metric] findings. *)
+
+val gate : finding list -> bool
+(** [true] iff no finding gates (the comparison passes). *)
+
+val pp : Format.formatter -> finding list -> unit
+(** Table of the non-[Ok] findings plus a one-line tally. *)

@@ -313,7 +313,12 @@ let parallel_for ?pool ?chunk ~n f =
           in
           let idle = if Int64.compare idle 0L < 0 then 0L else idle in
           Obs.Metrics.incr ~by:n_chunks "numerics.pool.tasks";
-          Obs.Metrics.incr ~by:(Int64.to_int idle) "numerics.pool.idle_ns"
+          Obs.Metrics.incr ~by:(Int64.to_int idle) "numerics.pool.idle_ns";
+          (* utilization timeline: one sample per fan-out, events stream *)
+          if Obs.Event.enabled () then
+            Obs.Event.emit
+              (Obs.Event.Pool_sample
+                 { domains = p.size; tasks = n_chunks; busy_ns = busy })
         end
       end
   end

@@ -5,11 +5,15 @@ module Clock = Clock
 module Registry = Registry
 module Span = Span
 module Metrics = Metrics
+module Event = Event
 module Sink = Sink
 module Trace_read = Trace_read
+module Report = Report
 
 let enabled () = Atomic.get Registry.enabled
 let set_enabled b = Atomic.set Registry.enabled b
+let events_enabled () = Atomic.get Registry.events_enabled
+let set_events_enabled b = Atomic.set Registry.events_enabled b
 let snapshot = Registry.snapshot
 let reset = Registry.reset
 
@@ -38,7 +42,7 @@ let flush () =
     if summary then Format.eprintf "%a@." Sink.summary s
   end
 
-let configure ?chrome_file ?jsonl_file ?summary ?enabled () =
+let configure ?chrome_file ?jsonl_file ?summary ?enabled ?events () =
   Mutex.lock config_mu;
   Option.iter (fun p -> config.chrome <- Some p) chrome_file;
   Option.iter (fun p -> config.jsonl <- Some p) jsonl_file;
@@ -53,16 +57,23 @@ let configure ?chrome_file ?jsonl_file ?summary ?enabled () =
      at_exit handlers such as the pool shutdown — LIFO order then runs
      this flush first, while worker domains are still alive. *)
   if need_flush then at_exit flush;
-  Option.iter set_enabled enabled
+  Option.iter set_enabled enabled;
+  Option.iter set_events_enabled events
 
+(* "-" routes the JSONL log to stderr (pipeline-friendly); a ".jsonl"
+   suffix selects the JSONL file sink, anything else the Chrome
+   trace. *)
 let trace_to_file path =
-  if Filename.check_suffix path ".jsonl" then
+  if path = "-" || Filename.check_suffix path ".jsonl" then
     configure ~jsonl_file:path ~enabled:true ()
   else configure ~chrome_file:path ~enabled:true ()
 
 let configure_from_env () =
   (match Sys.getenv_opt "OSHIL_TRACE" with
   | Some path when path <> "" -> trace_to_file path
+  | _ -> ());
+  (match Sys.getenv_opt "OSHIL_EVENTS" with
+  | Some ("1" | "true" | "yes") -> configure ~events:true ()
   | _ -> ());
   match Sys.getenv_opt "OSHIL_METRICS" with
   | Some ("1" | "true" | "yes") -> configure ~summary:true ~enabled:true ()

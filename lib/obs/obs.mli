@@ -19,8 +19,10 @@ module Clock = Clock
 module Registry = Registry
 module Span = Span
 module Metrics = Metrics
+module Event = Event
 module Sink = Sink
 module Trace_read = Trace_read
+module Report = Report
 
 val enabled : unit -> bool
 (** Whether telemetry recording is currently on. *)
@@ -28,6 +30,14 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 (** Turn recording on or off. Cheap and safe at any time; events
     recorded so far are kept. *)
+
+val events_enabled : unit -> bool
+(** Whether the introspection {e event} stream ({!Event}) is on. Off
+    by default even when spans are on — events are per-iteration
+    volume. *)
+
+val set_events_enabled : bool -> unit
+(** Turn the introspection event stream on or off. *)
 
 val snapshot : unit -> Registry.snapshot
 (** Merge all per-domain buffers into one consistent snapshot
@@ -39,7 +49,7 @@ val reset : unit -> unit
 
 val configure :
   ?chrome_file:string -> ?jsonl_file:string -> ?summary:bool ->
-  ?enabled:bool -> unit -> unit
+  ?enabled:bool -> ?events:bool -> unit -> unit
 (** Set process-wide sink destinations. The first call that configures
     any sink registers an [at_exit] {!flush}. Each optional argument
     only overrides the corresponding setting when present, so
@@ -48,11 +58,13 @@ val configure :
 val trace_to_file : string -> unit
 (** [trace_to_file path] enables telemetry and routes the trace to
     [path]: JSONL event log if [path] ends in [.jsonl], Chrome
-    [trace_event] JSON otherwise. *)
+    [trace_event] JSON otherwise. The path ["-"] streams JSONL to
+    stderr, so [oshil … --trace - 2>t.jsonl | …] works in pipelines. *)
 
 val configure_from_env : unit -> unit
-(** Read [OSHIL_TRACE] (trace file path, as {!trace_to_file}) and
-    [OSHIL_METRICS] ([1]/[true]/[yes] — print the summary table to
+(** Read [OSHIL_TRACE] (trace file path, as {!trace_to_file}),
+    [OSHIL_EVENTS] ([1]/[true]/[yes] — record introspection events)
+    and [OSHIL_METRICS] ([1]/[true]/[yes] — print the summary table to
     stderr at exit). Unset or empty variables change nothing. *)
 
 val flush : unit -> unit

@@ -11,6 +11,12 @@
 
 let enabled = Atomic.make false
 
+(* Introspection events are a second, independently gated stream: they
+   are much higher-volume than spans (per Newton iteration), so a run
+   can keep span telemetry on while leaving events off. Same contract:
+   one atomic load when off, observation only. *)
+let events_enabled = Atomic.make false
+
 type span_ev = {
   name : string;
   cat : string;
@@ -21,11 +27,52 @@ type span_ev = {
   attrs : (string * string) list;
 }
 
+(* Solver identity attached to convergence events: which engine ran the
+   solve, which recovery rung it ran on (e.g. "gmin=1e-4"), and — for
+   describing-function solves — which (phi, A) grid cell it refined. *)
+type solve_ctx = {
+  solver : string;
+  rung : string;
+  cell : (float * float) option;
+}
+
+type event_payload =
+  | Newton_iter of {
+      ctx : solve_ctx;
+      iter : int;
+      residual : float;
+      step : float;
+      damping : float;
+    }
+  | Newton_done of {
+      ctx : solve_ctx;
+      iters : int;
+      converged : bool;
+      residual : float;
+    }
+  | Tran_step of { t : float; dt : float; accepted : bool; lte : float }
+  | Bracket of { site : string; lo : float; hi : float; probe : float; hit : bool }
+  | Cache_access of { kind : string; outcome : string }
+  | Pool_sample of { domains : int; tasks : int; busy_ns : int64 }
+  | Gc_sample of {
+      where : string;
+      minor_words : float;
+      promoted_words : float;
+      major_words : float;
+      minor_gcs : int;
+      major_gcs : int;
+      heap_words : int;
+    }
+
+type event_ev = { ts_ns : int64; tid : int; payload : event_payload }
+
 type dbuf = {
   dom : int;
   mu : Mutex.t;
   mutable spans : span_ev list;  (* completion order, reversed *)
   mutable n_spans : int;
+  mutable events : event_ev list;  (* emission order, reversed *)
+  mutable n_events : int;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, (int64 * float) ref) Hashtbl.t;
   hists : (string, int array) Hashtbl.t;
@@ -35,6 +82,7 @@ type dbuf = {
 (* Backstop against unbounded growth on very long traced runs; overflow
    is made visible as the [obs.spans_dropped] counter. *)
 let span_cap = 500_000
+let event_cap = 500_000
 
 let all_bufs : dbuf list ref = ref []
 let all_mu = Mutex.create ()
@@ -47,6 +95,8 @@ let key =
           mu = Mutex.create ();
           spans = [];
           n_spans = 0;
+          events = [];
+          n_events = 0;
           counters = Hashtbl.create 32;
           gauges = Hashtbl.create 8;
           hists = Hashtbl.create 8;
@@ -77,6 +127,15 @@ let add_span b ev =
     b.n_spans <- b.n_spans + 1
   end
   else counter_add_locked b "obs.spans_dropped" 1;
+  Mutex.unlock b.mu
+
+let add_event b ev =
+  Mutex.lock b.mu;
+  if b.n_events < event_cap then begin
+    b.events <- ev :: b.events;
+    b.n_events <- b.n_events + 1
+  end
+  else counter_add_locked b "obs.events_dropped" 1;
   Mutex.unlock b.mu
 
 let counter_add b name by =
@@ -151,6 +210,7 @@ let observe b name v =
 
 type snapshot = {
   spans : span_ev list;
+  events : event_ev list;
   counters : (string * int) list;
   gauges : (string * float) list;
   hists : (string * float array * int array) list;
@@ -164,6 +224,7 @@ let bufs () =
 
 let snapshot () =
   let spans = ref [] in
+  let events = ref [] in
   let ctr : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let gg : (string, int64 * float) Hashtbl.t = Hashtbl.create 16 in
   let hh : (string, int array) Hashtbl.t = Hashtbl.create 16 in
@@ -171,6 +232,7 @@ let snapshot () =
     (fun b ->
       Mutex.lock b.mu;
       spans := List.rev_append b.spans !spans;
+      events := List.rev_append b.events !events;
       Hashtbl.iter
         (fun k r ->
           let prev = Option.value (Hashtbl.find_opt ctr k) ~default:0 in
@@ -193,11 +255,19 @@ let snapshot () =
     (bufs ());
   let spans =
     List.sort
-      (fun a b ->
+      (fun (a : span_ev) (b : span_ev) ->
         match Int64.compare a.ts_ns b.ts_ns with
         | 0 -> Int.compare a.tid b.tid
         | c -> c)
       !spans
+  in
+  let events =
+    List.sort
+      (fun (a : event_ev) (b : event_ev) ->
+        match Int64.compare a.ts_ns b.ts_ns with
+        | 0 -> Int.compare a.tid b.tid
+        | c -> c)
+      !events
   in
   let sorted tbl =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
@@ -205,6 +275,7 @@ let snapshot () =
   in
   {
     spans;
+    events;
     counters = sorted ctr;
     gauges = List.map (fun (k, (_, v)) -> (k, v)) (sorted gg);
     hists =
@@ -233,6 +304,8 @@ let reset () =
       Mutex.lock b.mu;
       b.spans <- [];
       b.n_spans <- 0;
+      b.events <- [];
+      b.n_events <- 0;
       Hashtbl.reset b.counters;
       Hashtbl.reset b.gauges;
       Hashtbl.reset b.hists;

@@ -90,6 +90,58 @@ let chrome_trace ~path s = write_file ~path (chrome_trace_string s)
 (* JSONL event log: one self-describing JSON object per line, the
    format `oshil stats` replays. *)
 
+(* Finite floats print as %.17g (round-trips exactly); nan becomes
+   null and infinities become out-of-double-range literals that
+   [float_of_string] reads back as infinity. Keeps every line valid
+   JSON without losing the value. *)
+let jnum v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if Float.is_nan v then "null"
+  else if v > 0.0 then "1e999"
+  else "-1e999"
+
+let jbool v = if v then "true" else "false"
+
+let event_line (e : Registry.event_ev) =
+  let ctx_fields (c : Registry.solve_ctx) =
+    Printf.sprintf {|"solver":"%s","rung":"%s"%s|} (escape c.solver)
+      (escape c.rung)
+      (match c.cell with
+      | None -> ""
+      | Some (phi, a) ->
+        Printf.sprintf {|,"phi":%s,"a":%s|} (jnum phi) (jnum a))
+  in
+  let head ev = Printf.sprintf {|{"type":"event","ev":"%s","ts_ns":%Ld,"tid":%d|} ev e.ts_ns e.tid in
+  match e.payload with
+  | Newton_iter { ctx; iter; residual; step; damping } ->
+    Printf.sprintf {|%s,%s,"iter":%d,"res":%s,"step":%s,"damp":%s}|}
+      (head "newton_iter") (ctx_fields ctx) iter (jnum residual) (jnum step)
+      (jnum damping)
+  | Newton_done { ctx; iters; converged; residual } ->
+    Printf.sprintf {|%s,%s,"iters":%d,"converged":%s,"res":%s}|}
+      (head "newton_done") (ctx_fields ctx) iters (jbool converged)
+      (jnum residual)
+  | Tran_step { t; dt; accepted; lte } ->
+    Printf.sprintf {|%s,"t":%s,"dt":%s,"accepted":%s,"lte":%s}|}
+      (head "tran_step") (jnum t) (jnum dt) (jbool accepted) (jnum lte)
+  | Bracket { site; lo; hi; probe; hit } ->
+    Printf.sprintf {|%s,"site":"%s","lo":%s,"hi":%s,"probe":%s,"hit":%s}|}
+      (head "bracket") (escape site) (jnum lo) (jnum hi) (jnum probe)
+      (jbool hit)
+  | Cache_access { kind; outcome } ->
+    Printf.sprintf {|%s,"kind":"%s","outcome":"%s"}|} (head "cache")
+      (escape kind) (escape outcome)
+  | Pool_sample { domains; tasks; busy_ns } ->
+    Printf.sprintf {|%s,"domains":%d,"tasks":%d,"busy_ns":%Ld}|} (head "pool")
+      domains tasks busy_ns
+  | Gc_sample
+      { where; minor_words; promoted_words; major_words; minor_gcs; major_gcs;
+        heap_words } ->
+    Printf.sprintf
+      {|%s,"where":"%s","minor_words":%s,"promoted_words":%s,"major_words":%s,"minor_gcs":%d,"major_gcs":%d,"heap_words":%d}|}
+      (head "gc") (escape where) (jnum minor_words) (jnum promoted_words)
+      (jnum major_words) minor_gcs major_gcs heap_words
+
 let jsonl_string (s : Registry.snapshot) =
   let b = Buffer.create 8192 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
@@ -111,6 +163,7 @@ let jsonl_string (s : Registry.snapshot) =
         {|{"type":"span","name":"%s","cat":"%s","ts_ns":%Ld,"dur_ns":%Ld,"tid":%d,"depth":%d%s}|}
         (escape e.name) (escape e.cat) e.ts_ns e.dur_ns e.tid e.depth attrs)
     s.spans;
+  List.iter (fun e -> line "%s" (event_line e)) s.events;
   List.iter
     (fun (k, v) -> line {|{"type":"counter","name":"%s","value":%d}|} (escape k) v)
     s.counters;
@@ -130,7 +183,14 @@ let jsonl_string (s : Registry.snapshot) =
     s.hists;
   Buffer.contents b
 
-let jsonl ~path s = write_file ~path (jsonl_string s)
+(* [path = "-"] streams to stderr so `oshil … --trace - 2>t.jsonl | …`
+   composes in pipelines without touching the filesystem. *)
+let jsonl ~path s =
+  if path = "-" then begin
+    output_string stderr (jsonl_string s);
+    flush stderr
+  end
+  else write_file ~path (jsonl_string s)
 
 (* ------------------------------------------------------------------ *)
 (* Human summary table *)
@@ -139,6 +199,29 @@ let jsonl ~path s = write_file ~path (jsonl_string s)
    these rows (zero when the trace never touched that layer) so a
    missing layer is visible as 0 rather than silently absent. *)
 let headline_counters = [ "spice.newton.iters"; "shil.grid.f_evals" ]
+
+(* Bucketed quantile: the upper bound of the bucket holding the target
+   rank. Conservative (never under-reports) and deterministic; samples
+   past the last bound clamp to it. nan when the histogram is empty. *)
+let quantile bounds counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Float.nan
+  else begin
+    let target =
+      let t = int_of_float (Float.of_int total *. q +. 0.5) in
+      if t < 1 then 1 else if t > total then total else t
+    in
+    let nb = Array.length bounds in
+    let res = ref Float.nan in
+    let cum = ref 0 in
+    Array.iteri
+      (fun i c ->
+        cum := !cum + c;
+        if Float.is_nan !res && !cum >= target then
+          res := bounds.(if i < nb then i else nb - 1))
+      counts;
+    !res
+  end
 
 type agg = { mutable count : int; mutable total_ns : int64; mutable max_ns : int64 }
 
@@ -193,6 +276,10 @@ let summary ppf (s : Registry.snapshot) =
       (fun (k, bounds, counts) ->
         let total = Array.fold_left ( + ) 0 counts in
         fprintf ppf "  %s (%d samples)@," k total;
+        if total > 0 then
+          fprintf ppf "    p50 <= %-10g p90 <= %-10g p99 <= %-10g@,"
+            (quantile bounds counts 0.50) (quantile bounds counts 0.90)
+            (quantile bounds counts 0.99);
         Array.iteri
           (fun i c ->
             if c > 0 then

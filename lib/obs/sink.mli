@@ -6,18 +6,32 @@
       spans become ["ph":"X"] complete events on one track per domain,
       counters ride along in [otherData].
     - {!jsonl}: one self-describing JSON object per line (spans,
-      counters, gauges, histograms) — the durable format that
-      [oshil stats] replays and tests round-trip via {!Trace_read}.
+      introspection events, counters, gauges, histograms) — the durable
+      format that [oshil stats] replays and tests round-trip via
+      {!Trace_read}.
     - {!summary}: a human table — per-span totals (sorted by total
-      time), counters, gauges and histogram buckets.
+      time), counters, gauges and histogram buckets with p50/p90/p99
+      quantile estimates.
 
     File sinks create missing parent directories. *)
+
+val escape : string -> string
+(** JSON string-body escaping shared by the sinks and {!Report}. *)
 
 val chrome_trace : path:string -> Registry.snapshot -> unit
 val chrome_trace_string : Registry.snapshot -> string
 
 val jsonl : path:string -> Registry.snapshot -> unit
+(** The path ["-"] streams the JSONL log to stderr instead of a file,
+    so traced runs compose in shell pipelines. *)
+
 val jsonl_string : Registry.snapshot -> string
+
+val quantile : float array -> int array -> float -> float
+(** [quantile bounds counts q] estimates the [q]-quantile of a bucketed
+    histogram as the upper bound of the bucket holding the target rank
+    — conservative and deterministic. Samples past the last bound clamp
+    to it; nan when the histogram is empty. *)
 
 val headline_counters : string list
 (** Counters the summary always prints (as 0 when absent):

@@ -18,6 +18,7 @@ let with_ ?(cat = "oshil") ?(attrs = []) ~name f =
             tid = Registry.buf_dom b;
             depth = d;
             attrs;
-          })
+          };
+        Event.gc_sample ~where:name ())
       f
   end

@@ -3,10 +3,12 @@
 
     Merging semantics when loading several files (or several flushes
     appended to one file): counters sum, histograms with identical
-    buckets sum elementwise, gauges are last-read-wins, spans
-    concatenate and re-sort by timestamp. Timestamps from different
-    processes share no clock origin, so cross-file span orderings are
-    only meaningful per file. *)
+    buckets sum elementwise, gauges take the maximum value, spans and
+    introspection events concatenate and re-sort under a total order
+    (timestamp, domain id, then every remaining field) — so the merged
+    snapshot is independent of the order the files were passed in.
+    Timestamps from different processes share no clock origin, so
+    cross-file span orderings are only meaningful per file. *)
 
 exception Parse_error of string
 (** Raised with a [file:line: reason] message on malformed input. *)

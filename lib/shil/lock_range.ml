@@ -41,18 +41,27 @@ let boundary_with_failures ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
     if not (stable 0.0) then 0.0
     else begin
       (* grow an upper bound first: the boundary is usually well inside *)
+      let probe ~lo ~hi x =
+        let s = stable x in
+        if Obs.Event.enabled () then
+          Obs.Event.emit
+            (Obs.Event.Bracket
+               { site = "shil.lockrange.phi_d"; lo; hi; probe = x; hit = s });
+        s
+      in
       let rec find_unstable lo hi =
         if hi >= phi_d_cap then (lo, phi_d_cap)
-        else if stable hi then find_unstable hi (Float.min phi_d_cap (hi *. 2.0))
+        else if probe ~lo ~hi hi then
+          find_unstable hi (Float.min phi_d_cap (hi *. 2.0))
         else (lo, hi)
       in
       let lo0, hi0 = find_unstable 0.0 0.05 in
-      if stable hi0 then hi0 (* stable all the way to the cap *)
+      if probe ~lo:lo0 ~hi:hi0 hi0 then hi0 (* stable all the way to the cap *)
       else begin
         let lo = ref lo0 and hi = ref hi0 in
         while !hi -. !lo > tol do
           let mid = 0.5 *. (!lo +. !hi) in
-          if stable mid then lo := mid else hi := mid
+          if probe ~lo:!lo ~hi:!hi mid then lo := mid else hi := mid
         done;
         0.5 *. (!lo +. !hi)
       end

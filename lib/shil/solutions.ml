@@ -53,7 +53,12 @@ let classify ?points ?reduction nl ~n ~r ~vi ~phi_d ~phi ~a =
 
 let refine ?points ?reduction nl ~n ~r ~vi ~phi_d ~phi0 ~a0 =
   let f = residuals ?points ?reduction nl ~n ~r ~vi ~phi_d in
-  try Some (Roots.newton2d ~tol:1e-12 ~f ~x0:(phi0, a0) ())
+  let ectx =
+    if Obs.Event.enabled () then
+      Some (Obs.Event.ctx ~cell:(phi0, a0) "shil.refine")
+    else None
+  in
+  try Some (Roots.newton2d ~tol:1e-12 ?ectx ~f ~x0:(phi0, a0) ())
   with Roots.No_convergence _ -> None
 
 let find ?points (g : Grid.t) ~phi_d =
@@ -83,6 +88,16 @@ let find ?points (g : Grid.t) ~phi_d =
             let t = if gp = gk then 0.5 else gp /. (gp -. gk) in
             let phi0 = xs.(kp) +. (t *. (xs.(k) -. xs.(kp))) in
             let a0 = ys.(kp) +. (t *. (ys.(k) -. ys.(kp))) in
+            if Obs.Event.enabled () then
+              Obs.Event.emit
+                (Obs.Event.Bracket
+                   {
+                     site = "shil.solutions.crossing";
+                     lo = xs.(kp);
+                     hi = xs.(k);
+                     probe = phi0;
+                     hit = true;
+                   });
             candidates := (phi0, a0) :: !candidates
           end
         | None -> ());

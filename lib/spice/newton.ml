@@ -20,8 +20,10 @@ let () =
   Obs.Metrics.register_histogram ~name:"spice.newton.residual"
     ~buckets:[| 1e-12; 1e-9; 1e-6; 1e-3; 1.; 1e3 |]
 
-let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
+let solve ?(options = defaults) ?clamp_upto ?ectx ~size ~assemble ~x0 () =
   let clamp_upto = match clamp_upto with Some k -> k | None -> size in
+  (* solver-health events: one atomic load when the stream is off *)
+  let ectx = if Obs.Event.enabled () then ectx else None in
   (* fault sites count one occurrence per solve, so plans address the
      k-th Newton solve of a run deterministically *)
   let inject_singular = Resilience.Fault.fire "newton-singular" in
@@ -41,11 +43,22 @@ let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
     (match
        if inject_singular then raise Linalg.Singular else Linalg.lu_factor jac
      with
-    | exception Linalg.Singular -> outcome := Some (Diverged "singular Jacobian")
+    | exception Linalg.Singular ->
+      (match ectx with
+      | Some ctx ->
+        Obs.Event.emit
+          (Obs.Event.Newton_iter
+             { ctx; iter = !iter; residual = res_norm; step = Float.nan;
+               damping = 1.0 })
+      | None -> ());
+      outcome := Some (Diverged "singular Jacobian")
     | f ->
       let dx = Linalg.lu_solve f res in
       (* clamp the per-component update: junction exponentials explode
          without it *)
+      let raw_norm =
+        match ectx with Some _ -> Linalg.norm_inf dx | None -> 0.0
+      in
       let clamped = ref false in
       Array.iteri
         (fun k d ->
@@ -55,6 +68,18 @@ let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
           end)
         dx;
       let dx_norm = Linalg.norm_inf dx in
+      (match ectx with
+      | Some ctx ->
+        Obs.Event.emit
+          (Obs.Event.Newton_iter
+             {
+               ctx;
+               iter = !iter;
+               residual = res_norm;
+               step = dx_norm;
+               damping = (if !clamped && raw_norm > 0.0 then dx_norm /. raw_norm else 1.0);
+             })
+      | None -> ());
       Array.iteri (fun k d -> x.(k) <- x.(k) -. d) dx;
       if Array.exists (fun v -> not (Float.is_finite v)) x then
         outcome := Some (Diverged "non-finite iterate")
@@ -74,6 +99,17 @@ let solve ?(options = defaults) ?clamp_upto ~size ~assemble ~x0 () =
     | Some o -> o
     | None -> Diverged (Printf.sprintf "no convergence in %d iterations" options.max_iter)
   in
+  (match ectx with
+  | Some ctx ->
+    Obs.Event.emit
+      (Obs.Event.Newton_done
+         {
+           ctx;
+           iters = !iter;
+           converged = (match out with Converged _ -> true | Diverged _ -> false);
+           residual = !last_res;
+         })
+  | None -> ());
   if Obs.enabled () then begin
     Obs.Metrics.incr "spice.newton.solves";
     Obs.Metrics.incr ~by:!iter "spice.newton.iters";

@@ -13,7 +13,8 @@ val defaults : options
 type outcome = Converged of { iterations : int } | Diverged of string
 
 val solve :
-  ?options:options -> ?clamp_upto:int -> size:int ->
+  ?options:options -> ?clamp_upto:int -> ?ectx:Obs.Event.solve_ctx ->
+  size:int ->
   assemble:(x:float array -> jac:Numerics.Linalg.mat -> res:float array -> unit) ->
   x0:float array -> unit -> float array * outcome
 (** [solve ~size ~assemble ~x0 ()] iterates from [x0]; clamps each update
@@ -21,4 +22,10 @@ val solve :
     so branch currents stay unclamped — they are linear and may
     legitimately move by enormous amounts) componentwise to [step_limit]
     (crucial for exponential junctions) and returns the final iterate
-    together with the outcome. The input [x0] is not modified. *)
+    together with the outcome. The input [x0] is not modified.
+
+    When [ectx] names the solve and the introspection event stream is
+    on, every iteration emits a [Newton_iter] record (residual norm
+    entering the update, applied step norm, clamp damping factor) and
+    the solve ends with a [Newton_done] — pure observation, no effect
+    on the iteration itself. *)

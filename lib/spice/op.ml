@@ -2,13 +2,23 @@ type t = { compiled : Mna.compiled; x : float array }
 
 module Policy = Resilience.Policy
 
-let attempt ?newton compiled ~gmin ~source_scale ~x0 =
+let attempt ?newton ?(rung = "direct") compiled ~gmin ~source_scale ~x0 =
   let size = Mna.size compiled in
   let assemble ~x ~jac ~res =
     Mna.assemble compiled ~mode:(Mna.Dc { gmin; source_scale }) ~x ~jac ~res
   in
+  (* the rung label lets a report attribute convergence behaviour to
+     the recovery ladder step (gmin/source value) that produced it *)
+  let ectx =
+    if Obs.Event.enabled () then
+      Some
+        (Obs.Event.ctx
+           ~rung:(Printf.sprintf "%s,gmin=%g,src=%g" rung gmin source_scale)
+           "spice.op")
+    else None
+  in
   let x, outcome =
-    Newton.solve ?options:newton ~clamp_upto:(Mna.n_nodes compiled) ~size
+    Newton.solve ?options:newton ?ectx ~clamp_upto:(Mna.n_nodes compiled) ~size
       ~assemble ~x0 ()
   in
   match outcome with
@@ -21,13 +31,18 @@ let run ?newton ?(check = `Enforce) ?x0 circuit =
   let compiled = Mna.compile circuit in
   let size = Mna.size compiled in
   let x0 = match x0 with Some x -> x | None -> Array.make size 0.0 in
-  let direct () = attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0 in
+  let direct () =
+    attempt ?newton ~rung:"direct" compiled ~gmin:1e-12 ~source_scale:1.0 ~x0
+  in
   (* gmin stepping: solve with a heavy leak, then relax it *)
   let gmin_stepping () =
     let rec gmin_steps x = function
       | [] -> Ok x
       | g :: rest -> begin
-        match attempt ?newton compiled ~gmin:g ~source_scale:1.0 ~x0:x with
+        match
+          attempt ?newton ~rung:"gmin-stepping" compiled ~gmin:g
+            ~source_scale:1.0 ~x0:x
+        with
         | Ok x' -> gmin_steps x' rest
         | Error e -> Error e
       end
@@ -40,7 +55,10 @@ let run ?newton ?(check = `Enforce) ?x0 circuit =
     let rec src_steps x = function
       | [] -> Ok x
       | s :: rest -> begin
-        match attempt ?newton compiled ~gmin:1e-9 ~source_scale:s ~x0:x with
+        match
+          attempt ?newton ~rung:"source-stepping" compiled ~gmin:1e-9
+            ~source_scale:s ~x0:x
+        with
         | Ok x' -> src_steps x' rest
         | Error e -> Error e
       end
@@ -48,7 +66,10 @@ let run ?newton ?(check = `Enforce) ?x0 circuit =
     let scales = [ 0.1; 0.2; 0.4; 0.6; 0.8; 0.9; 1.0 ] in
     match src_steps (Array.make size 0.0) scales with
     | Ok x -> begin
-      match attempt ?newton compiled ~gmin:1e-12 ~source_scale:1.0 ~x0:x with
+      match
+        attempt ?newton ~rung:"source-stepping" compiled ~gmin:1e-12
+          ~source_scale:1.0 ~x0:x
+      with
       | Ok x' -> Ok x'
       | Error _ -> Ok x
     end
@@ -65,8 +86,8 @@ let run ?newton ?(check = `Enforce) ?x0 circuit =
         max_iter = base.Newton.max_iter * 4;
       }
     in
-    attempt ~newton:damped compiled ~gmin:1e-9 ~source_scale:1.0
-      ~x0:(Array.make size 0.0)
+    attempt ~newton:damped ~rung:"damped-newton" compiled ~gmin:1e-9
+      ~source_scale:1.0 ~x0:(Array.make size 0.0)
   in
   match
     Policy.escalate ~subsystem:Spice ~phase:"op"

@@ -162,9 +162,14 @@ let run_gated ~check circuit ~probes opts =
           ~mode:(Mna.Tran { t; h; integ; state; gmin = opts.gmin })
           ~x ~jac ~res
       in
+      let ectx =
+        if Obs.Event.enabled () then
+          Some (Obs.Event.ctx ~rung:(Printf.sprintf "h=%g" h) "spice.transient")
+        else None
+      in
       let x', outcome =
-        Newton.solve ~options:opts.newton ~clamp_upto:(Mna.n_nodes compiled)
-          ~size ~assemble ~x0:x_guess ()
+        Newton.solve ~options:opts.newton ?ectx
+          ~clamp_upto:(Mna.n_nodes compiled) ~size ~assemble ~x0:x_guess ()
       in
       match outcome with
       | Newton.Converged _ -> Ok x'
@@ -178,6 +183,10 @@ let run_gated ~check circuit ~probes opts =
       state := Mna.update_state compiled ~integ ~h ~prev:!state ~x:x';
       x := x'
     | Error msg ->
+      if Obs.Event.enabled () then
+        Obs.Event.emit
+          (Obs.Event.Tran_step
+             { t = t +. h; dt = h; accepted = false; lte = Float.nan });
       note_rejection ~t:(t +. h);
       if depth >= 8 then
         (* dsa: allow raise-escape — Fatal is internal control flow: the integration loop catches it and surfaces [result.failure] *)
@@ -244,7 +253,11 @@ let run_gated ~check circuit ~probes opts =
           err := Float.max !err (Float.abs (v -. x_full.(i)) /. (3.0 *. scale)))
         !x;
       Obs.Metrics.observe "spice.transient.lte" !err;
-      if !err <= lte_tol || hs <= dt_min *. 1.000001 then begin
+      let accepted = !err <= lte_tol || hs <= dt_min *. 1.000001 in
+      if Obs.Event.enabled () then
+        Obs.Event.emit
+          (Obs.Event.Tran_step { t = !t; dt = hs; accepted; lte = !err });
+      if accepted then begin
         (* accept the (more accurate) half-step result *)
         Obs.Metrics.incr "spice.transient.steps_accepted";
         t := !t +. hs;

@@ -1,0 +1,189 @@
+(* Unit tests for the bench regression sentinel
+   (Experiments.Bench_compare): the per-metric direction policy, the
+   judge, and the gate that `bench --compare` exits nonzero on. *)
+
+open Experiments
+
+let entry ?(name = "bench_x") ?(wall_s = 1.0) ?(speedup = 2.0) ?(extra = []) ()
+    =
+  {
+    Bench_json.name;
+    jobs = 4;
+    wall_s;
+    speedup_vs_seq = speedup;
+    extra;
+    meta = [];
+  }
+
+let verdict_of findings metric =
+  match
+    List.find_opt (fun f -> f.Bench_compare.metric = metric) findings
+  with
+  | Some f -> f.Bench_compare.verdict
+  | None -> Alcotest.failf "no finding for metric %s" metric
+
+let vrd = Alcotest.testable
+    (Fmt.of_to_string (function
+      | Bench_compare.Ok -> "Ok"
+      | Improved -> "Improved"
+      | Regression -> "Regression"
+      | New_metric -> "New_metric"
+      | Missing_metric -> "Missing_metric"))
+    ( = )
+
+let test_classify_policy () =
+  let check name expect =
+    let got =
+      match Bench_compare.classify name with
+      | Bench_compare.Lower_better t -> Printf.sprintf "lower(%g)" t
+      | Higher_better t -> Printf.sprintf "higher(%g)" t
+      | Witness -> "witness"
+      | Ceiling c -> Printf.sprintf "ceiling(%g)" c
+      | Informational -> "info"
+    in
+    Alcotest.(check string) name expect got
+  in
+  check "wall_s" "lower(0.5)";
+  check "scalar_wall_s" "lower(0.5)";
+  check "speedup_vs_seq" "higher(0.3)";
+  check "speedup_batch_vs_scalar" "higher(0.3)";
+  check "bit_identical_to_seq" "witness";
+  check "batch_bit_identical_to_scalar" "witness";
+  check "reduced_max_rel_err" "ceiling(1e-06)";
+  check "gc_minor_words" "lower(0.25)";
+  check "shil_grid_f_evals" "lower(0.05)";
+  check "spice_newton_iters" "lower(0.05)";
+  check "n_phi" "info";
+  check "points" "info"
+
+let test_within_tolerance_is_ok () =
+  let baseline = entry ~wall_s:1.0 ~speedup:2.0 () in
+  let fresh = entry ~wall_s:1.3 ~speedup:1.8 () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  Alcotest.check vrd "wall_s +30% within 50% band" Bench_compare.Ok
+    (verdict_of fs "wall_s");
+  Alcotest.check vrd "speedup -10% within 30% band" Bench_compare.Ok
+    (verdict_of fs "speedup_vs_seq");
+  Alcotest.(check bool) "gate passes" true (Bench_compare.gate fs)
+
+let test_wall_regression_gates () =
+  let baseline = entry ~wall_s:1.0 () in
+  let fresh = entry ~wall_s:1.6 () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  Alcotest.check vrd "wall_s +60% regresses" Bench_compare.Regression
+    (verdict_of fs "wall_s");
+  Alcotest.(check bool) "gate fails" false (Bench_compare.gate fs);
+  Alcotest.(check int) "regressions subset non-empty" 1
+    (List.length
+       (List.filter
+          (fun f -> f.Bench_compare.metric = "wall_s")
+          (Bench_compare.regressions fs)))
+
+let test_improvement_never_gates () =
+  let baseline = entry ~wall_s:1.0 ~speedup:2.0 () in
+  let fresh = entry ~wall_s:0.4 ~speedup:3.5 () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  Alcotest.check vrd "wall_s improved" Bench_compare.Improved
+    (verdict_of fs "wall_s");
+  Alcotest.check vrd "speedup improved" Bench_compare.Improved
+    (verdict_of fs "speedup_vs_seq");
+  Alcotest.(check bool) "gate passes" true (Bench_compare.gate fs)
+
+let test_witness_must_not_drop () =
+  let baseline = entry ~extra:[ ("bit_identical_to_seq", 1.0) ] () in
+  let ok = entry ~extra:[ ("bit_identical_to_seq", 1.0) ] () in
+  let bad = entry ~extra:[ ("bit_identical_to_seq", 0.0) ] () in
+  Alcotest.(check bool) "witness held" true
+    (Bench_compare.gate (Bench_compare.compare_entries ~baseline ~fresh:ok));
+  let fs = Bench_compare.compare_entries ~baseline ~fresh:bad in
+  Alcotest.check vrd "witness dropped" Bench_compare.Regression
+    (verdict_of fs "bit_identical_to_seq");
+  Alcotest.(check bool) "gate fails on dropped witness" false
+    (Bench_compare.gate fs)
+
+let test_ceiling_is_absolute () =
+  let baseline = entry ~extra:[ ("reduced_max_rel_err", 1e-15) ] () in
+  let ok = entry ~extra:[ ("reduced_max_rel_err", 1e-9) ] () in
+  let bad = entry ~extra:[ ("reduced_max_rel_err", 1e-3) ] () in
+  Alcotest.(check bool) "under the ceiling passes despite huge rel delta" true
+    (Bench_compare.gate (Bench_compare.compare_entries ~baseline ~fresh:ok));
+  let fs = Bench_compare.compare_entries ~baseline ~fresh:bad in
+  Alcotest.check vrd "over the ceiling regresses" Bench_compare.Regression
+    (verdict_of fs "reduced_max_rel_err")
+
+let test_new_metric_never_gates () =
+  (* committed baselines predate the gc_* fields: their appearance in
+     fresh records must not gate *)
+  let baseline = entry () in
+  let fresh = entry ~extra:[ ("gc_minor_words", 12345.0) ] () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  Alcotest.check vrd "fresh-only metric is New_metric" Bench_compare.New_metric
+    (verdict_of fs "gc_minor_words");
+  Alcotest.(check bool) "gate passes" true (Bench_compare.gate fs)
+
+let test_missing_gated_metric_gates () =
+  let baseline = entry ~extra:[ ("shil_grid_f_evals", 651.0) ] () in
+  let fresh = entry () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  Alcotest.check vrd "gated metric vanished" Bench_compare.Missing_metric
+    (verdict_of fs "shil_grid_f_evals");
+  Alcotest.(check bool) "gate fails" false (Bench_compare.gate fs)
+
+let test_missing_informational_is_fine () =
+  let baseline = entry ~extra:[ ("n_phi", 31.0) ] () in
+  let fresh = entry () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  Alcotest.(check bool) "informational metric may vanish" true
+    (Bench_compare.gate fs)
+
+let test_counter_tight_band () =
+  let baseline = entry ~extra:[ ("shil_grid_f_evals", 1000.0) ] () in
+  let ok = entry ~extra:[ ("shil_grid_f_evals", 1040.0) ] () in
+  let bad = entry ~extra:[ ("shil_grid_f_evals", 1100.0) ] () in
+  Alcotest.(check bool) "+4% inside the 5% band" true
+    (Bench_compare.gate (Bench_compare.compare_entries ~baseline ~fresh:ok));
+  Alcotest.(check bool) "+10% outside the 5% band" false
+    (Bench_compare.gate (Bench_compare.compare_entries ~baseline ~fresh:bad))
+
+let test_pp_tally () =
+  let baseline = entry ~wall_s:1.0 () in
+  let fresh = entry ~wall_s:1.6 () in
+  let fs = Bench_compare.compare_entries ~baseline ~fresh in
+  let out = Format.asprintf "%a" Bench_compare.pp fs in
+  Alcotest.(check bool) "tally mentions a regression" true
+    (let needle = "1 regression" in
+     let nl = String.length needle and ol = String.length out in
+     let rec go i =
+       i + nl <= ol && (String.sub out i nl = needle || go (i + 1))
+     in
+     go 0)
+
+let () =
+  Alcotest.run "bench_compare"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "classify directions" `Quick test_classify_policy;
+          Alcotest.test_case "within tolerance" `Quick
+            test_within_tolerance_is_ok;
+          Alcotest.test_case "counter tight band" `Quick test_counter_tight_band;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "wall regression gates" `Quick
+            test_wall_regression_gates;
+          Alcotest.test_case "improvement never gates" `Quick
+            test_improvement_never_gates;
+          Alcotest.test_case "witness must not drop" `Quick
+            test_witness_must_not_drop;
+          Alcotest.test_case "ceiling is absolute" `Quick
+            test_ceiling_is_absolute;
+          Alcotest.test_case "new metric never gates" `Quick
+            test_new_metric_never_gates;
+          Alcotest.test_case "missing gated metric gates" `Quick
+            test_missing_gated_metric_gates;
+          Alcotest.test_case "missing informational is fine" `Quick
+            test_missing_informational_is_fine;
+          Alcotest.test_case "pp prints the tally" `Quick test_pp_tally;
+        ] );
+    ]

@@ -6,10 +6,12 @@
    disabled state and leaves it that way. *)
 let fresh f () =
   Obs.set_enabled false;
+  Obs.set_events_enabled false;
   Obs.reset ();
   Fun.protect
     ~finally:(fun () ->
       Obs.set_enabled false;
+      Obs.set_events_enabled false;
       Obs.reset ())
     f
 
@@ -225,6 +227,168 @@ let test_stats_accessor () =
   Alcotest.(check bool) "per-domain entries exist" true
     (Array.length after.Numerics.Pool.per_domain > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Introspection event stream (Obs.Event) *)
+
+let sample_events () =
+  let c = Obs.Event.ctx ~cell:(0.1, 1.0) "t.solver" in
+  Obs.Event.emit
+    (Obs.Event.Newton_iter
+       { ctx = c; iter = 1; residual = 0.25; step = 0.5; damping = 1.0 });
+  Obs.Event.emit
+    (Obs.Event.Newton_done
+       { ctx = c; iters = 3; converged = true; residual = 1e-12 });
+  Obs.Event.emit
+    (Obs.Event.Tran_step { t = 0.0; dt = 1e-9; accepted = true; lte = 1e-8 });
+  Obs.Event.emit
+    (Obs.Event.Bracket
+       { site = "t.site"; lo = 0.0; hi = 1.0; probe = 0.5; hit = true });
+  Obs.Event.emit (Obs.Event.Cache_access { kind = "t.kind"; outcome = "miss" });
+  Obs.Event.emit
+    (Obs.Event.Pool_sample { domains = 2; tasks = 8; busy_ns = 1234L })
+
+let test_events_off_is_noop () =
+  (* spans on, events off: the separate gate must hold *)
+  Obs.set_enabled true;
+  Alcotest.(check bool) "events off by default" false (Obs.events_enabled ());
+  sample_events ();
+  Obs.Event.gc_sample ~where:"t.here" ();
+  let s = Obs.snapshot () in
+  Alcotest.(check int) "no events recorded" 0
+    (List.length s.Obs.Registry.events)
+
+let test_events_recorded_and_typed () =
+  Obs.set_events_enabled true;
+  sample_events ();
+  let s = Obs.snapshot () in
+  let payloads =
+    List.map (fun (e : Obs.Registry.event_ev) -> e.payload) s.Obs.Registry.events
+  in
+  Alcotest.(check int) "all six events recorded" 6 (List.length payloads);
+  let count p = List.length (List.filter p payloads) in
+  Alcotest.(check int) "one newton_iter" 1
+    (count (function Obs.Registry.Newton_iter _ -> true | _ -> false));
+  Alcotest.(check int) "one newton_done" 1
+    (count (function Obs.Registry.Newton_done _ -> true | _ -> false));
+  (match
+     List.find
+       (function Obs.Registry.Newton_done _ -> true | _ -> false)
+       payloads
+   with
+  | Obs.Registry.Newton_done { ctx; iters; converged; residual } ->
+    Alcotest.(check string) "solver carried" "t.solver" ctx.solver;
+    Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+      "cell carried" (Some (0.1, 1.0)) ctx.cell;
+    Alcotest.(check int) "iters" 3 iters;
+    Alcotest.(check bool) "converged" true converged;
+    Alcotest.(check (float 0.0)) "residual" 1e-12 residual
+  | _ -> Alcotest.fail "unreachable")
+
+let test_events_jsonl_round_trip () =
+  Obs.set_events_enabled true;
+  sample_events ();
+  Obs.Event.gc_sample ~where:"t.rt" ();
+  let s = Obs.snapshot () in
+  with_temp_file ".jsonl" (fun path ->
+      Obs.Sink.jsonl ~path s;
+      let back = Obs.Trace_read.load path in
+      Alcotest.(check int)
+        "event count survives" (List.length s.Obs.Registry.events)
+        (List.length back.Obs.Registry.events);
+      List.iter2
+        (fun (a : Obs.Registry.event_ev) (b : Obs.Registry.event_ev) ->
+          Alcotest.(check int64) "event ts" a.ts_ns b.ts_ns;
+          Alcotest.(check bool) "payload round-trips" true
+            (a.payload = b.payload))
+        s.Obs.Registry.events back.Obs.Registry.events)
+
+(* ------------------------------------------------------------------ *)
+(* Run-health reports (Obs.Report) *)
+
+let health_fixture = "fixtures/trace_health.jsonl"
+
+let test_report_deterministic () =
+  let r1 = Obs.Report.of_snapshot (Obs.Trace_read.load health_fixture) in
+  let r2 = Obs.Report.of_snapshot (Obs.Trace_read.load health_fixture) in
+  Alcotest.(check string)
+    "same trace renders to byte-identical JSON" (Obs.Report.to_json r1)
+    (Obs.Report.to_json r2);
+  Alcotest.(check string)
+    "human table is deterministic too"
+    (Format.asprintf "%a" Obs.Report.pp r1)
+    (Format.asprintf "%a" Obs.Report.pp r2)
+
+let test_report_solver_facts () =
+  let r = Obs.Report.of_snapshot (Obs.Trace_read.load health_fixture) in
+  let refine =
+    List.find (fun s -> s.Obs.Report.ssolver = "shil.refine") r.Obs.Report.solvers
+  in
+  Alcotest.(check int) "two refine solves" 2 refine.Obs.Report.solves;
+  Alcotest.(check int) "one converged" 1 refine.Obs.Report.converged_n;
+  Alcotest.(check int) "max iters from newton_done" 8
+    refine.Obs.Report.iters_max;
+  (* worst cell ranks the unconverged solve first *)
+  (match r.Obs.Report.worst with
+  | w :: _ ->
+    Alcotest.(check bool) "worst cell is the unconverged one" false
+      w.Obs.Report.converged;
+    Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+      "worst cell coordinates" (Some (0.2, 1.1)) w.Obs.Report.cell
+  | [] -> Alcotest.fail "no worst cells ranked");
+  (match r.Obs.Report.steps with
+  | Some st ->
+    Alcotest.(check int) "accepted steps" 2 st.Obs.Report.accepted;
+    Alcotest.(check int) "rejected steps" 1 st.Obs.Report.rejected
+  | None -> Alcotest.fail "no step stats");
+  let br =
+    List.find
+      (fun b -> b.Obs.Report.site = "shil.lockrange.phi_d")
+      r.Obs.Report.brackets
+  in
+  Alcotest.(check int) "bracket probes" 3 br.Obs.Report.probes;
+  Alcotest.(check (float 1e-9)) "bracket narrowed" 0.25 br.Obs.Report.width
+
+let test_merge_order_stable () =
+  (* two distinct snapshots written to two files: merged report must
+     not depend on the order the files are given *)
+  Obs.set_enabled true;
+  Obs.set_events_enabled true;
+  Obs.Span.with_ ~name:"m.a" (fun () -> ignore (Sys.opaque_identity 1));
+  Obs.Metrics.incr ~by:3 "m.counter";
+  sample_events ();
+  let s1 = Obs.snapshot () in
+  Obs.reset ();
+  Obs.Span.with_ ~name:"m.b" (fun () -> ignore (Sys.opaque_identity 2));
+  Obs.Metrics.incr ~by:4 "m.counter";
+  Obs.Event.emit
+    (Obs.Event.Cache_access { kind = "t.kind"; outcome = "memory" });
+  let s2 = Obs.snapshot () in
+  with_temp_file ".jsonl" (fun p1 ->
+      with_temp_file ".jsonl" (fun p2 ->
+          Obs.Sink.jsonl ~path:p1 s1;
+          Obs.Sink.jsonl ~path:p2 s2;
+          let ab = Obs.Trace_read.load_many [ p1; p2 ] in
+          let ba = Obs.Trace_read.load_many [ p2; p1 ] in
+          Alcotest.(check string)
+            "merged report independent of file order"
+            (Obs.Report.to_json (Obs.Report.of_snapshot ab))
+            (Obs.Report.to_json (Obs.Report.of_snapshot ba));
+          Alcotest.(check int) "counters sum" 7
+            (List.assoc "m.counter" ab.Obs.Registry.counters)))
+
+let test_quantile_estimates () =
+  let bounds = [| 1.0; 2.0; 4.0; 8.0 |] in
+  (* 10 in (..1], 25 in (1..2], 6 in (2..4], 1 in (4..8], 0 overflow *)
+  let counts = [| 10; 25; 6; 1; 0 |] in
+  Alcotest.(check (float 0.0)) "p50" 2.0 (Obs.Sink.quantile bounds counts 0.50);
+  Alcotest.(check (float 0.0)) "p90" 4.0 (Obs.Sink.quantile bounds counts 0.90);
+  Alcotest.(check (float 0.0)) "p99" 8.0 (Obs.Sink.quantile bounds counts 0.99);
+  (* overflow samples clamp to the last bound *)
+  Alcotest.(check (float 0.0)) "overflow clamps" 8.0
+    (Obs.Sink.quantile bounds [| 0; 0; 0; 0; 5 |] 0.99);
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Obs.Sink.quantile bounds [| 0; 0; 0; 0; 0 |] 0.5))
+
 (* The load-bearing contract: running the full analysis with telemetry
    on must be bit-identical to running it with telemetry off. *)
 let test_tracing_preserves_results () =
@@ -238,6 +402,10 @@ let test_tracing_preserves_results () =
   let off = run () in
   Obs.set_enabled true;
   let on = run () in
+  (* and once more with the per-iteration event stream on top *)
+  Obs.set_events_enabled true;
+  let ev = run () in
+  Obs.set_events_enabled false;
   Obs.set_enabled false;
   Alcotest.(check bool) "grid bit-identical" true
     (off.Shil.Analysis.grid.Shil.Grid.i1 = on.Shil.Analysis.grid.Shil.Grid.i1);
@@ -247,6 +415,16 @@ let test_tracing_preserves_results () =
   Alcotest.(check (float 0.0))
     "delta_f_inj identical" off.lock_range.Shil.Lock_range.delta_f_inj
     on.lock_range.Shil.Lock_range.delta_f_inj;
+  Alcotest.(check bool) "grid bit-identical with events on" true
+    (off.Shil.Analysis.grid.Shil.Grid.i1 = ev.Shil.Analysis.grid.Shil.Grid.i1);
+  Alcotest.(check (float 0.0))
+    "phi_d_max identical with events on"
+    off.lock_range.Shil.Lock_range.phi_d_max
+    ev.lock_range.Shil.Lock_range.phi_d_max;
+  Alcotest.(check (float 0.0))
+    "delta_f_inj identical with events on"
+    off.lock_range.Shil.Lock_range.delta_f_inj
+    ev.lock_range.Shil.Lock_range.delta_f_inj;
   (* and the traced run actually recorded the expected instrumentation *)
   let s = Obs.snapshot () in
   let names =
@@ -258,7 +436,14 @@ let test_tracing_preserves_results () =
   Alcotest.(check bool) "grid span present" true
     (List.mem "shil.grid.sample" names);
   Alcotest.(check bool) "f_evals counted" true
-    (Obs.Metrics.counter_value "shil.grid.f_evals" > 0)
+    (Obs.Metrics.counter_value "shil.grid.f_evals" > 0);
+  Alcotest.(check bool) "events-on run recorded newton introspection" true
+    (List.exists
+       (fun (e : Obs.Registry.event_ev) ->
+         match e.payload with
+         | Obs.Registry.Newton_done _ -> true
+         | _ -> false)
+       s.Obs.Registry.events)
 
 let () =
   Alcotest.run "obs"
@@ -290,6 +475,26 @@ let () =
             (fresh test_chrome_trace_is_json);
           Alcotest.test_case "summary shows headline counters" `Quick
             (fresh test_summary_headline_counters);
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "events off is a no-op" `Quick
+            (fresh test_events_off_is_noop);
+          Alcotest.test_case "events recorded with typed payloads" `Quick
+            (fresh test_events_recorded_and_typed);
+          Alcotest.test_case "events survive the jsonl round-trip" `Quick
+            (fresh test_events_jsonl_round_trip);
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "report is deterministic" `Quick
+            (fresh test_report_deterministic);
+          Alcotest.test_case "report derives solver facts" `Quick
+            (fresh test_report_solver_facts);
+          Alcotest.test_case "merged report stable across file order" `Quick
+            (fresh test_merge_order_stable);
+          Alcotest.test_case "bucketed quantile estimates" `Quick
+            (fresh test_quantile_estimates);
         ] );
       ( "integration",
         [

@@ -14,6 +14,10 @@
      direct-clock  no [Unix.gettimeofday] / [Sys.time] in library code
                    outside lib/obs — use [Obs.Clock] so telemetry and
                    benches share one monotonic clock
+     direct-gc     no [Gc.stat] / [Gc.quick_stat] / [Gc.counters] in
+                   library code outside lib/obs — use
+                   [Obs.Event.gc_sample] so allocation telemetry flows
+                   through the one gated, off-by-default stream
      local-linspace no local [let linspace] definitions — the canonical
                    one lives in [Numerics.Kernel] (bit-identical uniform
                    sampling everywhere, one expression to audit)
@@ -35,6 +39,11 @@ let failwith_allowed_dirs = [ "bin"; "bench"; "tools"; "test" ]
 
 (* lib/obs wraps the clock; everything outside lib/ keeps its freedom *)
 let clock_allowed_dirs = [ "obs"; "bin"; "bench"; "tools"; "test" ]
+
+(* lib/obs samples the GC (Obs.Event.gc_sample); a direct probe
+   elsewhere in lib/ would bypass the event gate and its bit-identity
+   contract. bench/ reads Gc.quick_stat on purpose (alloc fields). *)
+let gc_allowed_dirs = [ "obs"; "bin"; "bench"; "tools"; "test" ]
 
 type finding = { file : string; line : int; code : string; msg : string }
 
@@ -330,6 +339,13 @@ let check_tokens ~file ~dir text waivers =
       (qualified "Unix.gettimeofday" @ qualified "Sys.time")
       "direct timing call in library code; use Obs.Clock (monotonic) so \
        telemetry and benches share one clock";
+  if not (List.mem dir gc_allowed_dirs) then
+    rule "direct-gc"
+      (qualified "Gc.stat" @ qualified "Gc.quick_stat"
+      @ qualified "Gc.counters" @ qualified "Gc.allocated_bytes")
+      "direct GC statistics in library code; emit Obs.Event.gc_sample \
+       (gated, off by default) so allocation telemetry stays in one \
+       stream";
   if not (List.mem dir failwith_allowed_dirs) then
     rule "failwith"
       (ident_occurrences text "failwith")
