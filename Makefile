@@ -1,7 +1,7 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
 .PHONY: all test lint analyze bench-smoke bench bench-compare report \
-        batch cache-smoke kernel-smoke coverage clean
+        batch cache-smoke kernel-smoke serve serve-smoke coverage clean
 
 all:
 	dune build
@@ -75,6 +75,20 @@ cache-smoke:
 # counters must appear in the telemetry replay.
 kernel-smoke:
 	dune build @kernel-smoke
+
+# Resident analysis daemon on a local Unix socket. Talk to it with
+# `oshil call -c oshil.sock <op>`; SIGTERM/SIGINT drain gracefully
+# (finish in-flight work, flush telemetry, exit 0). Override the
+# address with ADDR=tcp:HOST:PORT or ADDR=unix:PATH.
+ADDR ?= oshil.sock
+serve:
+	dune build bin/oshil.exe
+	./_build/default/bin/oshil.exe serve -l $(ADDR)
+
+# Daemon end-to-end smoke: lifecycle, typed protocol errors, CLI/daemon
+# byte-identity, serve-request fault injection, graceful drain.
+serve-smoke:
+	dune build @serve-smoke
 
 # Coverage (requires bisect_ppx, not part of the default environment):
 #   opam install bisect_ppx

@@ -53,22 +53,28 @@ let custom_args =
   in
   Term.(const (fun a b c d e -> (a, b, c, d, e)) $ g0 $ isat $ r $ fc $ q)
 
-let resolve_oscillator choice (g0, isat, r, fc, q) : Shil.Analysis.oscillator =
-  match (choice, g0, isat, r, fc, q) with
-  | _, Some g0, isat, r, fc, q ->
-    let isat = Option.value isat ~default:1e-3 in
-    let r = Option.value r ~default:1e3 in
-    let fc = Option.value fc ~default:1e6 in
-    let q = Option.value q ~default:10.0 in
-    let wc = 2.0 *. Float.pi *. fc in
-    let z0 = r /. q in
-    {
-      nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
-      tank = Shil.Tank.make ~r ~l:(z0 /. wc) ~c:(1.0 /. (z0 *. wc));
-    }
-  | Tanh, _, _, _, _, _ -> Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default
-  | Diffpair, _, _, _, _, _ -> Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
-  | Tunnel, _, _, _, _, _ -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
+(* the CLI flags reduced to the request-level oscillator description;
+   Api owns the actual table so the daemon resolves identically *)
+let osc_spec choice (g0, isat, r, fc, q) : Api.Request.osc_spec =
+  match g0 with
+  | Some g0 ->
+    Api.Request.Custom
+      {
+        g0;
+        isat = Option.value isat ~default:1e-3;
+        r = Option.value r ~default:1e3;
+        fc = Option.value fc ~default:1e6;
+        q = Option.value q ~default:10.0;
+      }
+  | None ->
+    Api.Request.Builtin
+      (match choice with
+      | Tanh -> "tanh"
+      | Diffpair -> "diffpair"
+      | Tunnel -> "tunnel")
+
+let resolve_oscillator choice custom : Shil.Analysis.oscillator =
+  Api.resolve_oscillator (osc_spec choice custom)
 
 let jobs_arg =
   let doc =
@@ -84,6 +90,36 @@ let apply_jobs = function
     Format.eprintf "oshil: --jobs must be >= 1 (got %d)@." n;
     exit 2
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Signal hygiene: SIGINT/SIGTERM mid-analysis must not lose the
+   telemetry sinks or a half-finished batch report. The handler runs a
+   registered partial-report hook (batch installs one), flushes the
+   [--trace]/[--metrics] sinks and the disk cache, and exits with the
+   conventional 128+signum code (130 for SIGINT, 143 for SIGTERM) so
+   callers can tell an interrupted run from a failed one (exit 1-3).
+   [oshil serve] replaces these handlers with drain-mode entry. *)
+
+let signal_name s = if s = Sys.sigterm then "SIGTERM" else "SIGINT"
+let signal_exit_code s = if s = Sys.sigterm then 143 else 130
+
+(* what an interrupted long-running subcommand should salvage before
+   exiting; at most one is active (the subcommands run sequentially) *)
+let partial_report_hook : (signal:string -> unit) option ref = ref None
+
+let install_signal_hygiene () =
+  let handle s =
+    (match !partial_report_hook with
+    | Some hook -> ( try hook ~signal:(signal_name s) with _ -> ())
+    | None -> ());
+    Obs.flush ();
+    exit (signal_exit_code s)
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 (* Telemetry flags, shared by every analysis subcommand. Environment
    defaults first, explicit flags override. *)
@@ -153,6 +189,7 @@ let obs_args =
 
 let apply_obs (trace, metrics, events, fault_plan, fail_fast, cache, cache_dir)
     =
+  install_signal_hygiene ();
   Obs.configure_from_env ();
   Option.iter Obs.trace_to_file trace;
   if metrics then Obs.configure ~summary:true ~enabled:true ();
@@ -245,25 +282,10 @@ let shil_cmd =
     apply_obs obs;
     apply_jobs jobs;
     let osc = resolve_oscillator choice custom in
-    let reduction = if reduced then `Symmetry else `Exact in
-    let report = Shil.Analysis.run ~reduction osc ~n ~vi in
-    Format.printf "%a@." Shil.Analysis.pp report;
-    (match finj with
-    | None -> ()
-    | Some f_inj ->
-      Format.printf "@.locks at f_inj = %.8g Hz:@." f_inj;
-      let sols = Shil.Analysis.locks_at report ~f_inj in
-      if sols = [] then Format.printf "  (none)@."
-      else
-        List.iter
-          (fun (p : Shil.Solutions.point) ->
-            Format.printf "  phi = %.5f rad, A = %.6g V (%s)@." p.phi p.a
-              (if p.stable then "stable" else "unstable");
-            if p.stable then
-              List.iter
-                (fun (psi, _) -> Format.printf "    state at psi = %.5f rad@." psi)
-                (Shil.Solutions.n_states p ~n))
-          sols);
+    (* the report text comes from lib/api — the same renderer the
+       daemon serves, so CLI bytes == server bytes by construction *)
+    let report = Api.shil_run ~osc ~n ~vi ~reduced in
+    print_string (Api.shil_report_text report ~finj);
     if ascii then begin
       let fig =
         Plotkit.Fig.add_polylines
@@ -529,10 +551,7 @@ let netlist_cmd =
       | "print" -> print_string (Spice.Netlist.to_string circuit)
       | "op" ->
         let op = Spice.Op.run ~check circuit in
-        List.iter
-          (fun node ->
-            Format.printf "v(%s) = %.9g@." node (Spice.Op.voltage op node))
-          (Spice.Circuit.node_names circuit)
+        print_string (Api.op_text ~circuit op)
       | "tran" ->
         let probes =
           match probes with
@@ -543,20 +562,7 @@ let netlist_cmd =
           Spice.Transient.run ~check circuit ~probes
             (Spice.Transient.default_options ~dt ~t_stop:tstop)
         in
-        let headers =
-          List.map
-            (function Spice.Transient.Node n -> n | _ -> "?")
-            (List.map fst res.signals)
-        in
-        Printf.printf "t,%s\n" (String.concat "," headers);
-        Array.iteri
-          (fun k t ->
-            Printf.printf "%.9g" t;
-            List.iter
-              (fun (_, vs) -> Printf.printf ",%.9g" vs.(k))
-              res.signals;
-            print_newline ())
-          res.times
+        print_string (Api.tran_csv res)
       | other ->
         Format.eprintf "unknown analysis %S@." other;
         exit 1
@@ -574,42 +580,6 @@ let netlist_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint *)
 
-let is_scenario_file f =
-  match String.lowercase_ascii (Filename.extension f) with
-  | ".scn" | ".scenario" -> true
-  | _ -> false
-
-let scenario_nonlinearity (s : Check.Scenario.t) =
-  match s.osc with
-  | "tanh" | "custom" ->
-    let g0 = Option.value s.g0 ~default:2e-3 in
-    let isat = Option.value s.isat ~default:1e-3 in
-    Some (Shil.Nonlinearity.eval (Shil.Nonlinearity.neg_tanh ~g0 ~isat))
-  | "diffpair" | "diff-pair" | "dp" ->
-    Some
-      (Shil.Nonlinearity.eval
-         (Circuits.Diff_pair.nonlinearity Circuits.Diff_pair.default))
-  | "tunnel" | "td" ->
-    Some
-      (Shil.Nonlinearity.eval
-         (Circuits.Tunnel_osc.nonlinearity Circuits.Tunnel_osc.default))
-  | _ -> None
-
-let lint_file file =
-  if is_scenario_file file then begin
-    let s, parse_diags = Check.Scenario.parse_file file in
-    let nl = scenario_nonlinearity s in
-    parse_diags @ Check.Scenario.check ?nl s
-  end
-  else begin
-    match Spice.Netlist.parse_file file with
-    | Error e ->
-      [ Check.Diagnostic.error ~code:"netlist-parse"
-          ~loc:(Printf.sprintf "%s:%d" (Filename.basename file) e.line)
-          e.message ]
-    | Ok circuit -> Spice.Preflight.check circuit
-  end
-
 let lint_cmd =
   let files_arg =
     Arg.(non_empty & pos_all file []
@@ -625,15 +595,9 @@ let lint_cmd =
   in
   let run files json strict =
     let module D = Check.Diagnostic in
-    let reports = List.map (fun f -> (f, lint_file f)) files in
+    let reports = List.map (fun f -> (f, Api.lint_file f)) files in
     if json then begin
-      let entry (f, ds) =
-        Printf.sprintf {|{"file":"%s","errors":%d,"warnings":%d,"diagnostics":%s}|}
-          (D.json_escape f)
-          (D.count_severity D.Error ds)
-          (D.count_severity D.Warning ds)
-          (D.list_to_json ds)
-      in
+      let entry (f, ds) = Api.lint_entry ~file:f ds in
       print_endline
         (Printf.sprintf "[%s]" (String.concat "," (List.map entry reports)))
     end
@@ -804,81 +768,6 @@ let stats_cmd =
 (* ------------------------------------------------------------------ *)
 (* batch *)
 
-let scenario_oscillator (s : Check.Scenario.t) : Shil.Analysis.oscillator =
-  match s.osc with
-  | "diffpair" | "diff-pair" | "dp" ->
-    Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
-  | "tunnel" | "td" -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
-  | _ ->
-    (* tanh/custom: the scenario's own cell and tank (lint has already
-       rejected unknown oscillator names before we get here) *)
-    let g0 = Option.value s.g0 ~default:2e-3 in
-    let isat = Option.value s.isat ~default:1e-3 in
-    let r, l, c = Check.Scenario.resolve_tank s in
-    {
-      nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
-      tank = Shil.Tank.make ~r ~l ~c;
-    }
-
-(* Per-scenario outcome carried out of the worker pool. The JSON body is
-   rendered inside the worker (pure string building) so the report
-   assembly after the join is a plain concatenation in input order —
-   byte-identical no matter how the pool scheduled the work. *)
-type batch_outcome =
-  | Batch_ok of string
-  | Batch_lint_error of string
-
-(* %.17g round-trips every double exactly: the report is a faithful
-   witness for the cold-vs-warm bit-identity check, not a rounded view *)
-let jf v =
-  if Float.is_nan v then {|"nan"|}
-  else if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.1f" v
-  else Printf.sprintf "%.17g" v
-
-let batch_scenario file =
-  let module D = Check.Diagnostic in
-  let s, parse_diags = Check.Scenario.parse_file file in
-  let nl = scenario_nonlinearity s in
-  let diags = parse_diags @ Check.Scenario.check ?nl s in
-  if D.errors diags <> [] then
-    Batch_lint_error
-      (Printf.sprintf
-         {|"status":"lint-error","errors":%d,"warnings":%d,"diagnostics":%s|}
-         (D.count_severity D.Error diags)
-         (D.count_severity D.Warning diags)
-         (D.list_to_json diags))
-  else begin
-    let osc = scenario_oscillator s in
-    let a_range =
-      match (s.a_lo, s.a_hi) with
-      | Some lo, Some hi -> Some (lo, hi)
-      | _ -> None
-    in
-    let report =
-      Shil.Analysis.run ~check:`Off ?points:s.points ?n_phi:s.n_phi
-        ?n_amp:s.n_amp ?a_range osc ~n:s.n ~vi:s.vi
-    in
-    let lr = report.lock_range in
-    let stable =
-      List.length
-        (List.filter
-           (fun (p : Shil.Solutions.point) -> p.stable)
-           report.locks_at_center)
-    in
-    Batch_ok
-      (Printf.sprintf
-         {|"status":"ok","osc":"%s","n":%d,"vi":%s,"natural_amplitude":%s,"locks_at_center":%d,"stable_locks":%d,"lock_range":{"phi_d_max":%s,"f_inj_low":%s,"f_inj_high":%s,"delta_f_inj":%s},"grid_holes":%d|}
-         (D.json_escape s.osc) s.n (jf s.vi)
-         (match report.natural_amplitude with
-         | Some a -> jf a
-         | None -> "null")
-         (List.length report.locks_at_center)
-         stable (jf lr.phi_d_max) (jf lr.f_inj_low) (jf lr.f_inj_high)
-         (jf lr.delta_f_inj)
-         (Resilience.Summary.failed report.grid.failures))
-  end
-
 let batch_cmd =
   let dir_arg =
     Arg.(value & pos 0 dir "examples/scenarios"
@@ -896,7 +785,7 @@ let batch_cmd =
     apply_jobs jobs;
     let files =
       Sys.readdir dir |> Array.to_list
-      |> List.filter is_scenario_file
+      |> List.filter Api.is_scenario_file
       |> List.sort String.compare
       |> List.map (Filename.concat dir)
       |> Array.of_list
@@ -905,25 +794,58 @@ let batch_cmd =
       Format.eprintf "oshil batch: no .scn files in %s@." dir;
       exit 2
     end;
+    let emit report =
+      match out with
+      | None -> print_string report
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc report)
+    in
+    (* finished per-scenario entries, recorded as the pool completes
+       them: the SIGINT/SIGTERM handler salvages these into a partial
+       report before flushing sinks and exiting 130/143 *)
+    let slots = Array.make (Array.length files) None in
+    partial_report_hook :=
+      Some
+        (fun ~signal ->
+          let done_ = ref [] and n_done = ref 0 in
+          Array.iter
+            (function
+              | Some entry ->
+                incr n_done;
+                done_ := ("  " ^ entry) :: !done_
+              | None -> ())
+            slots;
+          emit
+            (Printf.sprintf
+               "{\"partial\":true,\"signal\":\"%s\",\"scenarios\":%d,\"completed\":%d,\"results\":[\n%s\n]}\n"
+               signal (Array.length files) !n_done
+               (String.concat ",\n" (List.rev !done_))));
     (* one scenario per pool task: a scenario that dies (no oscillation,
        solver blow-up, injected fault) becomes a typed error slot, the
        rest of the batch completes, and the shared cache stays warm
        across scenarios that hit the same grids *)
     let outcomes =
       Numerics.Pool.parallel_try_map_array ~subsystem:Shil ~phase:"batch"
-        batch_scenario files
+        (fun i ->
+          let outcome = Api.scenario_file_outcome files.(i) in
+          slots.(i) <- Some (Api.scenario_entry ~file:files.(i) outcome);
+          outcome)
+        (Array.init (Array.length files) Fun.id)
     in
+    partial_report_hook := None;
     let body file = function
-      | Ok (Batch_ok b) | Ok (Batch_lint_error b) ->
-        Printf.sprintf {|{"file":"%s",%s}|} (Check.Diagnostic.json_escape file) b
+      | Ok outcome -> Api.scenario_entry ~file outcome
       | Error e ->
         Printf.sprintf {|{"file":"%s","status":"error","error":"%s"}|}
           (Check.Diagnostic.json_escape file)
           (Check.Diagnostic.json_escape (Resilience.Oshil_error.to_string e))
     in
     let count p = Array.length (Array.of_seq (Seq.filter p (Array.to_seq outcomes))) in
-    let n_ok = count (function Ok (Batch_ok _) -> true | _ -> false) in
-    let n_lint = count (function Ok (Batch_lint_error _) -> true | _ -> false) in
+    let n_ok = count (function Ok (Api.Scn_ok _) -> true | _ -> false) in
+    let n_lint =
+      count (function Ok (Api.Scn_lint_error _) -> true | _ -> false)
+    in
     let n_err = count (function Error _ -> true | _ -> false) in
     let results =
       Array.to_list (Array.mapi (fun i o -> "  " ^ body files.(i) o) outcomes)
@@ -934,11 +856,7 @@ let batch_cmd =
         (Array.length files) n_ok n_lint n_err
         (String.concat ",\n" results)
     in
-    (match out with
-    | None -> print_string report
-    | Some path ->
-      Out_channel.with_open_bin path (fun oc ->
-          Out_channel.output_string oc report));
+    emit report;
     let failures =
       List.concat
         (Array.to_list
@@ -965,6 +883,233 @@ let batch_cmd =
        ~doc:"Run every .scn scenario in a directory through the SHIL \
              analysis pipeline (parallel, per-scenario failure \
              isolation, shared result cache) and emit a JSON report.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* serve / call / api *)
+
+(* Shared request-building flags: [oshil api] executes the request
+   in-process, [oshil call] sends it to a daemon — both through the
+   same [lib/api] entry points, so the two paths return identical
+   bytes. *)
+let request_term =
+  let id_arg =
+    Arg.(value & opt string "cli"
+         & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Per-request wall-clock budget; overrunning work \
+                   unwinds into a typed budget-exhausted error.")
+  in
+  let op_arg =
+    Arg.(value & pos 0 string "ping"
+         & info [] ~docv:"OP"
+             ~doc:"Operation: ping, sleep, shil, scenario, lint, \
+                   netlist-op, netlist-tran, health or stats.")
+  in
+  let file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "file" ] ~docv:"FILE"
+             ~doc:"Input for scenario/lint/netlist ops; the contents \
+                   travel inline in the request, the basename anchors \
+                   diagnostics.")
+  in
+  let seconds_arg =
+    Arg.(value & opt float 0.05
+         & info [ "seconds" ] ~docv:"S"
+             ~doc:"sleep: wall clock to burn (deadline-checked).")
+  in
+  let finj_arg =
+    Arg.(value & opt (some float) None
+         & info [ "finj" ] ~docv:"HZ" ~doc:"shil: injection frequency.")
+  in
+  let reduced_arg =
+    Arg.(value & flag
+         & info [ "reduced" ] ~doc:"shil: symmetry-reduced quadrature.")
+  in
+  let tstop_arg =
+    Arg.(value & opt float 1e-3
+         & info [ "tstop" ] ~docv:"S" ~doc:"netlist-tran: stop time.")
+  in
+  let dt_arg =
+    Arg.(value & opt float 1e-6
+         & info [ "dt" ] ~docv:"S" ~doc:"netlist-tran: step.")
+  in
+  let probe_arg =
+    Arg.(value & opt_all string []
+         & info [ "probe" ] ~docv:"NODE" ~doc:"netlist-tran: node(s) to record.")
+  in
+  let build id deadline op file seconds choice custom n vi finj reduced tstop
+      dt probes =
+    let text () =
+      match file with
+      | Some f -> (f, In_channel.with_open_bin f In_channel.input_all)
+      | None ->
+        Format.eprintf "oshil: op %s needs --file@." op;
+        exit 2
+    in
+    let payload =
+      match op with
+      | "ping" -> Api.Request.Ping
+      | "health" -> Api.Request.Health
+      | "stats" -> Api.Request.Stats
+      | "sleep" -> Api.Request.Sleep { s = seconds }
+      | "shil" ->
+        Api.Request.Shil
+          { osc = osc_spec choice custom; n; vi; reduced; finj }
+      | "scenario" ->
+        let name, text = text () in
+        Api.Request.Scenario { name; text }
+      | "lint" ->
+        let name, text = text () in
+        Api.Request.Lint { name; text }
+      | "netlist-op" ->
+        let name, text = text () in
+        Api.Request.Netlist_op { name; text }
+      | "netlist-tran" ->
+        let name, text = text () in
+        Api.Request.Netlist_tran { name; text; t_stop = tstop; dt; probes }
+      | other ->
+        Format.eprintf "oshil: unknown op %S@." other;
+        exit 2
+    in
+    { Api.Request.id; deadline_s = deadline; payload }
+  in
+  Term.(const build $ id_arg $ deadline_arg $ op_arg $ file_arg $ seconds_arg
+        $ osc_arg $ custom_args $ n_arg $ vi_arg $ finj_arg $ reduced_arg
+        $ tstop_arg $ dt_arg $ probe_arg)
+
+let parse_addr ~what s =
+  match Serve.Addr.of_string s with
+  | Ok a -> a
+  | Error msg ->
+    Format.eprintf "oshil %s: %s@." what msg;
+    exit 2
+
+let api_cmd =
+  let run obs jobs req =
+    apply_obs obs;
+    apply_jobs jobs;
+    print_endline
+      (Api.response_of_outcome ~id:req.Api.Request.id (Api.handle req))
+  in
+  let term = Term.(const run $ obs_args $ jobs_arg $ request_term) in
+  Cmd.v
+    (Cmd.info "api"
+       ~doc:"Execute one typed request in-process and print the wire \
+             response — the reference bytes for the daemon's \
+             byte-identity contract.")
+    term
+
+let call_cmd =
+  let connect_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect"; "c" ] ~docv:"ADDR"
+             ~doc:"Daemon address: unix:PATH, tcp:HOST:PORT, HOST:PORT \
+                   or a bare socket path.")
+  in
+  let raw_arg =
+    Arg.(value & opt (some string) None
+         & info [ "raw" ] ~docv:"LINE"
+             ~doc:"Send $(docv) verbatim instead of building a request \
+                   (protocol testing, e.g. malformed JSON).")
+  in
+  let run connect raw req =
+    let addr = parse_addr ~what:"call" connect in
+    let line =
+      match raw with Some l -> l | None -> Api.Request.to_string req
+    in
+    match Serve.Client.call addr line with
+    | resp -> print_endline resp
+    | exception Resilience.Oshil_error.Error e ->
+      Format.eprintf "oshil call: %a@." Resilience.Oshil_error.pp e;
+      exit 1
+  in
+  let term = Term.(const run $ connect_arg $ raw_arg $ request_term) in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send one request to a running $(b,oshil serve) daemon and \
+             print the response line.")
+    term
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(value & opt string "oshil.sock"
+         & info [ "listen"; "l" ] ~docv:"ADDR"
+             ~doc:"Listen address: unix:PATH, tcp:HOST:PORT, HOST:PORT \
+                   or a bare socket path.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 16
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Job-queue slots. A full queue is explicit \
+                   backpressure: requests are rejected immediately \
+                   with a typed overload error.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker threads executing requests.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30.0
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Default wall-clock budget for requests that carry \
+                   no deadline_s of their own; 0 disables.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Extra attempts for transient-class failures \
+                   (injected faults, solver divergence), inside the \
+                   request's deadline.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.05
+         & info [ "backoff" ] ~docv:"S"
+             ~doc:"Base retry backoff, doubled per attempt.")
+  in
+  let run obs jobs listen capacity workers deadline retries backoff =
+    apply_obs obs;
+    apply_jobs jobs;
+    let addr = parse_addr ~what:"serve" listen in
+    if capacity < 1 || workers < 1 then begin
+      Format.eprintf "oshil serve: --capacity and --workers must be >= 1@.";
+      exit 2
+    end;
+    (* replace the flush-and-exit hygiene handlers installed by
+       [apply_obs]: for the daemon, SIGTERM/SIGINT mean graceful drain
+       (stop accepting, finish in-flight work, flush, exit 0) *)
+    List.iter
+      (fun s ->
+        try
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Serve.Server.request_drain ()))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    let config =
+      {
+        Serve.Server.address = addr;
+        capacity;
+        workers;
+        default_deadline_s = (if deadline <= 0.0 then None else Some deadline);
+        max_retries = retries;
+        retry_backoff_s = backoff;
+      }
+    in
+    Serve.Server.run config
+  in
+  let term =
+    Term.(const run $ obs_args $ jobs_arg $ listen_arg $ capacity_arg
+          $ workers_arg $ deadline_arg $ retries_arg $ backoff_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident analysis daemon: newline-delimited JSON \
+             requests over a Unix or TCP socket, bounded job queue \
+             with typed overload rejections, per-request deadlines, \
+             crash isolation and SIGTERM-drain (exit 0).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1043,7 +1188,7 @@ let () =
       [
         natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
         transient_cmd; netlist_cmd; lint_cmd; stats_cmd; batch_cmd;
-        figures_cmd; experiments_cmd;
+        serve_cmd; call_cmd; api_cmd; figures_cmd; experiments_cmd;
       ]
   in
   (* typed solver errors get a rendered diagnostic and a distinct exit

@@ -1,0 +1,361 @@
+module Json = Json
+module Request = Request
+module Oshil_error = Resilience.Oshil_error
+module Deadline = Resilience.Deadline
+
+(* --- oscillators ---------------------------------------------------- *)
+
+let resolve_oscillator (spec : Request.osc_spec) : Shil.Analysis.oscillator =
+  match spec with
+  | Custom { g0; isat; r; fc; q } ->
+    let wc = 2.0 *. Float.pi *. fc in
+    let z0 = r /. q in
+    {
+      nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
+      tank = Shil.Tank.make ~r ~l:(z0 /. wc) ~c:(1.0 /. (z0 *. wc));
+    }
+  | Builtin name -> (
+    match name with
+    | "tanh" -> Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default
+    | "diffpair" | "diff-pair" | "dp" ->
+      Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
+    | "tunnel" | "td" -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
+    | other ->
+      Oshil_error.raise_ Shil ~phase:"request" Parse_failure
+        (Printf.sprintf "unknown oscillator %S" other)
+        ~remedy:"use tanh, diffpair or tunnel, or a custom {g0,...} cell")
+
+(* --- report renderers ----------------------------------------------- *)
+
+(* Every renderer mirrors its CLI subcommand Format/Printf call for
+   call: same format strings, one [asprintf]/[sprintf] per original
+   [printf], concatenated in emission order — the report bytes are the
+   CLI bytes. *)
+
+let shil_run ~osc ~n ~vi ~reduced =
+  let reduction = if reduced then `Symmetry else `Exact in
+  Shil.Analysis.run ~reduction osc ~n ~vi
+
+let shil_report_text (report : Shil.Analysis.shil_report) ~finj =
+  let n = report.n in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Format.asprintf "%a@." Shil.Analysis.pp report);
+  (match finj with
+  | None -> ()
+  | Some f_inj ->
+    Buffer.add_string b
+      (Format.asprintf "@.locks at f_inj = %.8g Hz:@." f_inj);
+    let sols = Shil.Analysis.locks_at report ~f_inj in
+    if sols = [] then Buffer.add_string b (Format.asprintf "  (none)@.")
+    else
+      List.iter
+        (fun (p : Shil.Solutions.point) ->
+          Buffer.add_string b
+            (Format.asprintf "  phi = %.5f rad, A = %.6g V (%s)@." p.phi p.a
+               (if p.stable then "stable" else "unstable"));
+          if p.stable then
+            List.iter
+              (fun (psi, _) ->
+                Buffer.add_string b
+                  (Format.asprintf "    state at psi = %.5f rad@." psi))
+              (Shil.Solutions.n_states p ~n))
+        sols);
+  Buffer.contents b
+
+let shil_text ~osc ~n ~vi ~reduced ~finj =
+  shil_report_text (shil_run ~osc ~n ~vi ~reduced) ~finj
+
+let op_text ~circuit op =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun node ->
+      Buffer.add_string b
+        (Printf.sprintf "v(%s) = %.9g\n" node (Spice.Op.voltage op node)))
+    (Spice.Circuit.node_names circuit);
+  Buffer.contents b
+
+let tran_csv (res : Spice.Transient.result) =
+  let b = Buffer.create 4096 in
+  let headers =
+    List.map
+      (function Spice.Transient.Node n -> n | _ -> "?")
+      (List.map fst res.signals)
+  in
+  Buffer.add_string b (Printf.sprintf "t,%s\n" (String.concat "," headers));
+  Array.iteri
+    (fun k t ->
+      Buffer.add_string b (Printf.sprintf "%.9g" t);
+      List.iter
+        (fun (_, vs) -> Buffer.add_string b (Printf.sprintf ",%.9g" vs.(k)))
+        res.signals;
+      Buffer.add_char b '\n')
+    res.times;
+  Buffer.contents b
+
+(* --- scenarios ------------------------------------------------------ *)
+
+let is_scenario_file f =
+  match String.lowercase_ascii (Filename.extension f) with
+  | ".scn" | ".scenario" -> true
+  | _ -> false
+
+let scenario_nonlinearity (s : Check.Scenario.t) =
+  match s.osc with
+  | "tanh" | "custom" ->
+    let g0 = Option.value s.g0 ~default:2e-3 in
+    let isat = Option.value s.isat ~default:1e-3 in
+    Some (Shil.Nonlinearity.eval (Shil.Nonlinearity.neg_tanh ~g0 ~isat))
+  | "diffpair" | "diff-pair" | "dp" ->
+    Some
+      (Shil.Nonlinearity.eval
+         (Circuits.Diff_pair.nonlinearity Circuits.Diff_pair.default))
+  | "tunnel" | "td" ->
+    Some
+      (Shil.Nonlinearity.eval
+         (Circuits.Tunnel_osc.nonlinearity Circuits.Tunnel_osc.default))
+  | _ -> None
+
+let scenario_oscillator (s : Check.Scenario.t) : Shil.Analysis.oscillator =
+  match s.osc with
+  | "diffpair" | "diff-pair" | "dp" ->
+    Circuits.Diff_pair.oscillator Circuits.Diff_pair.default
+  | "tunnel" | "td" -> Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default
+  | _ ->
+    (* tanh/custom: the scenario's own cell and tank (lint has already
+       rejected unknown oscillator names before we get here) *)
+    let g0 = Option.value s.g0 ~default:2e-3 in
+    let isat = Option.value s.isat ~default:1e-3 in
+    let r, l, c = Check.Scenario.resolve_tank s in
+    {
+      nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
+      tank = Shil.Tank.make ~r ~l ~c;
+    }
+
+(* %.17g round-trips every double exactly: the report is a faithful
+   witness for the cold-vs-warm bit-identity check, not a rounded view *)
+let jf v =
+  if Float.is_nan v then {|"nan"|}
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+type scenario_outcome =
+  | Scn_ok of string
+  | Scn_lint_error of string
+
+let scenario_outcome_of (s, parse_diags) =
+  let module D = Check.Diagnostic in
+  let nl = scenario_nonlinearity s in
+  let diags = parse_diags @ Check.Scenario.check ?nl s in
+  if D.errors diags <> [] then
+    Scn_lint_error
+      (Printf.sprintf
+         {|"status":"lint-error","errors":%d,"warnings":%d,"diagnostics":%s|}
+         (D.count_severity D.Error diags)
+         (D.count_severity D.Warning diags)
+         (D.list_to_json diags))
+  else begin
+    let osc = scenario_oscillator s in
+    let a_range =
+      match (s.a_lo, s.a_hi) with
+      | Some lo, Some hi -> Some (lo, hi)
+      | _ -> None
+    in
+    let report =
+      Shil.Analysis.run ~check:`Off ?points:s.points ?n_phi:s.n_phi
+        ?n_amp:s.n_amp ?a_range osc ~n:s.n ~vi:s.vi
+    in
+    let lr = report.lock_range in
+    let stable =
+      List.length
+        (List.filter
+           (fun (p : Shil.Solutions.point) -> p.stable)
+           report.locks_at_center)
+    in
+    Scn_ok
+      (Printf.sprintf
+         {|"status":"ok","osc":"%s","n":%d,"vi":%s,"natural_amplitude":%s,"locks_at_center":%d,"stable_locks":%d,"lock_range":{"phi_d_max":%s,"f_inj_low":%s,"f_inj_high":%s,"delta_f_inj":%s},"grid_holes":%d|}
+         (D.json_escape s.osc) s.n (jf s.vi)
+         (match report.natural_amplitude with
+         | Some a -> jf a
+         | None -> "null")
+         (List.length report.locks_at_center)
+         stable (jf lr.phi_d_max) (jf lr.f_inj_low) (jf lr.f_inj_high)
+         (jf lr.delta_f_inj)
+         (Resilience.Summary.failed report.grid.failures))
+  end
+
+let scenario_outcome ~name text =
+  scenario_outcome_of (Check.Scenario.parse_string ~name text)
+
+let scenario_file_outcome file =
+  scenario_outcome_of (Check.Scenario.parse_file file)
+
+let scenario_entry ~file outcome =
+  match outcome with
+  | Scn_ok b | Scn_lint_error b ->
+    Printf.sprintf {|{"file":"%s",%s}|} (Check.Diagnostic.json_escape file) b
+
+(* --- lint ----------------------------------------------------------- *)
+
+let netlist_parse_diag ~name (e : Spice.Netlist.error) =
+  Check.Diagnostic.error ~code:"netlist-parse"
+    ~loc:(Printf.sprintf "%s:%d" (Filename.basename name) e.line)
+    e.message
+
+let lint_file file =
+  if is_scenario_file file then begin
+    let s, parse_diags = Check.Scenario.parse_file file in
+    let nl = scenario_nonlinearity s in
+    parse_diags @ Check.Scenario.check ?nl s
+  end
+  else begin
+    match Spice.Netlist.parse_file file with
+    | Error e -> [ netlist_parse_diag ~name:file e ]
+    | Ok circuit -> Spice.Preflight.check circuit
+  end
+
+let lint_text ~name text =
+  if is_scenario_file name then begin
+    let s, parse_diags = Check.Scenario.parse_string ~name text in
+    let nl = scenario_nonlinearity s in
+    parse_diags @ Check.Scenario.check ?nl s
+  end
+  else begin
+    match Spice.Netlist.parse_string text with
+    | Error e -> [ netlist_parse_diag ~name e ]
+    | Ok circuit -> Spice.Preflight.check circuit
+  end
+
+let lint_entry ~file ds =
+  let module D = Check.Diagnostic in
+  Printf.sprintf {|{"file":"%s","errors":%d,"warnings":%d,"diagnostics":%s}|}
+    (D.json_escape file)
+    (D.count_severity D.Error ds)
+    (D.count_severity D.Warning ds)
+    (D.list_to_json ds)
+
+(* --- netlists ------------------------------------------------------- *)
+
+let netlist_of_text ~name text =
+  match Spice.Netlist.parse_string text with
+  | Ok circuit -> circuit
+  | Error e ->
+    Oshil_error.raise_ Spice ~phase:"netlist" Parse_failure
+      (Printf.sprintf "%s:%d: %s" name e.line e.message)
+      ~remedy:"fix the netlist (oshil lint shows the full report)"
+
+(* --- request execution ---------------------------------------------- *)
+
+type outcome = (string, Oshil_error.t) result
+
+let health_text () = {|{"status":"ok"}|}
+
+let run_health_json () =
+  if Obs.enabled () then
+    Obs.Report.to_json (Obs.Report.of_snapshot (Obs.snapshot ()))
+  else "null"
+
+let stats_text () =
+  Printf.sprintf {|{"server":null,"health":%s}|} (run_health_json ())
+
+(* The deterministic stand-in for a long solve: burns wall clock in
+   small slices, checking the deadline between slices like the real
+   kernels do between grid rows / transient steps. *)
+let sleep_payload s =
+  let start = Obs.Clock.wall_s () in
+  let slice = 0.002 in
+  let rec loop () =
+    Deadline.check Serve ~phase:"sleep";
+    let elapsed = Obs.Clock.wall_s () -. start in
+    if elapsed < s then begin
+      Thread.delay (Float.min slice (s -. elapsed));
+      loop ()
+    end
+  in
+  loop ();
+  "ok"
+
+let run_payload (payload : Request.payload) =
+  match payload with
+  | Ping -> "pong"
+  | Health -> health_text ()
+  | Stats -> stats_text ()
+  | Sleep { s } -> sleep_payload s
+  | Shil { osc; n; vi; reduced; finj } ->
+    shil_text ~osc:(resolve_oscillator osc) ~n ~vi ~reduced ~finj
+  | Scenario { name; text } ->
+    scenario_entry ~file:name (scenario_outcome ~name text)
+  | Lint { name; text } -> lint_entry ~file:name (lint_text ~name text)
+  | Netlist_op { name; text } ->
+    let circuit = netlist_of_text ~name text in
+    op_text ~circuit (Spice.Op.run circuit)
+  | Netlist_tran { name; text; t_stop; dt; probes } ->
+    let circuit = netlist_of_text ~name text in
+    let probes =
+      match probes with
+      | [] ->
+        List.map
+          (fun n -> Spice.Transient.Node n)
+          (Spice.Circuit.node_names circuit)
+      | ps -> List.map (fun n -> Spice.Transient.Node n) ps
+    in
+    tran_csv
+      (Spice.Transient.run circuit ~probes
+         (Spice.Transient.default_options ~dt ~t_stop))
+
+let execute (req : Request.t) =
+  match run_payload req.payload with
+  | report -> Ok report
+  | exception Oshil_error.Error e -> Error e
+  | exception e ->
+    Error (Oshil_error.of_exn Serve ~phase:(Request.op_name req.payload) e)
+
+let handle ?default_deadline_s (req : Request.t) =
+  let deadline =
+    match req.deadline_s with Some s -> Some s | None -> default_deadline_s
+  in
+  match deadline with
+  | Some seconds -> Deadline.with_deadline ~seconds (fun () -> execute req)
+  | None -> execute req
+
+let parse_request line =
+  match Request.of_string line with
+  | Ok req -> Ok req
+  | Error msg ->
+    Error
+      (Oshil_error.make Serve ~phase:"protocol" Parse_failure msg
+         ~remedy:
+           "send one JSON object per line: \
+            {\"id\":...,\"op\":...,\"params\":{...}}")
+
+(* --- responses ------------------------------------------------------ *)
+
+let error_json (e : Oshil_error.t) =
+  Json.Obj
+    ([
+       ("code", Json.Str (Oshil_error.code e));
+       ("subsystem", Json.Str (Oshil_error.subsystem_name e.subsystem));
+       ("phase", Json.Str e.phase);
+       ("msg", Json.Str e.msg);
+       ("context", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.context));
+     ]
+    @ match e.remedy with None -> [] | Some r -> [ ("remedy", Json.Str r) ])
+
+let response_of_outcome ~id outcome =
+  Json.to_string
+    (match outcome with
+    | Ok report ->
+      Json.Obj
+        [
+          ("id", Json.Str id);
+          ("status", Json.Str "ok");
+          ("report", Json.Str report);
+        ]
+    | Error e ->
+      Json.Obj
+        [
+          ("id", Json.Str id);
+          ("status", Json.Str "error");
+          ("error", error_json e);
+        ])

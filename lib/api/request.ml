@@ -1,0 +1,200 @@
+type osc_spec =
+  | Builtin of string
+  | Custom of { g0 : float; isat : float; r : float; fc : float; q : float }
+
+type payload =
+  | Ping
+  | Sleep of { s : float }
+  | Shil of {
+      osc : osc_spec;
+      n : int;
+      vi : float;
+      reduced : bool;
+      finj : float option;
+    }
+  | Scenario of { name : string; text : string }
+  | Lint of { name : string; text : string }
+  | Netlist_op of { name : string; text : string }
+  | Netlist_tran of {
+      name : string;
+      text : string;
+      t_stop : float;
+      dt : float;
+      probes : string list;
+    }
+  | Health
+  | Stats
+
+type t = { id : string; deadline_s : float option; payload : payload }
+
+let op_name = function
+  | Ping -> "ping"
+  | Sleep _ -> "sleep"
+  | Shil _ -> "shil"
+  | Scenario _ -> "scenario"
+  | Lint _ -> "lint"
+  | Netlist_op _ -> "netlist-op"
+  | Netlist_tran _ -> "netlist-tran"
+  | Health -> "health"
+  | Stats -> "stats"
+
+(* --- encoding ------------------------------------------------------- *)
+
+let osc_to_json = function
+  | Builtin name -> Json.Str name
+  | Custom { g0; isat; r; fc; q } ->
+    Json.Obj
+      [
+        ("g0", Json.Num g0);
+        ("isat", Json.Num isat);
+        ("r", Json.Num r);
+        ("fc", Json.Num fc);
+        ("q", Json.Num q);
+      ]
+
+let params_to_json = function
+  | Ping | Health | Stats -> []
+  | Sleep { s } -> [ ("s", Json.Num s) ]
+  | Shil { osc; n; vi; reduced; finj } ->
+    [
+      ("osc", osc_to_json osc);
+      ("n", Json.Num (float_of_int n));
+      ("vi", Json.Num vi);
+    ]
+    @ (if reduced then [ ("reduced", Json.Bool true) ] else [])
+    @ (match finj with None -> [] | Some f -> [ ("finj", Json.Num f) ])
+  | Scenario { name; text } | Lint { name; text } | Netlist_op { name; text }
+    ->
+    [ ("name", Json.Str name); ("text", Json.Str text) ]
+  | Netlist_tran { name; text; t_stop; dt; probes } ->
+    [
+      ("name", Json.Str name);
+      ("text", Json.Str text);
+      ("tstop", Json.Num t_stop);
+      ("dt", Json.Num dt);
+    ]
+    @
+    if probes = [] then []
+    else [ ("probes", Json.List (List.map (fun p -> Json.Str p) probes)) ]
+
+let to_json t =
+  Json.Obj
+    ([ ("id", Json.Str t.id); ("op", Json.Str (op_name t.payload)) ]
+    @ (match t.deadline_s with
+      | None -> []
+      | Some s -> [ ("deadline_s", Json.Num s) ])
+    @
+    match params_to_json t.payload with
+    | [] -> []
+    | ps -> [ ("params", Json.Obj ps) ])
+
+let to_string t = Json.to_string (to_json t)
+
+(* --- decoding ------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field ?default name get params what =
+  match Json.member name params with
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing field %S" name))
+  | Some v -> (
+    match get v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S: expected %s" name what))
+
+let str ?default name p = field ?default name Json.get_string p "a string"
+let num ?default name p = field ?default name Json.get_float p "a number"
+let int_ ?default name p = field ?default name Json.get_int p "an integer"
+let bool_ ?default name p = field ?default name Json.get_bool p "a boolean"
+
+let opt_num name p =
+  match Json.member name p with
+  | None -> Ok None
+  | Some v -> (
+    match Json.get_float v with
+    | Some x -> Ok (Some x)
+    | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let osc_of_json params =
+  match Json.member "osc" params with
+  | None -> Ok (Builtin "tanh")
+  | Some (Json.Str name) -> Ok (Builtin name)
+  | Some (Json.Obj _ as o) ->
+    (* the CLI defaults for the --g0 family *)
+    let* g0 = num "g0" o in
+    let* isat = num ~default:1e-3 "isat" o in
+    let* r = num ~default:1e3 "r" o in
+    let* fc = num ~default:1e6 "fc" o in
+    let* q = num ~default:10.0 "q" o in
+    Ok (Custom { g0; isat; r; fc; q })
+  | Some _ -> Error "field \"osc\": expected a name or an object"
+
+let payload_of_json ~op params =
+  match op with
+  | "ping" -> Ok Ping
+  | "health" -> Ok Health
+  | "stats" -> Ok Stats
+  | "sleep" ->
+    let* s = num "s" params in
+    Ok (Sleep { s })
+  | "shil" ->
+    let* osc = osc_of_json params in
+    let* n = int_ ~default:3 "n" params in
+    let* vi = num ~default:0.03 "vi" params in
+    let* reduced = bool_ ~default:false "reduced" params in
+    let* finj = opt_num "finj" params in
+    Ok (Shil { osc; n; vi; reduced; finj })
+  | "scenario" ->
+    let* name = str ~default:"<request>" "name" params in
+    let* text = str "text" params in
+    Ok (Scenario { name; text })
+  | "lint" ->
+    let* name = str ~default:"<request>" "name" params in
+    let* text = str "text" params in
+    Ok (Lint { name; text })
+  | "netlist-op" ->
+    let* name = str ~default:"<request>" "name" params in
+    let* text = str "text" params in
+    Ok (Netlist_op { name; text })
+  | "netlist-tran" ->
+    let* name = str ~default:"<request>" "name" params in
+    let* text = str "text" params in
+    let* t_stop = num ~default:1e-3 "tstop" params in
+    let* dt = num ~default:1e-6 "dt" params in
+    let* probes =
+      match Json.member "probes" params with
+      | None -> Ok []
+      | Some v -> (
+        match Json.get_list v with
+        | None -> Error "field \"probes\": expected a list"
+        | Some vs ->
+          List.fold_right
+            (fun v acc ->
+              let* acc = acc in
+              match Json.get_string v with
+              | Some s -> Ok (s :: acc)
+              | None -> Error "field \"probes\": expected strings")
+            vs (Ok []))
+    in
+    Ok (Netlist_tran { name; text; t_stop; dt; probes })
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+    let* id = str ~default:"" "id" j in
+    let* op = str "op" j in
+    let* deadline_s = opt_num "deadline_s" j in
+    let params =
+      match Json.member "params" j with Some p -> p | None -> Json.Obj []
+    in
+    let* payload = payload_of_json ~op params in
+    Ok { id; deadline_s; payload }
+  | _ -> Error "request must be a JSON object"
+
+let of_string s =
+  let* j = Json.parse s in
+  of_json j

@@ -72,6 +72,8 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+type disk_read = Disk_miss | Disk_corrupt | Disk_blob of string
+
 let read_disk key =
   match
     In_channel.with_open_bin (entry_path key) (fun ic ->
@@ -79,12 +81,21 @@ let read_disk key =
         let blob = In_channel.input_all ic in
         (header, blob))
   with
-  | exception Sys_error _ -> None
-  | Some header, blob when String.equal header (header_of key) -> Some blob
+  | exception Sys_error _ -> Disk_miss
+  | Some header, blob when String.equal header (header_of key) -> Disk_blob blob
   | _ ->
     (* digest collision, truncated write or stale on-disk format: the
-       header is the ground truth, so anything else is a miss *)
-    None
+       header is the ground truth, so anything else is corrupt *)
+    Disk_corrupt
+
+(* A corrupt entry must never shadow a recompute: move it aside so the
+   slot is free for a clean rewrite, keep the bytes around as [.bad] for
+   post-mortem. Removal is the fallback when the rename itself fails. *)
+let quarantine key =
+  let path = entry_path key in
+  (try Sys.rename path (path ^ ".bad")
+   with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  Obs.Metrics.incr "cache.corrupt"
 
 let write_disk key blob =
   try
@@ -141,14 +152,21 @@ let find ?(disk = true) ~key ~decode () =
         if not disk then None
         else
           match read_disk key with
-          | None -> None
-          | Some blob ->
-            let v = decoded ~tier:"cache.disk_hits" ~decode blob in
-            if v <> None then begin
+          | Disk_miss -> None
+          | Disk_corrupt ->
+            quarantine key;
+            None
+          | Disk_blob blob -> (
+            match decoded ~tier:"cache.disk_hits" ~decode blob with
+            | Some v ->
               memory_add key blob;
-              outcome := "disk"
-            end;
-            v)
+              outcome := "disk";
+              Some v
+            | None ->
+              (* header matched but the payload does not unmarshal:
+                 quarantine just like a bad header *)
+              quarantine key;
+              None))
     in
     (match hit with None -> Obs.Metrics.incr "cache.misses" | Some _ -> ());
     if Obs.Event.enabled () then

@@ -19,13 +19,19 @@
     written atomically (temp file + rename). Each file carries the key
     preimage in its header; a read whose header does not match the
     requested preimage — digest collision, truncated write, stale
-    format — is treated as a miss. Version numbers live inside the key,
-    so bumping a kernel's version simply stops referencing old entries.
+    format — or whose payload fails to decode is treated as a miss and
+    the file is quarantined: renamed to [<digest>.bin.bad] (removed if
+    the rename fails) so a clean recompute can repopulate the slot, with
+    the [cache.corrupt] counter bumped. A long-lived daemon therefore
+    survives a torn write or disk bit-rot without manual intervention.
+    Version numbers live inside the key, so bumping a kernel's version
+    simply stops referencing old entries.
 
     Metered through [Obs.Metrics] (visible in [oshil stats] when
     tracing): [cache.hits], [cache.memory_hits], [cache.disk_hits],
     [cache.misses], [cache.evictions], [cache.disk_writes],
-    [cache.decode_failures] and the [cache.store_bytes] gauge.
+    [cache.decode_failures], [cache.corrupt] and the
+    [cache.store_bytes] gauge.
 
     Thread-safe: one process-wide mutex serialises tier access, so
     kernels running inside [Numerics.Pool] workers may share the

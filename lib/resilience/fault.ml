@@ -9,6 +9,7 @@ let site_names =
     ("pool-task", "fail the k-th task of a resilient pool fan-out");
     ("lock-probe", "fail the k-th lock-range stability probe");
     ("validate-point", "fail the k-th Validate.lock_range transient probe");
+    ("serve-request", "fail the k-th request handled by the oshil serve daemon");
   ]
 
 type window = { start : int; count : int }

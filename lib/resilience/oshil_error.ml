@@ -6,6 +6,7 @@ type subsystem =
   | Waveform
   | Circuits
   | Experiments
+  | Serve
 
 type kind =
   | Solver_divergence
@@ -17,6 +18,7 @@ type kind =
   | Measurement_failure
   | Parse_failure
   | Fault_injected
+  | Overload
 
 type t = {
   subsystem : subsystem;
@@ -37,6 +39,7 @@ let subsystem_name = function
   | Waveform -> "waveform"
   | Circuits -> "circuits"
   | Experiments -> "experiments"
+  | Serve -> "serve"
 
 let code t =
   match t.kind with
@@ -49,6 +52,7 @@ let code t =
   | Measurement_failure -> "measurement-failure"
   | Parse_failure -> "parse-failure"
   | Fault_injected -> "fault-injected"
+  | Overload -> "overload"
 
 let loc t = subsystem_name t.subsystem ^ "." ^ t.phase
 

@@ -20,6 +20,7 @@ type subsystem =
   | Waveform
   | Circuits
   | Experiments
+  | Serve
 
 type kind =
   | Solver_divergence  (** iterative solver failed to converge *)
@@ -31,6 +32,7 @@ type kind =
   | Measurement_failure  (** waveform measurement ill-posed *)
   | Parse_failure  (** input (netlist, scenario, fault plan) invalid *)
   | Fault_injected  (** deterministic fault from {!Fault} *)
+  | Overload  (** server job queue full, or the daemon is draining *)
 
 type t = {
   subsystem : subsystem;

@@ -1,0 +1,43 @@
+module Oshil_error = Resilience.Oshil_error
+
+type conn = { ic : in_channel; oc : out_channel }
+
+let fail ~phase e =
+  raise (Oshil_error.Error (Oshil_error.of_exn Serve ~phase e))
+
+let connect addr =
+  let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Addr.sockaddr addr) with
+  | () ->
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    fail ~phase:"connect" e
+
+let close conn =
+  (* in_channel and out_channel share the socket fd: closing one side
+     closes the descriptor, the second close must not error *)
+  try close_in conn.ic with Sys_error _ -> ()
+
+let request conn line =
+  match
+    output_string conn.oc line;
+    output_char conn.oc '\n';
+    flush conn.oc;
+    input_line conn.ic
+  with
+  | response -> response
+  | exception End_of_file ->
+    raise
+      (Oshil_error.Error
+         (Oshil_error.make Serve ~phase:"request" Step_failure
+            "server closed the connection before responding"
+            ~remedy:"check the daemon's log; it may be draining"))
+  | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
+    fail ~phase:"request" e
+
+let with_conn addr f =
+  let conn = connect addr in
+  Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
+
+let call addr line = with_conn addr (fun conn -> request conn line)

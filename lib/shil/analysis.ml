@@ -65,10 +65,16 @@ let run ?(check = `Enforce) ?points ?n_phi ?n_amp ?a_range ?reduction osc ~n ~vi
         "oscillator has no stable natural oscillation"
         ~remedy:"supply ~a_range explicitly"
   in
+  (* cooperative deadline probes between pipeline phases: a request
+     whose budget expires unwinds with a typed [budget-exhausted] error
+     at the next phase boundary instead of running to completion *)
+  Resilience.Deadline.check Shil ~phase:"analysis.grid";
   let grid =
     Grid.sample ?points ?n_phi ?n_amp ?reduction osc.nl ~n ~r ~vi ~a_range ()
   in
+  Resilience.Deadline.check Shil ~phase:"analysis.solutions";
   let locks_at_center = Solutions.find ?points grid ~phi_d:0.0 in
+  Resilience.Deadline.check Shil ~phase:"analysis.lock-range";
   let lock_range = Lock_range.predict ?points grid ~tank:osc.tank in
   (* diagnostic: the n-th harmonic of the current at the reference
      amplitude — how much of the injected tone the nonlinearity itself

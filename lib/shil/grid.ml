@@ -143,9 +143,14 @@ let sample ?(points = 512) ?(phi_range = (0.0, 2.0 *. Float.pi)) ?(n_phi = 121)
   (* rows of the (phi, A) grid are independent: fan them out over the
      default pool. Each row writes only its own slot, so the parallel
      result is bit-identical to the sequential Array.map. *)
+  (* the submitting thread's deadline, captured by absolute value: pool
+     workers run on their own domains and do not inherit it *)
+  let deadline = Resilience.Deadline.save () in
   let work =
     Numerics.Pool.parallel_init n_work (fun idx ->
-        if Resilience.Fault.fire_at "grid-point" ~k:idx then
+        if Resilience.Deadline.expired_abs deadline then
+          Error (Resilience.Deadline.error Shil ~phase:"grid")
+        else if Resilience.Fault.fire_at "grid-point" ~k:idx then
           Error (Resilience.Fault.error ~site:"grid-point" Shil ~phase:"grid")
         else
           match compute_row phis.(idx) with

@@ -19,7 +19,11 @@ let boundary_with_failures ?points ?(phi_d_cap = 1.4) ?(tol = 1e-5) g =
     incr attempts;
     Obs.Metrics.incr "shil.lockrange.probes";
     match
-      if Resilience.Fault.fire "lock-probe" then
+      if Resilience.Deadline.expired () then
+        raise
+          (Resilience.Oshil_error.Error
+             (Resilience.Deadline.error Shil ~phase:"lockrange"))
+      else if Resilience.Fault.fire "lock-probe" then
         raise
           (Resilience.Oshil_error.Error
              (Resilience.Fault.error ~site:"lock-probe" Shil ~phase:"lockrange"))

@@ -152,6 +152,17 @@ let run_gated ~check circuit ~probes opts =
     (* dsa: allow raise-escape — Fatal is internal control flow: the integration loop catches it and surfaces [result.failure] *)
     | Error e -> raise (Fatal e)
   in
+  let check_deadline ~t =
+    if Resilience.Deadline.expired () then
+      (* dsa: allow raise-escape — Fatal is internal control flow: the integration loop catches it and surfaces [result.failure] *)
+      raise
+        (Fatal
+           (Resilience.Oshil_error.make Spice ~phase:"transient"
+              Budget_exhausted "wall-clock deadline exceeded mid-integration"
+              ~context:[ ("t", Printf.sprintf "%.6e" t) ]
+              ~remedy:
+                "raise the request deadline, shorten t_stop or coarsen dt"))
+  in
   (* one Newton step of the implicit method: returns Ok x' or Error msg *)
   let solve_step ~t ~h ~integ ~state x_guess =
     if Resilience.Fault.fire "tran-reject" then
@@ -217,6 +228,7 @@ let run_gated ~check circuit ~probes opts =
     let n_steps = int_of_float (Float.ceil ((opts.t_stop /. opts.dt) -. 1e-9)) in
     for k = 0 to n_steps - 1 do
       let t = float_of_int k *. opts.dt in
+      check_deadline ~t;
       let h = Float.min opts.dt (opts.t_stop -. t) in
       (* bootstrap the trapezoidal state with one BE step *)
       let integ = if k = 0 then Mna.Backward_euler else opts.integ in
@@ -236,6 +248,7 @@ let run_gated ~check circuit ~probes opts =
     t := !t +. h0;
     if !t >= opts.t_start -. 1e-15 then record !t !x;
     while !t < opts.t_stop -. 1e-15 *. Float.max 1.0 opts.t_stop do
+      check_deadline ~t:!t;
       let hs = Float.min !h (opts.t_stop -. !t) in
       let x_save = Array.copy !x and state_save = !state in
       (* full step *)

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# End-to-end smoke of `oshil serve`: daemon lifecycle, the health and
+# stats endpoints, protocol robustness (malformed JSON gets a typed
+# parse-failure and the daemon keeps serving), CLI/daemon byte-identity
+# on a real scenario, fault-injection through the serve-request site
+# (retry recovery, and typed degradation with retries off), and the
+# graceful SIGTERM drain contract (exit 0, socket removed, trace
+# flushed). Driven by `dune build @serve-smoke`; also in CI.
+#
+# Usage: serve_smoke.sh path/to/oshil.exe path/to/scenario.scn
+set -u
+
+OSHIL=${1:?usage: serve_smoke.sh OSHIL_EXE SCENARIO}
+SCN=${2:?usage: serve_smoke.sh OSHIL_EXE SCENARIO}
+case "$OSHIL" in /*) ;; *) OSHIL=$PWD/$OSHIL ;; esac
+case "$SCN" in /*) ;; *) SCN=$PWD/$SCN ;; esac
+
+# Unix socket paths are length-limited (~107 bytes); dune build dirs can
+# exceed that, so the sockets live in a throwaway /tmp dir.
+DIR=$(mktemp -d /tmp/oshil-serve-smoke.XXXXXX)
+SOCK=$DIR/s.sock
+SRV=
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+wait_sock() {
+  for _ in $(seq 1 200); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+drain() { # drain <pid> <what>: SIGTERM must be a clean exit-0 shutdown
+  kill -TERM "$1" 2>/dev/null || fail "$2: daemon already gone"
+  wait "$1"
+  rc=$?
+  [ "$rc" -eq 0 ] || fail "$2: drain exited $rc (want 0)"
+  SRV=
+}
+
+# --- leg 1: lifecycle, endpoints, robustness, byte-identity ----------
+
+"$OSHIL" serve -l "unix:$SOCK" --trace "$DIR/t1.jsonl" \
+  > "$DIR/srv1.log" 2>&1 &
+SRV=$!
+wait_sock "$SOCK" || fail "daemon socket never appeared"
+
+"$OSHIL" call -c "unix:$SOCK" health | grep -q '"status":"ok"' \
+  || fail "health endpoint"
+
+# the report field carries the stats JSON as an escaped string
+"$OSHIL" call -c "unix:$SOCK" stats | grep -qF '\"queue\":{\"depth\":' \
+  || fail "stats endpoint"
+
+# a garbage line must come back as a typed parse-failure...
+"$OSHIL" call -c "unix:$SOCK" --raw 'this is not json' \
+  | grep -q '"code":"parse-failure"' || fail "malformed line not typed"
+
+# ...and must not have taken the daemon down
+"$OSHIL" call -c "unix:$SOCK" ping | grep -q '"report":"pong"' \
+  || fail "daemon did not survive malformed input"
+
+# the daemon's response bytes are exactly the in-process Api bytes
+"$OSHIL" api scenario --file "$SCN" --id smoke > "$DIR/local.out"
+"$OSHIL" call -c "unix:$SOCK" scenario --file "$SCN" --id smoke \
+  > "$DIR/wire.out"
+diff "$DIR/local.out" "$DIR/wire.out" \
+  || fail "daemon response differs from local api"
+
+drain "$SRV" "leg1"
+[ ! -e "$SOCK" ] || fail "socket file not removed on drain"
+
+# --- leg 2: transient fault at serve-request -> retry recovers -------
+
+OSHIL_FAULTS=serve-request@0 "$OSHIL" serve -l "unix:$SOCK" \
+  --backoff 0.01 --trace "$DIR/t2.jsonl" > "$DIR/srv2.log" 2>&1 &
+SRV=$!
+wait_sock "$SOCK" || fail "leg2: daemon socket never appeared"
+
+"$OSHIL" call -c "unix:$SOCK" ping | grep -q '"status":"ok"' \
+  || fail "retry did not recover the faulted request"
+
+drain "$SRV" "leg2"
+"$OSHIL" stats "$DIR/t2.jsonl" \
+  --assert-counter resilience.faults.serve-request \
+  --assert-counter serve.retries > /dev/null \
+  || fail "leg2: fault/retry counters missing from flushed trace"
+
+# --- leg 3: retries off -> typed degradation, daemon survives --------
+
+OSHIL_FAULTS=serve-request "$OSHIL" serve -l "unix:$SOCK" \
+  --retries 0 --trace "$DIR/t3.jsonl" > "$DIR/srv3.log" 2>&1 &
+SRV=$!
+wait_sock "$SOCK" || fail "leg3: daemon socket never appeared"
+
+"$OSHIL" call -c "unix:$SOCK" ping | grep -q '"code":"fault-injected"' \
+  || fail "injected fault not surfaced as a typed error"
+
+# health is answered inline, outside the faulted worker path
+"$OSHIL" call -c "unix:$SOCK" health | grep -q '"status":"ok"' \
+  || fail "daemon did not survive the injected fault"
+
+drain "$SRV" "leg3"
+"$OSHIL" stats "$DIR/t3.jsonl" \
+  --assert-counter resilience.faults.serve-request > /dev/null \
+  || fail "leg3: fault counter missing from flushed trace"
+
+echo "serve-smoke: PASS"

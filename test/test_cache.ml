@@ -177,11 +177,18 @@ let test_store_version_invalidates () =
 
 let test_store_corrupt_disk_entry () =
   Store.set_enabled true;
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
   let k = sample_key () in
   Store.add ~key:k ~encode:Store.to_marshal roundtrip_value;
   Store.clear_memory ();
   (* truncate the entry mid-blob: header verification + decode must turn
-     it into a miss, never an exception or garbage *)
+     it into a quarantined miss, never an exception or garbage *)
   let path =
     Filename.concat
       (Filename.concat (Store.dir ()) (Key.kind k))
@@ -193,11 +200,39 @@ let test_store_corrupt_disk_entry () =
         (String.sub contents 0 (String.length contents / 2)));
   Alcotest.(check bool) "truncated entry is a miss" true
     (Store.find ~key:k ~decode:Store.of_marshal () = (None : float array option));
-  (* and a garbage header too *)
+  Alcotest.(check bool) "truncated entry quarantined to .bad" true
+    (Sys.file_exists (path ^ ".bad"));
+  Alcotest.(check bool) "quarantined entry vacates the slot" false
+    (Sys.file_exists path);
+  Alcotest.(check int) "cache.corrupt bumped" 1
+    (Obs.Metrics.counter_value "cache.corrupt");
+  Sys.remove (path ^ ".bad");
+  (* a garbage header too *)
   Out_channel.with_open_bin path (fun oc ->
       Out_channel.output_string oc "oshil-cache/1 wrong-preimage\njunk");
   Alcotest.(check bool) "wrong header is a miss" true
-    (Store.find ~key:k ~decode:Store.of_marshal () = (None : float array option))
+    (Store.find ~key:k ~decode:Store.of_marshal () = (None : float array option));
+  Alcotest.(check int) "wrong header also quarantined" 2
+    (Obs.Metrics.counter_value "cache.corrupt");
+  Sys.remove (path ^ ".bad");
+  (* header intact but payload does not unmarshal: quarantined as well *)
+  Store.add ~key:k ~encode:Store.to_marshal roundtrip_value;
+  Store.clear_memory ();
+  let good = In_channel.with_open_bin path In_channel.input_all in
+  let header_len = 1 + String.index good '\n' in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub good 0 header_len);
+      Out_channel.output_string oc "not-a-marshalled-blob");
+  Alcotest.(check bool) "undecodable payload is a miss" true
+    (Store.find ~key:k ~decode:Store.of_marshal () = (None : float array option));
+  Alcotest.(check int) "undecodable payload quarantined" 3
+    (Obs.Metrics.counter_value "cache.corrupt");
+  (* the slot is writable again: recompute repopulates and hits *)
+  Store.add ~key:k ~encode:Store.to_marshal roundtrip_value;
+  Store.clear_memory ();
+  Alcotest.(check bool) "recompute repopulates the slot" true
+    (Store.find ~key:k ~decode:Store.of_marshal ()
+    <> (None : float array option))
 
 let test_store_find_or_compute () =
   Store.set_enabled true;
