@@ -1,7 +1,8 @@
 # Convenience targets; everything here is a thin wrapper over dune.
 
 .PHONY: all test lint analyze bench-smoke bench bench-compare report \
-        batch cache-smoke kernel-smoke serve serve-smoke coverage clean
+        batch cache-smoke kernel-smoke serve serve-smoke hb-smoke \
+        coverage clean
 
 all:
 	dune build
@@ -49,7 +50,8 @@ bench-compare:
 	mkdir -p $(FRESH_DIR)
 	cd $(FRESH_DIR) && ../_build/default/bench/main.exe --only-bench $(if $(JOBS),--jobs $(JOBS),)
 	./_build/default/bench/main.exe --fresh-dir $(FRESH_DIR) \
-	  --compare BENCH_grid.json BENCH_lockrange.json BENCH_transient.json BENCH_cache.json
+	  --compare BENCH_grid.json BENCH_lockrange.json BENCH_transient.json \
+	  BENCH_cache.json BENCH_hb.json
 
 # Run-health report from a solver trace recorded with
 # `oshil ... --trace TRACE --events`.  Usage: make report TRACE=out/health.jsonl
@@ -89,6 +91,11 @@ serve:
 # byte-identity, serve-request fault injection, graceful drain.
 serve-smoke:
 	dune build @serve-smoke
+
+# Harmonic-balance end-to-end smoke: CLI/daemon byte-identity on the hb
+# op, solver counters on the trace, hb-newton fault ladder.
+hb-smoke:
+	dune build @hb-smoke
 
 # Coverage (requires bisect_ppx, not part of the default environment):
 #   opam install bisect_ppx

@@ -384,6 +384,121 @@ let run_perf_benches ~skip_slow ~jobs () =
               @ gc_fields tran;
       meta = Experiments.Bench_json.host_meta ();
     };
+  (* harmonic balance vs transient SHIL verification: the full HB
+     injected-tone lock range (free-running oscprobe, outward march,
+     edge bisection) against the cost of verifying the same band with
+     transient lock probes. Each HB probe is a warm Newton solve on the
+     spectral residual; each transient probe must integrate hundreds of
+     tank cycles before the lock detector is trustworthy, so the
+     paper's headline speedup shows up here as wall clock. The
+     transient-equivalent cost is one measured probe times the number
+     of probes the HB search actually spent, with the probe integrated
+     over the settling length the differential oracle requires for a
+     trustworthy lock verdict (260 cycles at 80 steps/cycle) — a
+     conservative costing, since probes near a bisected edge would
+     need far longer to resolve the beat. K = 3 is the production
+     lock-range truncation: the band edges match the K = 7 ones to
+     under 5e-4 relative on this cell (the accuracy tests pin higher
+     truncations separately). *)
+  let tanh_p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator tanh_p in
+  let tank = Circuits.Tanh_osc.tank tanh_p in
+  let n_sub = 3 and vi = 0.03 in
+  let hb_k, hb_samples = (3, 128) in
+  let a_guess =
+    match
+      Shil.Natural.predicted_amplitude ~points osc.Shil.Analysis.nl
+        ~r:tank.Shil.Tank.r
+    with
+    | Some a -> a
+    | None -> failwith "perf bench: tanh cell must oscillate"
+  in
+  let guess_width =
+    (Shil.Analysis.run osc ~n:n_sub ~vi).Shil.Analysis.lock_range
+      .Shil.Lock_range.delta_f_inj
+  in
+  let inject ~f_inj =
+    Api.hb_circuit
+      ~injection:(Api.hb_injection_wave ~tank ~n:n_sub ~vi ~f_inj)
+      osc
+  in
+  let hb () =
+    let free =
+      Hb.Driver.oscprobe ~k_max:hb_k ~samples:hb_samples
+        ~f_guess:(Shil.Tank.f_c tank) ~a_guess (Api.hb_circuit osc)
+    in
+    Hb.Driver.lock_range ~free ~n:n_sub ~guess_width ~inject ()
+  in
+  let band = hb () in
+  if band.Hb.Driver.holes <> 0 then
+    failwith "perf bench: HB lock range has probe holes";
+  let band_rerun, hb_s = time_best ~repeats hb in
+  if band_rerun <> band then
+    failwith "perf bench: HB lock range is not deterministic";
+  let hb_counters =
+    metered_counters
+      [ "hb.newton_iters"; "hb.solves"; "hb.lockrange.probes" ]
+      hb
+  in
+  let hb_gc = gc_fields hb in
+  let tr_cycles, steps_per_cycle = (260.0, 80) in
+  let fc = Shil.Tank.f_c tank in
+  let f_center = band.Hb.Driver.f_center in
+  let im =
+    Shil.Simulate.injection_current ~tank
+      { Shil.Simulate.vi; n = n_sub; f_inj = f_center; phase = 0.0 }
+  in
+  let inj_wave =
+    Spice.Wave.Sine
+      { offset = 0.0; ampl = im; freq = f_center; phase = 0.0; delay = 0.0 }
+  in
+  let inj_circuit = Circuits.Tanh_osc.circuit ~injection:inj_wave tanh_p in
+  let tr_probe = Spice.Transient.Node "t" in
+  let tran_probe () =
+    let res =
+      Spice.Transient.run inj_circuit ~probes:[ tr_probe ]
+        (Spice.Transient.default_options
+           ~dt:(1.0 /. (float_of_int steps_per_cycle *. fc))
+           ~t_stop:(tr_cycles /. fc))
+    in
+    (match res.Spice.Transient.failure with
+    | Some e -> failwith (Resilience.Oshil_error.to_string e)
+    | None -> ());
+    let s =
+      Waveform.Signal.make ~times:res.Spice.Transient.times
+        ~values:(Spice.Transient.signal res tr_probe)
+    in
+    (Waveform.Lock.analyze s ~f_target:(f_center /. float_of_int n_sub))
+      .Waveform.Lock.locked
+  in
+  ignore (tran_probe ());
+  let center_locked, tran_probe_s = time_best ~repeats tran_probe in
+  if not center_locked then
+    failwith "perf bench: transient probe at the HB band center did not lock";
+  let tran_equiv_s = tran_probe_s *. float_of_int band.Hb.Driver.probes in
+  emit_entry ~path:"BENCH_hb.json"
+    {
+      name = Printf.sprintf "hb_lockrange_n%d_k%d" n_sub hb_k;
+      jobs;
+      wall_s = hb_s;
+      speedup_vs_seq = tran_equiv_s /. hb_s;
+      extra =
+        [
+          ("tran_probe_wall_s", tran_probe_s);
+          ("tran_equiv_wall_s", tran_equiv_s);
+          ("speedup_vs_transient", tran_equiv_s /. hb_s);
+          ("band_probes", float_of_int band.Hb.Driver.probes);
+          ("band_holes", float_of_int band.Hb.Driver.holes);
+          ("band_width_hz", band.Hb.Driver.f_hi -. band.Hb.Driver.f_lo);
+          ("k_max", float_of_int hb_k);
+          ("hb_samples", float_of_int hb_samples);
+          ("n_sub", float_of_int n_sub);
+          ("vi", vi);
+          ("tran_cycles", tr_cycles);
+        ]
+        @ hb_counters @ hb_gc;
+      meta = Experiments.Bench_json.host_meta ();
+    };
   (* content-addressed cache: one cold populate of the grid against warm
      replays from the store. The cold run pays the full quadrature plus
      encode/disk-write; the warm runs are pure lookups. The cache is

@@ -503,6 +503,67 @@ let harmonics_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* hb *)
+
+let hb_cmd =
+  let kmax_arg =
+    Arg.(value & opt int 7
+         & info [ "kmax" ] ~docv:"K" ~doc:"Harmonics retained per unknown.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 1024
+         & info [ "samples" ] ~docv:"S"
+             ~doc:"Time points per period for the nonlinear device \
+                   evaluation (the spectral quadrature).")
+  in
+  let finj_arg =
+    Arg.(value & opt (some float) None
+         & info [ "finj" ] ~docv:"HZ"
+             ~doc:"Solve the injection-locked spectrum at $(docv) \
+                   (landing on harmonic n of $(docv)/n).")
+  in
+  let lockrange_arg =
+    Arg.(value & flag
+         & info [ "lockrange" ]
+             ~doc:"March and bisect the HB lock band around n x f_osc \
+                   (the DF prediction supplies the initial width and is \
+                   reported alongside).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let run obs jobs choice custom n vi kmax samples finj lockrange json =
+    apply_obs obs;
+    apply_jobs jobs;
+    if lockrange && finj <> None then begin
+      Format.eprintf "oshil hb: --lockrange and --finj conflict@.";
+      exit 2
+    end;
+    let osc = resolve_oscillator choice custom in
+    let mode : Api.Request.hb_mode =
+      if lockrange then Hb_lockrange
+      else match finj with Some f -> Hb_injected f | None -> Hb_osc
+    in
+    (* the report text comes from lib/api — the same renderer the
+       daemon serves, so CLI bytes == server bytes by construction *)
+    let out = Api.hb_run ~osc ~n ~vi ~k_max:kmax ~samples ~mode in
+    if json then print_endline (Api.hb_json out)
+    else print_string (Api.hb_text out)
+  in
+  let term =
+    Term.(const run $ obs_args $ jobs_arg $ osc_arg $ custom_args $ n_arg
+          $ vi_arg $ kmax_arg $ samples_arg $ finj_arg $ lockrange_arg
+          $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "hb"
+       ~doc:"Multi-harmonic frequency-domain analysis of the full MNA \
+             system: oscprobe steady state, injected-tone SHIL solve \
+             (--finj) or HB lock range (--lockrange).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* netlist *)
 
 let netlist_cmd =
@@ -906,7 +967,7 @@ let request_term =
   let op_arg =
     Arg.(value & pos 0 string "ping"
          & info [] ~docv:"OP"
-             ~doc:"Operation: ping, sleep, shil, scenario, lint, \
+             ~doc:"Operation: ping, sleep, shil, hb, scenario, lint, \
                    netlist-op, netlist-tran, health or stats.")
   in
   let file_arg =
@@ -929,6 +990,18 @@ let request_term =
     Arg.(value & flag
          & info [ "reduced" ] ~doc:"shil: symmetry-reduced quadrature.")
   in
+  let kmax_arg =
+    Arg.(value & opt int 7
+         & info [ "kmax" ] ~docv:"K" ~doc:"hb: harmonics retained.")
+  in
+  let samples_arg =
+    Arg.(value & opt int 1024
+         & info [ "samples" ] ~docv:"S" ~doc:"hb: time points per period.")
+  in
+  let lockrange_arg =
+    Arg.(value & flag
+         & info [ "lockrange" ] ~doc:"hb: march/bisect the HB lock band.")
+  in
   let tstop_arg =
     Arg.(value & opt float 1e-3
          & info [ "tstop" ] ~docv:"S" ~doc:"netlist-tran: stop time.")
@@ -941,8 +1014,8 @@ let request_term =
     Arg.(value & opt_all string []
          & info [ "probe" ] ~docv:"NODE" ~doc:"netlist-tran: node(s) to record.")
   in
-  let build id deadline op file seconds choice custom n vi finj reduced tstop
-      dt probes =
+  let build id deadline op file seconds choice custom n vi finj reduced kmax
+      samples lockrange tstop dt probes =
     let text () =
       match file with
       | Some f -> (f, In_channel.with_open_bin f In_channel.input_all)
@@ -959,6 +1032,18 @@ let request_term =
       | "shil" ->
         Api.Request.Shil
           { osc = osc_spec choice custom; n; vi; reduced; finj }
+      | "hb" ->
+        let mode : Api.Request.hb_mode =
+          match (lockrange, finj) with
+          | true, Some _ ->
+            Format.eprintf "oshil: --lockrange and --finj conflict@.";
+            exit 2
+          | true, None -> Hb_lockrange
+          | false, Some f -> Hb_injected f
+          | false, None -> Hb_osc
+        in
+        Api.Request.Hb
+          { osc = osc_spec choice custom; n; vi; k_max = kmax; samples; mode }
       | "scenario" ->
         let name, text = text () in
         Api.Request.Scenario { name; text }
@@ -979,7 +1064,8 @@ let request_term =
   in
   Term.(const build $ id_arg $ deadline_arg $ op_arg $ file_arg $ seconds_arg
         $ osc_arg $ custom_args $ n_arg $ vi_arg $ finj_arg $ reduced_arg
-        $ tstop_arg $ dt_arg $ probe_arg)
+        $ kmax_arg $ samples_arg $ lockrange_arg $ tstop_arg $ dt_arg
+        $ probe_arg)
 
 let parse_addr ~what s =
   match Serve.Addr.of_string s with
@@ -1186,9 +1272,10 @@ let () =
   let group =
     Cmd.group info
       [
-        natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; dcsweep_cmd;
-        transient_cmd; netlist_cmd; lint_cmd; stats_cmd; batch_cmd;
-        serve_cmd; call_cmd; api_cmd; figures_cmd; experiments_cmd;
+        natural_cmd; shil_cmd; lockrange_cmd; harmonics_cmd; hb_cmd;
+        dcsweep_cmd; transient_cmd; netlist_cmd; lint_cmd; stats_cmd;
+        batch_cmd; serve_cmd; call_cmd; api_cmd; figures_cmd;
+        experiments_cmd;
       ]
   in
   (* typed solver errors get a rendered diagnostic and a distinct exit

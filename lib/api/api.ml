@@ -65,6 +65,214 @@ let shil_report_text (report : Shil.Analysis.shil_report) ~finj =
 let shil_text ~osc ~n ~vi ~reduced ~finj =
   shil_report_text (shil_run ~osc ~n ~vi ~reduced) ~finj
 
+(* %.17g round-trips every double exactly: the report is a faithful
+   witness for the cold-vs-warm bit-identity check, not a rounded view *)
+let jf v =
+  if Float.is_nan v then {|"nan"|}
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+(* --- harmonic balance ------------------------------------------------ *)
+
+(* The MNA realization every oscillator spec reduces to: parallel RLC
+   tank with the behavioural nonlinearity across it, plus (optionally)
+   the injection current source. Same topology as the Circuits.*
+   netlists, but built from the resolved cell so custom oscillators
+   work too. Probe node "t". *)
+let hb_circuit ?injection (osc : Shil.Analysis.oscillator) =
+  let t = (osc.tank : Shil.Tank.t) in
+  let base =
+    [
+      Spice.Device.Resistor { name = "Rtank"; n1 = "t"; n2 = "0"; r = t.r };
+      Spice.Device.Inductor
+        { name = "Ltank"; n1 = "t"; n2 = "0"; l = t.l; ic = None };
+      Spice.Device.Capacitor
+        { name = "Ctank"; n1 = "t"; n2 = "0"; c = t.c; ic = None };
+      Spice.Device.Nonlinear_cs
+        {
+          name = "Gosc";
+          np = "t";
+          nn = "0";
+          f = Shil.Nonlinearity.eval osc.nl;
+          df = Some (Shil.Nonlinearity.deriv osc.nl);
+        };
+    ]
+  in
+  let inj =
+    match injection with
+    | None -> []
+    | Some wave ->
+      [ Spice.Device.Isource { name = "Iinj"; np = "0"; nn = "t"; wave } ]
+  in
+  Spice.Circuit.of_devices (base @ inj)
+
+let hb_ident (osc : Shil.Analysis.oscillator) =
+  match Shil.Nonlinearity.cache_key osc.nl with
+  | None -> None
+  | Some key ->
+    let t = (osc.tank : Shil.Tank.t) in
+    Some (Printf.sprintf "%s|r=%h|l=%h|c=%h" key t.r t.l t.c)
+
+(* i_inj(t) = Im cos(2 pi f_inj t): the sine wave with a +pi/2 phase is
+   the cosine drive Simulate.injected applies to the reduced model, so
+   the two lock phases are directly comparable *)
+let hb_injection_wave ~tank ~n ~vi ~f_inj =
+  let im =
+    Shil.Simulate.injection_current ~tank
+      { Shil.Simulate.vi; n; f_inj; phase = 0.0 }
+  in
+  Spice.Wave.Sine
+    {
+      offset = 0.0;
+      ampl = im;
+      freq = f_inj;
+      phase = Float.pi /. 2.0;
+      delay = 0.0;
+    }
+
+type hb_outcome = {
+  hb_n : int;
+  hb_vi : float;
+  free : Hb.Driver.solution;
+  hb_mode : hb_mode_result;
+}
+
+and hb_mode_result =
+  | Hb_free_only
+  | Hb_locked of Hb.Driver.verdict
+  | Hb_band of { band : Hb.Driver.band; df : Shil.Lock_range.t }
+
+let hb_run ~osc ~n ~vi ~k_max ~samples ~(mode : Request.hb_mode) =
+  let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+  let ident = hb_ident osc in
+  let a_guess =
+    match Shil.Natural.predicted_amplitude osc.nl ~r:tank.r with
+    | Some a -> a
+    | None ->
+      Oshil_error.raise_ Shil ~phase:"hb" No_oscillation
+        "oscillator has no stable natural oscillation to seed the oscprobe"
+        ~remedy:"raise the loop gain (g0 R > 1) or pick another cell"
+  in
+  let f_guess = Shil.Tank.f_c tank in
+  let free =
+    Hb.Driver.oscprobe ?ident ~k_max ~samples ~f_guess ~a_guess
+      (hb_circuit osc)
+  in
+  (* the injection wave is part of the circuit, so vi joins its cache
+     identity (f_inj and n are already driver key fields) *)
+  let inj_ident =
+    Option.map (fun id -> Printf.sprintf "%s|vi=%h" id vi) ident
+  in
+  let inject ~f_inj =
+    hb_circuit ~injection:(hb_injection_wave ~tank ~n ~vi ~f_inj) osc
+  in
+  let hb_mode =
+    match mode with
+    | Hb_osc -> Hb_free_only
+    | Hb_injected f_inj ->
+      Hb_locked
+        (Hb.Driver.injected ?ident:inj_ident ~free ~n ~f_inj
+           (inject ~f_inj))
+    | Hb_lockrange ->
+      let report = Shil.Analysis.run osc ~n ~vi in
+      let df = report.Shil.Analysis.lock_range in
+      let band =
+        Hb.Driver.lock_range ?ident:inj_ident ~free ~n
+          ~guess_width:df.Shil.Lock_range.delta_f_inj ~inject ()
+      in
+      Hb_band { band; df }
+  in
+  { hb_n = n; hb_vi = vi; free; hb_mode }
+
+let hb_text (o : hb_outcome) =
+  let free = o.free in
+  let node = free.Hb.Driver.nodes.(free.Hb.Driver.osc_node) in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "harmonic balance: k_max = %d, samples = %d\n"
+       free.Hb.Driver.k_max free.Hb.Driver.samples);
+  Buffer.add_string b
+    (Printf.sprintf "free-running: f_osc = %.8g Hz, A = %.6g V, THD = %.4g\n"
+       free.Hb.Driver.f0 (Hb.Driver.amplitude free) (Hb.Driver.thd free));
+  Buffer.add_string b
+    (Printf.sprintf "solver: %d Newton iteration(s), scaled residual %.3g\n"
+       free.Hb.Driver.iters free.Hb.Driver.residual);
+  Buffer.add_string b (Printf.sprintf "spectrum at %s (|V_k|, V):\n" node);
+  Array.iteri
+    (fun k c ->
+      Buffer.add_string b
+        (Printf.sprintf "  k=%d  %.6g\n" k (Numerics.Cx.abs c)))
+    free.Hb.Driver.spectra.(free.Hb.Driver.osc_node);
+  (match o.hb_mode with
+  | Hb_free_only -> ()
+  | Hb_locked v ->
+    Buffer.add_string b
+      (Printf.sprintf "injection: n = %d, vi = %.4g V, f_inj = %.8g Hz\n"
+         o.hb_n o.hb_vi v.Hb.Driver.f_inj);
+    if v.Hb.Driver.locked then
+      Buffer.add_string b
+        (Printf.sprintf "  locked: yes  A = %.6g V, phase = %.5f rad\n"
+           v.Hb.Driver.amp v.Hb.Driver.lock_phase)
+    else
+      Buffer.add_string b
+        (Printf.sprintf "  locked: no  (fundamental suppressed: A = %.6g V)\n"
+           v.Hb.Driver.amp)
+  | Hb_band { band; df } ->
+    Buffer.add_string b
+      (Printf.sprintf "lock range (n = %d, vi = %.4g V):\n" o.hb_n o.hb_vi);
+    Buffer.add_string b
+      (Printf.sprintf
+         "  HB: f_inj in [%.8g, %.8g] Hz, width %.6g Hz (%d probes, %d \
+          holes)\n"
+         band.Hb.Driver.f_lo band.Hb.Driver.f_hi
+         (band.Hb.Driver.f_hi -. band.Hb.Driver.f_lo)
+         band.Hb.Driver.probes band.Hb.Driver.holes);
+    Buffer.add_string b
+      (Printf.sprintf "  DF: f_inj in [%.8g, %.8g] Hz, width %.6g Hz\n"
+         df.Shil.Lock_range.f_inj_low df.Shil.Lock_range.f_inj_high
+         df.Shil.Lock_range.delta_f_inj));
+  Buffer.contents b
+
+let hb_json (o : hb_outcome) =
+  let free = o.free in
+  let sp = free.Hb.Driver.spectra.(free.Hb.Driver.osc_node) in
+  let spectrum =
+    String.concat ","
+      (List.mapi
+         (fun k (c : Numerics.Cx.t) ->
+           Printf.sprintf {|{"k":%d,"re":%s,"im":%s}|} k (jf c.re) (jf c.im))
+         (Array.to_list sp))
+  in
+  let mode_fields =
+    match o.hb_mode with
+    | Hb_free_only -> {|"mode":"osc"|}
+    | Hb_locked v ->
+      Printf.sprintf
+        {|"mode":"injected","injected":{"finj":%s,"locked":%b,"amplitude":%s,"phase":%s}|}
+        (jf v.Hb.Driver.f_inj) v.Hb.Driver.locked (jf v.Hb.Driver.amp)
+        (jf v.Hb.Driver.lock_phase)
+    | Hb_band { band; df } ->
+      Printf.sprintf
+        {|"mode":"lockrange","lockrange":{"f_lo":%s,"f_hi":%s,"width":%s,"probes":%d,"holes":%d,"df":{"f_lo":%s,"f_hi":%s,"width":%s}}|}
+        (jf band.Hb.Driver.f_lo) (jf band.Hb.Driver.f_hi)
+        (jf (band.Hb.Driver.f_hi -. band.Hb.Driver.f_lo))
+        band.Hb.Driver.probes band.Hb.Driver.holes
+        (jf df.Shil.Lock_range.f_inj_low)
+        (jf df.Shil.Lock_range.f_inj_high)
+        (jf df.Shil.Lock_range.delta_f_inj)
+  in
+  Printf.sprintf
+    {|{"analysis":"hb","k_max":%d,"samples":%d,"n":%d,"vi":%s,"osc_node":"%s","f_osc":%s,"amplitude":%s,"thd":%s,"newton_iters":%d,"residual":%s,"spectrum":[%s],%s}|}
+    free.Hb.Driver.k_max free.Hb.Driver.samples o.hb_n (jf o.hb_vi)
+    free.Hb.Driver.nodes.(free.Hb.Driver.osc_node)
+    (jf free.Hb.Driver.f0)
+    (jf (Hb.Driver.amplitude free))
+    (jf (Hb.Driver.thd free))
+    free.Hb.Driver.iters
+    (jf free.Hb.Driver.residual)
+    spectrum mode_fields
+
 let op_text ~circuit op =
   let b = Buffer.create 256 in
   List.iter
@@ -130,14 +338,6 @@ let scenario_oscillator (s : Check.Scenario.t) : Shil.Analysis.oscillator =
       nl = Shil.Nonlinearity.neg_tanh ~g0 ~isat;
       tank = Shil.Tank.make ~r ~l ~c;
     }
-
-(* %.17g round-trips every double exactly: the report is a faithful
-   witness for the cold-vs-warm bit-identity check, not a rounded view *)
-let jf v =
-  if Float.is_nan v then {|"nan"|}
-  else if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.1f" v
-  else Printf.sprintf "%.17g" v
 
 type scenario_outcome =
   | Scn_ok of string
@@ -284,6 +484,8 @@ let run_payload (payload : Request.payload) =
   | Sleep { s } -> sleep_payload s
   | Shil { osc; n; vi; reduced; finj } ->
     shil_text ~osc:(resolve_oscillator osc) ~n ~vi ~reduced ~finj
+  | Hb { osc; n; vi; k_max; samples; mode } ->
+    hb_text (hb_run ~osc:(resolve_oscillator osc) ~n ~vi ~k_max ~samples ~mode)
   | Scenario { name; text } ->
     scenario_entry ~file:name (scenario_outcome ~name text)
   | Lint { name; text } -> lint_entry ~file:name (lint_text ~name text)

@@ -48,6 +48,59 @@ val shil_text :
 (** {!shil_run} composed with {!shil_report_text}: the [oshil shil]
     report bytes. *)
 
+(* --- harmonic balance ------------------------------------------------ *)
+
+val hb_circuit : ?injection:Spice.Wave.t -> Shil.Analysis.oscillator -> Spice.Circuit.t
+(** MNA realization of a resolved oscillator: parallel RLC tank with
+    the behavioural nonlinearity across it on node ["t"], plus the
+    injection current source when [injection] is given. The netlist
+    every [oshil hb] analysis runs on. *)
+
+val hb_ident : Shil.Analysis.oscillator -> string option
+(** Canonical cache identity of {!hb_circuit}'s free-running form —
+    the nonlinearity's cache key joined with the bit-exact tank
+    values; [None] (uncacheable) when the nonlinearity has no key. *)
+
+val hb_injection_wave :
+  tank:Shil.Tank.t -> n:int -> vi:float -> f_inj:float -> Spice.Wave.t
+(** The injected tone as a source waveform:
+    [i(t) = Im cos(2 pi f_inj t)] with [Im] from
+    {!Shil.Simulate.injection_current}, so HB and the reduced
+    time-domain model apply the same drive. *)
+
+type hb_outcome = {
+  hb_n : int;
+  hb_vi : float;
+  free : Hb.Driver.solution;
+  hb_mode : hb_mode_result;
+}
+
+and hb_mode_result =
+  | Hb_free_only
+  | Hb_locked of Hb.Driver.verdict
+  | Hb_band of { band : Hb.Driver.band; df : Shil.Lock_range.t }
+
+val hb_run :
+  osc:Shil.Analysis.oscillator ->
+  n:int ->
+  vi:float ->
+  k_max:int ->
+  samples:int ->
+  mode:Request.hb_mode ->
+  hb_outcome
+(** The analysis behind [oshil hb]: oscprobe the free-running steady
+    state (seeded from the tank resonance and the describing-function
+    amplitude), then per [mode] solve one injected tone or march the
+    HB lock band (the DF lock range supplies the guess width and rides
+    along in the report). Raises typed [no-oscillation] when the cell
+    has no describing-function amplitude to seed from. *)
+
+val hb_text : hb_outcome -> string
+(** The [oshil hb] report bytes (also the daemon's [hb] report). *)
+
+val hb_json : hb_outcome -> string
+(** The [oshil hb --json] single-line report ({!jf} floats). *)
+
 val op_text : circuit:Spice.Circuit.t -> Spice.Op.t -> string
 (** [v(node) = …] lines in the circuit's node order. *)
 

@@ -2,6 +2,8 @@ type osc_spec =
   | Builtin of string
   | Custom of { g0 : float; isat : float; r : float; fc : float; q : float }
 
+type hb_mode = Hb_osc | Hb_injected of float | Hb_lockrange
+
 type payload =
   | Ping
   | Sleep of { s : float }
@@ -11,6 +13,14 @@ type payload =
       vi : float;
       reduced : bool;
       finj : float option;
+    }
+  | Hb of {
+      osc : osc_spec;
+      n : int;
+      vi : float;
+      k_max : int;
+      samples : int;
+      mode : hb_mode;
     }
   | Scenario of { name : string; text : string }
   | Lint of { name : string; text : string }
@@ -31,6 +41,7 @@ let op_name = function
   | Ping -> "ping"
   | Sleep _ -> "sleep"
   | Shil _ -> "shil"
+  | Hb _ -> "hb"
   | Scenario _ -> "scenario"
   | Lint _ -> "lint"
   | Netlist_op _ -> "netlist-op"
@@ -63,6 +74,18 @@ let params_to_json = function
     ]
     @ (if reduced then [ ("reduced", Json.Bool true) ] else [])
     @ (match finj with None -> [] | Some f -> [ ("finj", Json.Num f) ])
+  | Hb { osc; n; vi; k_max; samples; mode } ->
+    [
+      ("osc", osc_to_json osc);
+      ("n", Json.Num (float_of_int n));
+      ("vi", Json.Num vi);
+      ("kmax", Json.Num (float_of_int k_max));
+      ("samples", Json.Num (float_of_int samples));
+    ]
+    @ (match mode with
+      | Hb_osc -> []
+      | Hb_injected f -> [ ("finj", Json.Num f) ]
+      | Hb_lockrange -> [ ("lockrange", Json.Bool true) ])
   | Scenario { name; text } | Lint { name; text } | Netlist_op { name; text }
     ->
     [ ("name", Json.Str name); ("text", Json.Str text) ]
@@ -147,6 +170,22 @@ let payload_of_json ~op params =
     let* reduced = bool_ ~default:false "reduced" params in
     let* finj = opt_num "finj" params in
     Ok (Shil { osc; n; vi; reduced; finj })
+  | "hb" ->
+    let* osc = osc_of_json params in
+    let* n = int_ ~default:3 "n" params in
+    let* vi = num ~default:0.03 "vi" params in
+    let* k_max = int_ ~default:7 "kmax" params in
+    let* samples = int_ ~default:1024 "samples" params in
+    let* lockrange = bool_ ~default:false "lockrange" params in
+    let* finj = opt_num "finj" params in
+    let* mode =
+      match (lockrange, finj) with
+      | true, Some _ -> Error "fields \"lockrange\" and \"finj\" conflict"
+      | true, None -> Ok Hb_lockrange
+      | false, Some f -> Ok (Hb_injected f)
+      | false, None -> Ok Hb_osc
+    in
+    Ok (Hb { osc; n; vi; k_max; samples; mode })
   | "scenario" ->
     let* name = str ~default:"<request>" "name" params in
     let* text = str "text" params in

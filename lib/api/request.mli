@@ -16,6 +16,11 @@ type osc_spec =
   | Custom of { g0 : float; isat : float; r : float; fc : float; q : float }
       (** inline tanh cell, same defaults as the CLI [--g0] family *)
 
+type hb_mode =
+  | Hb_osc  (** autonomous steady state (oscprobe) only *)
+  | Hb_injected of float  (** solve the locked spectrum at one [f_inj] *)
+  | Hb_lockrange  (** march/bisect the HB lock band *)
+
 type payload =
   | Ping  (** liveness probe; report is ["pong"] *)
   | Sleep of { s : float }
@@ -29,6 +34,18 @@ type payload =
       reduced : bool;
       finj : float option;
     }  (** full SHIL analysis; report is the [oshil shil] text *)
+  | Hb of {
+      osc : osc_spec;
+      n : int;
+      vi : float;
+      k_max : int;
+      samples : int;
+      mode : hb_mode;
+    }
+      (** multi-harmonic harmonic-balance analysis over the MNA
+          system; report is the [oshil hb] text. Wire params: [kmax],
+          [samples], and either [finj] (injected-tone solve) or
+          [lockrange:true] — never both. *)
   | Scenario of { name : string; text : string }
       (** one [.scn] scenario, inline; report is the [oshil batch]
           per-file JSON entry *)

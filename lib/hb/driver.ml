@@ -1,0 +1,293 @@
+module Cx = Numerics.Cx
+module Roots = Numerics.Roots
+module Err = Resilience.Oshil_error
+
+let two_pi = 2.0 *. Float.pi
+
+type solution = {
+  f0 : float;
+  k_max : int;
+  samples : int;
+  nodes : string array;
+  spectra : Cx.t array array;
+  osc_node : int;
+  x : float array;
+  iters : int;
+  residual : float;
+}
+
+let amplitude s = 2.0 *. Cx.abs s.spectra.(s.osc_node).(1)
+let phase s = Cx.arg s.spectra.(s.osc_node).(1)
+
+let thd s =
+  let sp = s.spectra.(s.osc_node) in
+  let p = ref 0.0 in
+  for k = 2 to s.k_max do
+    let m = Cx.abs sp.(k) in
+    p := !p +. (m *. m)
+  done;
+  let f1 = Cx.abs sp.(1) in
+  if f1 > 0.0 then sqrt !p /. f1 else 0.0
+
+(* --- caching --------------------------------------------------------- *)
+
+let cached ?ident ~mode ~k_max ~samples ~tol ~fields compute =
+  match ident with
+  | Some id when Cache.Store.enabled () ->
+    let key =
+      let open Cache.Key in
+      v ~kind:"hb" ~version:1
+        ([
+           str "circuit" id;
+           str "mode" mode;
+           int "kmax" k_max;
+           int "samples" samples;
+           float "tol" tol;
+         ]
+        @ fields)
+    in
+    Cache.Store.find_or_compute ~key ~encode:Cache.Store.to_marshal
+      ~decode:Cache.Store.of_marshal compute
+  | _ -> compute ()
+
+let mk_solution sys ~f0 ~osc_node ~x ~iters ~residual =
+  {
+    f0;
+    k_max = System.k_max sys;
+    samples = System.samples sys;
+    nodes = System.node_names sys;
+    spectra = System.spectra sys ~x;
+    osc_node;
+    x;
+    iters;
+    residual;
+  }
+
+(* --- autonomous oscillator: oscprobe --------------------------------- *)
+
+let oscprobe ?ident ?(k_max = 7) ?(samples = 1024) ?(tol = 1e-12) ?probe_node
+    ~f_guess ~a_guess circuit =
+  Obs.Span.with_ ~cat:"hb" ~name:"hb.oscprobe" @@ fun () ->
+  let sys = System.compile ~k_max ~samples circuit in
+  let pnode =
+    match probe_node with
+    | Some nm -> (
+      match System.node_index sys nm with
+      | Some i -> i
+      | None ->
+        Err.raise_ Shil ~phase:"hb" Parse_failure
+          (Printf.sprintf "unknown probe node %S" nm)
+          ~remedy:"probe one of the circuit's non-ground nodes")
+    | None -> (
+      match System.default_probe sys with
+      | Some i -> i
+      | None ->
+        Err.raise_ Shil ~phase:"hb" No_oscillation
+          "circuit has no nonlinear device to sustain an oscillation"
+          ~remedy:"oscprobe needs an active nonlinearity; add one or use AC \
+                   analysis")
+  in
+  let compute () =
+    let z = System.probe_zscale sys pnode in
+    let base = System.size sys in
+    let total_iters = ref 0 in
+    let warm = ref None in
+    let last = ref None in
+    let inner (a, omega) =
+      let asm = System.assemble sys ~omega0:omega in
+      let x0 =
+        match !warm with Some x -> x | None -> Array.make base 0.0
+      in
+      let x, st = Solve.solve ~tol ~x0 asm ~probe:(Some (pnode, a)) in
+      total_iters := !total_iters + st.iters;
+      warm := Some (Array.sub x 0 base);
+      last := Some (Array.sub x 0 base, st);
+      (z *. x.(base), z *. x.(base + 1))
+    in
+    let ectx = Obs.Event.ctx ~rung:"oscprobe" "hb" in
+    let outer_tol = Float.max 3e-11 (30.0 *. tol) in
+    let a_star, omega_star =
+      try
+        Roots.newton2d ~tol:outer_tol ~max_iter:80 ~ectx ~f:inner
+          ~x0:(a_guess, two_pi *. f_guess) ()
+      with Roots.No_convergence msg ->
+        Err.raise_ Shil ~phase:"hb" Root_failure
+          ("oscprobe outer Newton failed: " ^ msg)
+          ~context:
+            [
+              ("f_guess", Printf.sprintf "%.6g" f_guess);
+              ("a_guess", Printf.sprintf "%.6g" a_guess);
+            ]
+          ~remedy:"improve the (f, A) seeds or raise k_max/samples"
+    in
+    ignore (inner (a_star, omega_star));
+    let x, st =
+      match !last with Some v -> v | None -> assert false
+    in
+    mk_solution sys ~f0:(omega_star /. two_pi) ~osc_node:pnode ~x
+      ~iters:!total_iters ~residual:st.Solve.residual
+  in
+  cached ?ident ~mode:"oscprobe" ~k_max ~samples ~tol
+    ~fields:
+      Cache.Key.[ float "fguess" f_guess; float "aguess" a_guess ]
+    compute
+
+(* --- injected-tone SHIL ---------------------------------------------- *)
+
+type verdict = {
+  locked : bool;
+  f_inj : float;
+  n_sub : int;
+  amp : float;
+  lock_phase : float;
+  sol : solution;
+}
+
+let check_layout sys free =
+  if
+    Array.length free.x <> System.size sys
+    || free.nodes <> System.node_names sys
+  then
+    Err.raise_ Shil ~phase:"hb" Parse_failure
+      "injected circuit does not match the free-running solution's layout"
+      ~remedy:"inject through an Isource (no new nodes or branches) and keep \
+               k_max/samples"
+
+let injected_solve ~tol ~free ~n ~f_inj sys =
+  let f0 = f_inj /. float_of_int n in
+  let asm = System.assemble sys ~omega0:(two_pi *. f0) in
+  let x, st = Solve.solve ~tol ~x0:free.x asm ~probe:None in
+  let sol =
+    mk_solution sys ~f0 ~osc_node:free.osc_node ~x ~iters:st.Solve.iters
+      ~residual:st.Solve.residual
+  in
+  let amp = amplitude sol in
+  {
+    locked = amp > 0.5 *. amplitude free;
+    f_inj;
+    n_sub = n;
+    amp;
+    lock_phase = phase sol;
+    sol;
+  }
+
+let injected ?ident ?(tol = 1e-12) ~free ~n ~f_inj circuit =
+  Obs.Span.with_ ~cat:"hb" ~name:"hb.injected" @@ fun () ->
+  let sys = System.compile ~k_max:free.k_max ~samples:free.samples circuit in
+  check_layout sys free;
+  cached ?ident ~mode:"injected" ~k_max:free.k_max ~samples:free.samples ~tol
+    ~fields:
+      Cache.Key.
+        [
+          float "finj" f_inj;
+          int "n" n;
+          float "free_f0" free.f0;
+          float "free_amp" (amplitude free);
+          float "free_res" free.residual;
+        ]
+    (fun () -> injected_solve ~tol ~free ~n ~f_inj sys)
+
+(* --- HB lock range --------------------------------------------------- *)
+
+type band = {
+  n_band : int;
+  f_center : float;
+  f_lo : float;
+  f_hi : float;
+  probes : int;
+  holes : int;
+}
+
+let lock_range ?ident ?(tol = 1e-12) ~free ~n ~guess_width ~inject () =
+  Obs.Span.with_ ~cat:"hb" ~name:"hb.lockrange" @@ fun () ->
+  let compute () =
+    let fc = float_of_int n *. free.f0 in
+    let free_amp = amplitude free in
+    let probes = ref 0 and holes = ref 0 in
+    let warm = ref free.x in
+    let probe f_inj =
+      incr probes;
+      Obs.Metrics.incr "hb.lockrange.probes";
+      let sys =
+        System.compile ~k_max:free.k_max ~samples:free.samples
+          (inject ~f_inj)
+      in
+      check_layout sys free;
+      let f0 = f_inj /. float_of_int n in
+      let asm = System.assemble sys ~omega0:(two_pi *. f0) in
+      let classify x st =
+        let sol =
+          mk_solution sys ~f0 ~osc_node:free.osc_node ~x
+            ~iters:st.Solve.iters ~residual:st.Solve.residual
+        in
+        if amplitude sol > 0.5 *. free_amp then begin
+          warm := x;
+          true
+        end
+        else false
+      in
+      match Solve.solve ~tol ~x0:!warm asm ~probe:None with
+      | x, st -> classify x st
+      | exception Err.Error _ -> (
+        (* the warm (locked-branch) start found no solution; retry cold —
+           the suppressed branch is a mild solve from zero *)
+        match Solve.solve ~tol asm ~probe:None with
+        | x, st -> classify x st
+        | exception Err.Error _ ->
+          incr holes;
+          Obs.Metrics.incr "resilience.hb.holes";
+          false)
+    in
+    if not (probe fc) then
+      Err.raise_ Shil ~phase:"hb" No_oscillation
+        (Printf.sprintf
+           "oscillator does not lock at the sub-harmonic band center %.6g Hz"
+           fc)
+        ~remedy:"check the injection amplitude and the free-running solution";
+    let center_x = !warm in
+    let w0 = Float.max (Float.abs guess_width /. 2.0) (1e-7 *. fc) in
+    let tol_f = Float.max (1e-3 *. w0) (1e-10 *. fc) in
+    let edge dir =
+      warm := center_x;
+      let rec march j f_in =
+        if j > 16 then
+          Err.raise_ Shil ~phase:"hb" Root_failure
+            (Printf.sprintf
+               "no unlock boundary within %.3g Hz of the band center"
+               (w0 *. (1.5 ** 16.0)))
+            ~remedy:"the guess width is far too small; pass a wider one"
+        else
+          let f = fc +. (dir *. w0 *. (1.5 ** float_of_int j)) in
+          if probe f then march (j + 1) f else (f_in, f)
+      in
+      let rec bisect f_in f_out k =
+        if Float.abs (f_out -. f_in) <= tol_f || k > 64 then f_in
+        else
+          let fm = 0.5 *. (f_in +. f_out) in
+          if probe fm then bisect fm f_out (k + 1) else bisect f_in fm (k + 1)
+      in
+      let f_in, f_out = march 0 fc in
+      bisect f_in f_out 0
+    in
+    let f_hi = edge 1.0 in
+    let f_lo = edge (-1.0) in
+    {
+      n_band = n;
+      f_center = fc;
+      f_lo;
+      f_hi;
+      probes = !probes;
+      holes = !holes;
+    }
+  in
+  cached ?ident ~mode:"lockrange" ~k_max:free.k_max ~samples:free.samples ~tol
+    ~fields:
+      Cache.Key.
+        [
+          int "n" n;
+          float "guess_width" guess_width;
+          float "free_f0" free.f0;
+          float "free_amp" (amplitude free);
+          float "free_res" free.residual;
+        ]
+    compute

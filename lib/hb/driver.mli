@@ -1,0 +1,108 @@
+(** Analysis drivers over the harmonic-balance engine: autonomous
+    oscillator solve (oscprobe), injected-tone SHIL solve, and the
+    HB lock-range search.
+
+    Results are cached under kind ["hb"] version 1 when the caller
+    supplies [?ident] — a canonical string identifying the circuit (the
+    API layer derives it from the resolved oscillator spec and the
+    nonlinearity cache key). Cached values are Marshal round-trips of
+    plain-data records, honouring the store's bit-identity contract;
+    without [ident] (e.g. closures with no cache key) the drivers
+    compute directly. *)
+
+type solution = {
+  f0 : float;  (** base (fundamental) frequency, Hz *)
+  k_max : int;
+  samples : int;
+  nodes : string array;
+  spectra : Numerics.Cx.t array array;  (** per node, [X_0 .. X_kmax] *)
+  osc_node : int;  (** index of the reported oscillation node *)
+  x : float array;  (** raw unknown vector (warm starts) *)
+  iters : int;  (** total inner Newton iterations *)
+  residual : float;  (** converged scaled residual *)
+}
+
+val amplitude : solution -> float
+(** Fundamental amplitude [2 |X_1|] at the oscillation node. *)
+
+val phase : solution -> float
+(** [arg X_1] at the oscillation node, radians. *)
+
+val thd : solution -> float
+(** Total harmonic distortion [sqrt (Σ_{k>=2} |X_k|²) / |X_1|]. *)
+
+val oscprobe :
+  ?ident:string ->
+  ?k_max:int ->
+  ?samples:int ->
+  ?tol:float ->
+  ?probe_node:string ->
+  f_guess:float ->
+  a_guess:float ->
+  Spice.Circuit.t ->
+  solution
+(** Autonomous oscillator steady state via the oscprobe technique: an
+    ideal fundamental-only AC probe pins the oscillation node's
+    fundamental to [(A/2, 0)], and an outer 2-D Newton on [(A, ω)]
+    drives the probe current to zero (zero probe admittance — the
+    probe neither sources nor sinks power at the solution).
+    [probe_node] defaults to the first nonlinear device's node;
+    [f_guess]/[a_guess] seed the outer Newton (resonance frequency and
+    a describing-function amplitude are good seeds). Raises typed
+    errors: [Root_failure] when the outer Newton fails,
+    [No_oscillation] when the circuit has no nonlinear device. *)
+
+type verdict = {
+  locked : bool;
+  f_inj : float;
+  n_sub : int;
+  amp : float;  (** fundamental amplitude of the locked spectrum *)
+  lock_phase : float;  (** [arg X_1] at the oscillation node, rad *)
+  sol : solution;
+}
+
+val injected :
+  ?ident:string ->
+  ?tol:float ->
+  free:solution ->
+  n:int ->
+  f_inj:float ->
+  Spice.Circuit.t ->
+  verdict
+(** Injected-tone SHIL solve: the circuit (which must contain the
+    injection source at [f_inj], landing on harmonic [n] of the base
+    [f_inj / n]) is solved from the free-running spectrum [free] as
+    warm start, with [free]'s [k_max]/[samples]. Locked iff Newton
+    converges to a spectrum whose fundamental amplitude exceeds half
+    the free-running amplitude; outside the lock range the oscillation
+    collapses onto the injection-driven sub-space ([V_k = 0] off the
+    harmonics of [n]). Raises [Solver_divergence] when every Newton
+    rung fails. *)
+
+type band = {
+  n_band : int;
+  f_center : float;  (** injection-referred band center, [n * f0] *)
+  f_lo : float;  (** innermost-locked band edges, injection-referred *)
+  f_hi : float;
+  probes : int;
+  holes : int;  (** probes that failed on every rung (typed holes) *)
+}
+
+val lock_range :
+  ?ident:string ->
+  ?tol:float ->
+  free:solution ->
+  n:int ->
+  guess_width:float ->
+  inject:(f_inj:float -> Spice.Circuit.t) ->
+  unit ->
+  band
+(** HB lock range: march outward from the band center [n * free.f0]
+    in 1.5x steps of [guess_width / 2] until unlocked, then bisect
+    each edge. Probes are warm-started from the innermost locked
+    spectrum; a probe whose warm solve fails is retried cold (the
+    suppressed branch is a mild solve), and only a probe failing both
+    becomes a typed hole — counted in [holes] and on the
+    [resilience.hb.holes] counter, classified unlocked so the band
+    only shrinks (degrade, don't abort). Raises [No_oscillation] if
+    the center frequency itself does not lock. *)

@@ -1,0 +1,158 @@
+module Linalg = Numerics.Linalg
+module Fault = Resilience.Fault
+module Policy = Resilience.Policy
+
+type stats = { iters : int; residual : float; rung : string }
+
+(* converged scaled residuals, by decade *)
+let () =
+  Obs.Metrics.register_histogram ~name:"hb.residual"
+    ~buckets:[| 1e-15; 1e-13; 1e-11; 1e-9; 1e-6; 1e-3; 1.0 |]
+
+let attempt ?(tol = 1e-12) ?(max_iter = 60) ~rung ~damped asm ~probe ~x0 () =
+  if Fault.fire "hb-newton" then Error (rung ^ ": injected fault (hb-newton)")
+  else begin
+    let t = System.system asm in
+    let base = System.size t in
+    let n = base + (match probe with Some _ -> 2 | None -> 0) in
+    let x = Array.make n 0.0 in
+    Array.blit x0 0 x 0 (min (Array.length x0) n);
+    (match probe with
+    | Some (p, a) ->
+      x.(System.idx t p 1) <- a /. 2.0;
+      x.(System.idx t p 2) <- 0.0
+    | None -> ());
+    let jac = Linalg.create n n and res = Array.make n 0.0 in
+    let ectx =
+      if Obs.Event.enabled () then Some (Obs.Event.ctx ~rung "hb") else None
+    in
+    let emit_iter iter residual step damping =
+      match ectx with
+      | Some ctx ->
+        Obs.Event.emit
+          (Obs.Event.Newton_iter { ctx; iter; residual; step; damping })
+      | None -> ()
+    in
+    let emit_done iters converged residual =
+      match ectx with
+      | Some ctx ->
+        Obs.Event.emit (Obs.Event.Newton_done { ctx; iters; converged; residual })
+      | None -> ()
+    in
+    let fill () =
+      System.eval asm ~x ~jac ~res;
+      match probe with
+      | Some (p, a) ->
+        let r1 = System.idx t p 1 and r2 = System.idx t p 2 in
+        (* the probe current flows into the node: KCL sees -Ip *)
+        res.(r1) <- res.(r1) -. x.(base);
+        res.(r2) <- res.(r2) -. x.(base + 1);
+        jac.(r1).(base) <- -1.0;
+        jac.(r2).(base + 1) <- -1.0;
+        (* pin rows: Re V_1 = a/2, Im V_1 = 0 *)
+        res.(base) <- x.(r1) -. (a /. 2.0);
+        res.(base + 1) <- x.(r2);
+        Array.fill jac.(base) 0 n 0.0;
+        Array.fill jac.(base + 1) 0 n 0.0;
+        jac.(base).(r1) <- 1.0;
+        jac.(base + 1).(r2) <- 1.0
+      | None -> ()
+    in
+    (* row-scaled residual: each row in units of its own stamps *)
+    let scaled_norm () =
+      let m = ref 0.0 in
+      for i = 0 to n - 1 do
+        let row = jac.(i) in
+        let s = ref 0.0 in
+        for j = 0 to n - 1 do
+          let v = Float.abs row.(j) in
+          if v > !s then s := v
+        done;
+        let sc = if !s > 1e-12 then !s else 1.0 in
+        let r = Float.abs res.(i) /. sc in
+        if r > !m then m := r
+      done;
+      !m
+    in
+    let xnorm () = Float.max 1.0 (Linalg.norm_inf x) in
+    let exception Fail of string in
+    try
+      let it = ref 0 in
+      let result = ref None in
+      while !result = None do
+        fill ();
+        let rn = scaled_norm () in
+        if Float.is_nan rn then raise (Fail (rung ^ ": residual is NaN"))
+        else if rn > 1e12 then raise (Fail (rung ^ ": residual diverged"))
+        else if rn <= tol *. xnorm () then begin
+          emit_done !it true rn;
+          result := Some ({ iters = !it; residual = rn; rung } : stats)
+        end
+        else if !it >= max_iter then begin
+          emit_done !it false rn;
+          raise
+            (Fail
+               (Printf.sprintf "%s: no convergence after %d iterations \
+                                (scaled residual %.3e)" rung !it rn))
+        end
+        else begin
+          Obs.Metrics.incr "hb.newton_iters";
+          incr it;
+          match Linalg.solve jac res with
+          | delta ->
+            if not damped then begin
+              for i = 0 to n - 1 do
+                x.(i) <- x.(i) -. delta.(i)
+              done;
+              emit_iter !it rn (Linalg.norm_inf delta) 1.0
+            end
+            else begin
+              (* halving line search on the scaled residual *)
+              let saved = Array.copy x in
+              let try_step lambda =
+                Array.blit saved 0 x 0 n;
+                for i = 0 to n - 1 do
+                  x.(i) <- x.(i) -. (lambda *. delta.(i))
+                done;
+                fill ();
+                scaled_norm ()
+              in
+              let rec damp lambda tries =
+                let rn' = try_step lambda in
+                if (rn' < rn && not (Float.is_nan rn')) || tries >= 8 then lambda
+                else damp (lambda /. 2.0) (tries + 1)
+              in
+              let lambda = damp 1.0 0 in
+              emit_iter !it rn (lambda *. Linalg.norm_inf delta) lambda
+            end
+          | exception Linalg.Singular ->
+            emit_done !it false rn;
+            raise (Fail (rung ^ ": singular harmonic Jacobian"))
+        end
+      done;
+      match !result with
+      | Some st -> Ok (x, st)
+      | None -> Error (rung ^ ": internal solver state")
+    with Fail msg -> Error msg
+  end
+
+let solve ?tol ?max_iter ?x0 asm ~probe =
+  let t = System.system asm in
+  let x0 =
+    match x0 with Some x -> x | None -> Array.make (System.size t) 0.0
+  in
+  match
+    Policy.escalate ~subsystem:Shil ~phase:"hb"
+      [
+        Policy.rung "newton"
+          (attempt ?tol ?max_iter ~rung:"newton" ~damped:false asm ~probe ~x0);
+        Policy.rung "damped-newton"
+          (attempt ?tol ?max_iter ~rung:"damped-newton" ~damped:true asm ~probe
+             ~x0);
+      ]
+  with
+  | Ok (x, st) ->
+    Obs.Metrics.incr "hb.solves";
+    Obs.Metrics.observe "hb.residual" st.residual;
+    (x, st)
+  | Error e -> raise (Resilience.Oshil_error.Error e)

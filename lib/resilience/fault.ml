@@ -10,6 +10,7 @@ let site_names =
     ("lock-probe", "fail the k-th lock-range stability probe");
     ("validate-point", "fail the k-th Validate.lock_range transient probe");
     ("serve-request", "fail the k-th request handled by the oshil serve daemon");
+    ("hb-newton", "fail the k-th harmonic-balance Newton solve attempt");
   ]
 
 type window = { start : int; count : int }

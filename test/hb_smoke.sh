@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the harmonic-balance stack: CLI/daemon
+# byte-identity on the `hb` op, the solver-telemetry contract
+# (hb.newton_iters / hb.solves land on a flushed trace), the
+# fault-injection ladder at the hb-newton site (first-rung fault ->
+# damped-Newton recovery with bit-identical output; all rungs faulted
+# -> typed solver-divergence, exit 3), and daemon survival of a
+# faulted hb request. Driven by `dune build @hb-smoke`; also in CI.
+#
+# Usage: hb_smoke.sh path/to/oshil.exe
+set -u
+
+OSHIL=${1:?usage: hb_smoke.sh OSHIL_EXE}
+case "$OSHIL" in /*) ;; *) OSHIL=$PWD/$OSHIL ;; esac
+
+# Unix socket paths are length-limited (~107 bytes); dune build dirs can
+# exceed that, so the sockets live in a throwaway /tmp dir.
+DIR=$(mktemp -d /tmp/oshil-hb-smoke.XXXXXX)
+SOCK=$DIR/s.sock
+SRV=
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "hb-smoke: FAIL: $*" >&2
+  exit 1
+}
+
+wait_sock() {
+  for _ in $(seq 1 200); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+drain() { # drain <pid> <what>: SIGTERM must be a clean exit-0 shutdown
+  kill -TERM "$1" 2>/dev/null || fail "$2: daemon already gone"
+  wait "$1"
+  rc=$?
+  [ "$rc" -eq 0 ] || fail "$2: drain exited $rc (want 0)"
+  SRV=
+}
+
+# --- leg 1: CLI bytes == daemon bytes on the hb op -------------------
+
+"$OSHIL" serve -l "unix:$SOCK" --trace "$DIR/t1.jsonl" \
+  > "$DIR/srv1.log" 2>&1 &
+SRV=$!
+wait_sock "$SOCK" || fail "daemon socket never appeared"
+
+"$OSHIL" api hb --kmax 3 --samples 128 --id smoke > "$DIR/local.out" \
+  || fail "local api hb failed"
+"$OSHIL" call -c "unix:$SOCK" hb --kmax 3 --samples 128 --id smoke \
+  > "$DIR/wire.out" || fail "daemon hb call failed"
+diff "$DIR/local.out" "$DIR/wire.out" \
+  || fail "daemon hb response differs from local api"
+
+# the injected-tone mode travels the wire too
+"$OSHIL" call -c "unix:$SOCK" hb --kmax 3 --samples 128 --finj 2998000 \
+  | grep -q '"status":"ok"' || fail "injected-tone hb op over the wire"
+
+drain "$SRV" "leg1"
+
+# --- leg 2: solver telemetry lands on the trace ----------------------
+
+"$OSHIL" hb --kmax 3 --samples 128 --json --trace "$DIR/t2.jsonl" \
+  > "$DIR/clean.json" || fail "traced hb run failed"
+"$OSHIL" stats "$DIR/t2.jsonl" \
+  --assert-counter hb.newton_iters:1 \
+  --assert-counter hb.solves:1 > /dev/null \
+  || fail "hb solver counters missing from flushed trace"
+
+# --- leg 3: hb-newton fault ladder -----------------------------------
+
+# first-rung fault: damped Newton recovers, output bit-identical
+"$OSHIL" hb --kmax 3 --samples 128 --json \
+  --inject-fault hb-newton@0 --trace "$DIR/t3.jsonl" > "$DIR/recov.json" \
+  || fail "damped rung did not recover the faulted first attempt"
+diff "$DIR/clean.json" "$DIR/recov.json" \
+  || fail "recovered run is not bit-identical to the clean run"
+"$OSHIL" stats "$DIR/t3.jsonl" \
+  --assert-counter resilience.hb.rung.damped-newton \
+  --assert-counter resilience.faults.hb-newton > /dev/null \
+  || fail "recovery rung counters missing from flushed trace"
+
+# every rung faulted: typed solver-divergence, exit 3
+"$OSHIL" hb --kmax 3 --samples 128 --inject-fault hb-newton \
+  > "$DIR/div.out" 2> "$DIR/div.err"
+rc=$?
+[ "$rc" -eq 3 ] || fail "exhausted ladder exited $rc (want 3)"
+grep -q 'solver-divergence' "$DIR/div.err" \
+  || fail "exhausted ladder did not surface a typed solver-divergence"
+
+# --- leg 4: the daemon survives a faulted hb request -----------------
+
+OSHIL_FAULTS=hb-newton "$OSHIL" serve -l "unix:$SOCK" --retries 0 \
+  --trace "$DIR/t4.jsonl" > "$DIR/srv4.log" 2>&1 &
+SRV=$!
+wait_sock "$SOCK" || fail "leg4: daemon socket never appeared"
+
+"$OSHIL" call -c "unix:$SOCK" hb --kmax 3 --samples 128 \
+  | grep -q '"code":"solver-divergence"' \
+  || fail "faulted hb request not surfaced as a typed error"
+"$OSHIL" call -c "unix:$SOCK" ping | grep -q '"report":"pong"' \
+  || fail "daemon did not survive the faulted hb request"
+
+drain "$SRV" "leg4"
+
+echo "hb-smoke: PASS"

@@ -1,0 +1,365 @@
+(* Harmonic-balance engine tests.
+
+   Four families:
+
+   - fixed-point equivalence: the oscprobe solve at [k_max = 1] must
+     reproduce the describing-function fixed point (same quadrature,
+     same Trig tables), on every builtin cell and — property-tested
+     from the pinned seed — across random custom tanh cells;
+   - reduced cross-check: the MNA engine against the reduced
+     [Shil.Harmonic_balance] solver at matched [k_max]/[samples],
+     including the Groszkowski frequency shift the DF misses;
+   - engine internals: the conversion-matrix Jacobian against finite
+     differences, and the injected-tone branch structure (locked at
+     the band center, suppressed far outside);
+   - resilience and caching: the [hb-newton] fault site walks the
+     policy ladder (recovery on the damped rung, typed
+     [solver-divergence] when every rung is shot), and cached solves
+     replay bit-identically. *)
+
+module Cx = Numerics.Cx
+module Nl = Shil.Nonlinearity
+module Driver = Hb.Driver
+module System = Hb.System
+
+let close ?(tol = 1e-9) a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol *. scale
+
+let rel a b = Float.abs (a -. b) /. Float.max 1e-300 (Float.abs b)
+
+let df_amplitude ?points nl ~r =
+  match Shil.Natural.predicted_amplitude ?points nl ~r with
+  | Some a -> a
+  | None -> Alcotest.fail "cell must have a natural amplitude"
+
+let free_solution ?(k_max = 5) ?(samples = 256) osc =
+  let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+  Driver.oscprobe ~k_max ~samples
+    ~f_guess:(Shil.Tank.f_c tank)
+    ~a_guess:(df_amplitude osc.Shil.Analysis.nl ~r:tank.r)
+    (Api.hb_circuit osc)
+
+(* ------------------------------------------------------------------ *)
+(* oscprobe at K = 1 is the describing-function fixed point *)
+
+let builtins =
+  [
+    ("tanh", Circuits.Tanh_osc.oscillator Circuits.Tanh_osc.default);
+    ("diffpair", Circuits.Diff_pair.oscillator Circuits.Diff_pair.default);
+    ("tunnel", Circuits.Tunnel_osc.oscillator Circuits.Tunnel_osc.default);
+  ]
+
+let test_k1_matches_df () =
+  List.iter
+    (fun (name, osc) ->
+      let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+      let a_df = df_amplitude osc.Shil.Analysis.nl ~r:tank.r in
+      let sol = free_solution ~k_max:1 ~samples:1024 osc in
+      Alcotest.(check bool)
+        (name ^ ": K=1 amplitude = DF amplitude")
+        true
+        (rel (Driver.amplitude sol) a_df < 1e-9);
+      (* one retained harmonic leaves no distortion to shift the
+         frequency: the oscprobe lands on the tank resonance *)
+      Alcotest.(check bool)
+        (name ^ ": K=1 frequency = f_c")
+        true
+        (rel sol.Driver.f0 (Shil.Tank.f_c tank) < 1e-9);
+      Alcotest.(check bool)
+        (name ^ ": DC is forced to zero by the inductor")
+        true
+        (Float.abs (Cx.re sol.Driver.spectra.(sol.Driver.osc_node).(0))
+        < 1e-12))
+    builtins
+
+let prop_k1_matches_df =
+  (* random custom tanh cells through the same resolver the CLI and
+     daemon use; 256-sample oscprobe vs the 256-point DF quadrature *)
+  let gen =
+    QCheck.Gen.(
+      tup4 (float_range 1.3e-3 4e-3) (float_range 0.5e-3 2e-3)
+        (float_range 0.5e6 2e6) (float_range 4.0 25.0))
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (g0, isat, fc, q) ->
+        Printf.sprintf "g0=%.6g isat=%.6g fc=%.6g q=%.6g" g0 isat fc q)
+  in
+  Qseed.qtest ~count:25 "oscprobe K=1 = DF fixed point (custom cells)" arb
+    (fun (g0, isat, fc, q) ->
+      let osc =
+        Api.resolve_oscillator
+          (Api.Request.Custom { g0; isat; r = 1e3; fc; q })
+      in
+      let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+      let a_df =
+        df_amplitude ~points:256 osc.Shil.Analysis.nl ~r:tank.r
+      in
+      let sol = free_solution ~k_max:1 ~samples:256 osc in
+      rel (Driver.amplitude sol) a_df < 1e-9
+      && rel sol.Driver.f0 (Shil.Tank.f_c tank) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* MNA engine vs the reduced Shil.Harmonic_balance solver *)
+
+let test_matches_reduced () =
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  List.iter
+    (fun k_max ->
+      let sol = free_solution ~k_max ~samples:256 osc in
+      let red =
+        Shil.Harmonic_balance.solve ~k_max ~samples:256
+          osc.Shil.Analysis.nl ~tank:osc.Shil.Analysis.tank
+      in
+      let label what =
+        Printf.sprintf "K=%d: %s matches reduced HB" k_max what
+      in
+      Alcotest.(check bool)
+        (label "amplitude") true
+        (rel (Driver.amplitude sol) (Shil.Harmonic_balance.amplitude red)
+        < 1e-9);
+      Alcotest.(check bool)
+        (label "frequency (Groszkowski)")
+        true
+        (rel sol.Driver.f0 (Shil.Harmonic_balance.frequency red) < 1e-9);
+      (* per-harmonic magnitudes, phase-reference independent *)
+      let sp = sol.Driver.spectra.(sol.Driver.osc_node) in
+      for k = 2 to k_max do
+        Alcotest.(check bool)
+          (Printf.sprintf "K=%d: |V_%d| matches reduced HB" k_max k)
+          true
+          (close ~tol:1e-9 (Cx.abs sp.(k))
+             (Cx.abs red.Shil.Harmonic_balance.coeffs.(k)))
+      done)
+    [ 1; 3; 5; 7 ];
+  (* the shift itself is real: K=7 frequency sits below f_c *)
+  let sol = free_solution ~k_max:7 ~samples:256 osc in
+  let fc = Shil.Tank.f_c osc.Shil.Analysis.tank in
+  Alcotest.(check bool) "Groszkowski shift is negative" true
+    (sol.Driver.f0 < fc -. 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* conversion-matrix Jacobian vs finite differences *)
+
+let test_jacobian_vs_fd () =
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  let f_inj = 3.0e6 in
+  let circuit =
+    Api.hb_circuit
+      ~injection:
+        (Api.hb_injection_wave ~tank:osc.Shil.Analysis.tank ~n:3 ~vi:0.05
+           ~f_inj)
+      osc
+  in
+  let sys = System.compile ~k_max:3 ~samples:64 circuit in
+  let asm = System.assemble sys ~omega0:(2.0 *. Float.pi *. f_inj /. 3.0) in
+  let n = System.size sys in
+  let x = Array.init n (fun i -> 0.3 *. sin (float_of_int (i + 1))) in
+  let jac = Numerics.Linalg.create n n and res = Array.make n 0.0 in
+  System.eval asm ~x ~jac ~res;
+  let jac0 = Array.map Array.copy jac in
+  let rp = Array.make n 0.0 and rm = Array.make n 0.0 in
+  let h = 1e-6 in
+  let worst = ref 0.0 in
+  for j = 0 to n - 1 do
+    let xj = x.(j) in
+    x.(j) <- xj +. h;
+    System.eval asm ~x ~jac ~res;
+    Array.blit res 0 rp 0 n;
+    x.(j) <- xj -. h;
+    System.eval asm ~x ~jac ~res;
+    Array.blit res 0 rm 0 n;
+    x.(j) <- xj;
+    for i = 0 to n - 1 do
+      let fd = (rp.(i) -. rm.(i)) /. (2.0 *. h) in
+      let scale =
+        Float.max 1e-3 (Float.max (Float.abs fd) (Float.abs jac0.(i).(j)))
+      in
+      let e = Float.abs (fd -. jac0.(i).(j)) /. scale in
+      if e > !worst then worst := e
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic Jacobian matches FD (worst %.3g)" !worst)
+    true (!worst < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* injected-tone branches *)
+
+let test_injected_branches () =
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+  let free = free_solution osc in
+  let n = 3 and vi = 0.03 in
+  let solve_at f_inj =
+    Driver.injected ~free ~n ~f_inj
+      (Api.hb_circuit
+         ~injection:(Api.hb_injection_wave ~tank ~n ~vi ~f_inj)
+         osc)
+  in
+  let fc3 = 3.0 *. free.Driver.f0 in
+  let center = solve_at fc3 in
+  Alcotest.(check bool) "locks at the band center" true center.Driver.locked;
+  Alcotest.(check bool) "locked amplitude is near the free-running one" true
+    (rel center.Driver.amp (Driver.amplitude free) < 0.05);
+  Alcotest.(check bool) "lock phase is finite" true
+    (Float.is_finite center.Driver.lock_phase);
+  (* 20% off the band center: far outside any lock range at this vi —
+     the spectrum collapses onto the injection-driven subspace *)
+  let far = solve_at (1.2 *. fc3) in
+  Alcotest.(check bool) "no lock far outside the band" false far.Driver.locked;
+  Alcotest.(check bool) "suppressed branch has a tiny fundamental" true
+    (far.Driver.amp < 0.05 *. Driver.amplitude free)
+
+(* ------------------------------------------------------------------ *)
+(* resilience: the hb-newton fault site *)
+
+let with_fault_plan plan f =
+  (match Resilience.Fault.configure plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("bad fault plan: " ^ msg));
+  Fun.protect ~finally:Resilience.Fault.clear f
+
+let test_fault_recovery () =
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  let clean = free_solution osc in
+  (* first attempt (plain newton) is shot; the damped rung recovers
+     and the result is bit-identical to the clean run *)
+  let recovered =
+    with_fault_plan "hb-newton@0" (fun () -> free_solution osc)
+  in
+  Alcotest.(check bool) "recovered solve is bit-identical" true
+    (clean.Driver.x = recovered.Driver.x);
+  Alcotest.(check bool) "recovered frequency is bit-identical" true
+    (clean.Driver.f0 = recovered.Driver.f0)
+
+let test_fault_divergence () =
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  with_fault_plan "hb-newton" (fun () ->
+      match free_solution osc with
+      | _ -> Alcotest.fail "solve must not survive a bare hb-newton plan"
+      | exception Resilience.Oshil_error.Error e ->
+        Alcotest.(check string)
+          "typed solver-divergence" "solver-divergence"
+          (Resilience.Oshil_error.code e))
+
+let test_lockrange_hole_degrades () =
+  (* kill two probe windows mid-search: the probes become typed holes,
+     classified unlocked — the band shrinks instead of aborting *)
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+  let free = free_solution osc in
+  let n = 3 and vi = 0.03 in
+  let inject ~f_inj =
+    Api.hb_circuit ~injection:(Api.hb_injection_wave ~tank ~n ~vi ~f_inj) osc
+  in
+  let clean = Driver.lock_range ~free ~n ~guess_width:9e3 ~inject () in
+  Alcotest.(check int) "clean search has no holes" 0 clean.Driver.holes;
+  let faulted =
+    (* occurrences 4-7: both rungs of two probes after the center
+       solve (each probe burns a plain and a damped attempt) *)
+    with_fault_plan "hb-newton@4x4" (fun () ->
+        Driver.lock_range ~free ~n ~guess_width:9e3 ~inject ())
+  in
+  Alcotest.(check bool) "faulted probes become holes" true
+    (faulted.Driver.holes >= 1);
+  Alcotest.(check bool) "band only shrinks under holes" true
+    (faulted.Driver.f_hi -. faulted.Driver.f_lo
+    <= clean.Driver.f_hi -. clean.Driver.f_lo +. 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* caching: hb/v1 replays bit-identically *)
+
+let test_cache_roundtrip () =
+  let dir = Filename.temp_file "oshil_hb_cache" "" in
+  Sys.remove dir;
+  Cache.Store.set_dir dir;
+  Cache.Store.set_enabled true;
+  Fun.protect ~finally:(fun () -> Cache.Store.set_enabled false)
+  @@ fun () ->
+  let p = Circuits.Tanh_osc.default in
+  let osc = Circuits.Tanh_osc.oscillator p in
+  let tank = (osc.Shil.Analysis.tank : Shil.Tank.t) in
+  let ident =
+    match Api.hb_ident osc with
+    | Some id -> id
+    | None -> Alcotest.fail "builtin tanh cell must have a cache identity"
+  in
+  let solve () =
+    Driver.oscprobe ~ident ~k_max:5 ~samples:256
+      ~f_guess:(Shil.Tank.f_c tank)
+      ~a_guess:(df_amplitude osc.Shil.Analysis.nl ~r:tank.r)
+      (Api.hb_circuit osc)
+  in
+  let cold = solve () in
+  let warm = solve () in
+  Alcotest.(check bool) "warm oscprobe replays bit-identically" true
+    (cold = warm)
+
+(* ------------------------------------------------------------------ *)
+(* system guards *)
+
+let test_compile_guards () =
+  let p = Circuits.Tanh_osc.default in
+  let circuit = Api.hb_circuit (Circuits.Tanh_osc.oscillator p) in
+  (match System.compile ~k_max:0 circuit with
+  | _ -> Alcotest.fail "k_max = 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match System.compile ~k_max:7 ~samples:16 circuit with
+  | _ -> Alcotest.fail "samples < 4 k_max must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* a BJT netlist has no harmonic-domain stamp: typed parse-failure *)
+  match
+    System.compile (Circuits.Diff_pair.circuit Circuits.Diff_pair.default)
+  with
+  | _ -> Alcotest.fail "device-level BJT netlist must be rejected"
+  | exception Resilience.Oshil_error.Error e ->
+    Alcotest.(check string)
+      "typed parse-failure" "parse-failure"
+      (Resilience.Oshil_error.code e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "hb"
+    [
+      ( "fixed point",
+        [
+          Alcotest.test_case "K=1 oscprobe = DF (builtins)" `Quick
+            test_k1_matches_df;
+          prop_k1_matches_df;
+        ] );
+      ( "reduced cross-check",
+        [
+          Alcotest.test_case "MNA engine = reduced HB (K=1,3,5,7)" `Quick
+            test_matches_reduced;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "Jacobian vs finite differences" `Quick
+            test_jacobian_vs_fd;
+          Alcotest.test_case "injected-tone branches" `Quick
+            test_injected_branches;
+          Alcotest.test_case "compile guards" `Quick test_compile_guards;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "hb-newton: damped rung recovers" `Quick
+            test_fault_recovery;
+          Alcotest.test_case "hb-newton: typed solver-divergence" `Quick
+            test_fault_divergence;
+          Alcotest.test_case "lock-range holes degrade, not abort" `Quick
+            test_lockrange_hole_degrades;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hb/v1 replays bit-identically" `Quick
+            test_cache_roundtrip;
+        ] );
+    ]
